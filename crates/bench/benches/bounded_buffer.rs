@@ -1,0 +1,77 @@
+//! E1's micro-side: bounded-buffer transfer throughput on the threaded
+//! runtime — ALPS manager vs monitor vs bare channel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use alps_paper::bounded_buffer::{AlpsBuffer, ChanBuffer, MonitorBuffer};
+use alps_runtime::{Runtime, Spawn};
+
+const BATCH: i64 = 200;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bounded_buffer_transfer");
+    g.sample_size(10);
+    g.throughput(criterion::Throughput::Elements(BATCH as u64));
+    {
+        let rt = Runtime::threaded();
+        let buf = AlpsBuffer::spawn(&rt, 16).unwrap();
+        g.bench_function("alps_manager", |b| {
+            b.iter(|| {
+                let (b2, rt2) = (buf.clone(), rt.clone());
+                let p = rt.spawn_with(Spawn::new("p"), move || {
+                    for i in 0..BATCH {
+                        b2.deposit(&rt2, i).unwrap();
+                    }
+                });
+                for _ in 0..BATCH {
+                    buf.remove(&rt).unwrap();
+                }
+                p.join().unwrap();
+            })
+        });
+        buf.object().shutdown();
+        rt.shutdown();
+    }
+    {
+        let rt = Runtime::threaded();
+        let buf = MonitorBuffer::new(16);
+        g.bench_function("monitor", |b| {
+            b.iter(|| {
+                let (b2, rt2) = (buf.clone(), rt.clone());
+                let p = rt.spawn_with(Spawn::new("p"), move || {
+                    for i in 0..BATCH {
+                        b2.deposit(&rt2, i);
+                    }
+                });
+                for _ in 0..BATCH {
+                    buf.remove(&rt);
+                }
+                p.join().unwrap();
+            })
+        });
+        rt.shutdown();
+    }
+    {
+        let rt = Runtime::threaded();
+        let buf = ChanBuffer::new(16);
+        g.bench_function("channel", |b| {
+            b.iter(|| {
+                let (b2, rt2) = (buf.clone(), rt.clone());
+                let p = rt.spawn_with(Spawn::new("p"), move || {
+                    for i in 0..BATCH {
+                        b2.deposit(&rt2, i);
+                    }
+                });
+                for _ in 0..BATCH {
+                    buf.remove(&rt);
+                }
+                p.join().unwrap();
+            })
+        });
+        rt.shutdown();
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Micro-costs of the call protocol (threaded runtime, wall clock):
+//! a full accept/start/await/finish round trip, the combining path, and
+//! the non-intercepted (implicit-start) path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use alps_core::{vals, EntryDef, Guard, ObjectBuilder, ObjectHandle, Selected, Ty, Value};
+use alps_runtime::Runtime;
+
+fn managed_echo(rt: &Runtime) -> ObjectHandle {
+    ObjectBuilder::new("Echo")
+        .entry(
+            EntryDef::new("Echo")
+                .params([Ty::Int])
+                .results([Ty::Int])
+                .intercepted()
+                .body(|_ctx, args| Ok(vec![args[0].clone()])),
+        )
+        .manager(|mgr| loop {
+            let acc = mgr.accept("Echo")?;
+            mgr.execute(acc)?;
+        })
+        .spawn(rt)
+        .unwrap()
+}
+
+fn implicit_echo(rt: &Runtime) -> ObjectHandle {
+    ObjectBuilder::new("Plain")
+        .entry(
+            EntryDef::new("Echo")
+                .params([Ty::Int])
+                .results([Ty::Int])
+                .body(|_ctx, args| Ok(vec![args[0].clone()])),
+        )
+        .spawn(rt)
+        .unwrap()
+}
+
+fn combining_echo(rt: &Runtime) -> ObjectHandle {
+    // Manager answers every call itself: pure combining path, no body.
+    ObjectBuilder::new("Combine")
+        .entry(
+            EntryDef::new("Echo")
+                .params([Ty::Int])
+                .results([Ty::Int])
+                .intercept_params(1)
+                .intercept_results(1)
+                .body(|_ctx, args| Ok(vec![args[0].clone()])),
+        )
+        .manager(|mgr| loop {
+            match mgr.select(vec![Guard::accept("Echo")])? {
+                Selected::Accepted { call, .. } => {
+                    let v = call.params()[0].clone();
+                    mgr.finish_accepted(call, vec![v])?;
+                }
+                _ => unreachable!(),
+            }
+        })
+        .spawn(rt)
+        .unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("call_protocol");
+    g.sample_size(20);
+    {
+        let rt = Runtime::threaded();
+        let obj = managed_echo(&rt);
+        g.bench_function("managed_execute_round_trip", |b| {
+            b.iter(|| {
+                let r = obj.call("Echo", vals![7i64]).unwrap();
+                assert_eq!(r[0], Value::Int(7));
+            })
+        });
+        obj.shutdown();
+        rt.shutdown();
+    }
+    {
+        let rt = Runtime::threaded();
+        let obj = implicit_echo(&rt);
+        g.bench_function("implicit_start_round_trip", |b| {
+            b.iter(|| {
+                let r = obj.call("Echo", vals![7i64]).unwrap();
+                assert_eq!(r[0], Value::Int(7));
+            })
+        });
+        obj.shutdown();
+        rt.shutdown();
+    }
+    {
+        let rt = Runtime::threaded();
+        let obj = combining_echo(&rt);
+        g.bench_function("combining_no_body", |b| {
+            b.iter(|| {
+                let r = obj.call("Echo", vals![7i64]).unwrap();
+                assert_eq!(r[0], Value::Int(7));
+            })
+        });
+        obj.shutdown();
+        rt.shutdown();
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! E7's micro-side: wall-clock cost of the three pool strategies under a
+//! burst of calls (threaded runtime).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use alps_core::{vals, EntryDef, Guard, ObjectBuilder, PoolMode, Selected};
+use alps_runtime::{Runtime, Spawn};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pool_sizing_burst16");
+    g.sample_size(10);
+    let modes = [
+        ("per_call", PoolMode::PerCall),
+        ("per_slot", PoolMode::PerSlot),
+        ("shared_4", PoolMode::Shared(4)),
+    ];
+    for (name, mode) in modes {
+        let rt = Runtime::threaded();
+        let obj = ObjectBuilder::new("Svc")
+            .entry(
+                EntryDef::new("Work")
+                    .array(16)
+                    .intercepted()
+                    .body(|_ctx, _| Ok(vec![])),
+            )
+            .pool(mode)
+            .manager(|mgr| loop {
+                let sel = mgr.select(vec![Guard::accept("Work"), Guard::await_done("Work")])?;
+                match sel {
+                    Selected::Accepted { call, .. } => mgr.start_as_is(call)?,
+                    Selected::Ready { done, .. } => mgr.finish_as_is(done)?,
+                    _ => unreachable!(),
+                }
+            })
+            .spawn(&rt)
+            .unwrap();
+        g.bench_with_input(BenchmarkId::new("burst", name), &mode, |b, _| {
+            b.iter(|| {
+                let mut hs = Vec::new();
+                for i in 0..16 {
+                    let obj2 = obj.clone();
+                    hs.push(rt.spawn_with(Spawn::new(format!("u{i}")), move || {
+                        obj2.call("Work", vals![]).unwrap();
+                    }));
+                }
+                for h in hs {
+                    h.join().unwrap();
+                }
+            })
+        });
+        obj.shutdown();
+        rt.shutdown();
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! E2's micro-side: readers–writers throughput on the threaded runtime
+//! for the four implementations at a read-heavy mix.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use alps_paper::readers_writers::{
+    AlpsRw, MonitorRw, PathRw, RwConfig, RwDatabase, SerializerRw,
+};
+use alps_runtime::{Runtime, Spawn};
+
+fn drive(db: Arc<dyn RwDatabase>, rt: &Runtime) {
+    let mut hs = Vec::new();
+    for i in 0..4 {
+        let (db2, rt2) = (Arc::clone(&db), rt.clone());
+        hs.push(rt.spawn_with(Spawn::new(format!("r{i}")), move || {
+            for _ in 0..25 {
+                db2.read(&rt2);
+            }
+        }));
+    }
+    let (db2, rt2) = (Arc::clone(&db), rt.clone());
+    hs.push(rt.spawn_with(Spawn::new("w"), move || {
+        for _ in 0..10 {
+            db2.write(&rt2);
+        }
+    }));
+    for h in hs {
+        h.join().unwrap();
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let cfg = RwConfig {
+        read_max: 4,
+        read_cost: 0,
+        write_cost: 0,
+    };
+    let mut g = c.benchmark_group("readers_writers_4r1w");
+    g.sample_size(10);
+    {
+        let rt = Runtime::threaded();
+        let db: Arc<dyn RwDatabase> = Arc::new(AlpsRw::spawn(&rt, cfg.clone(), None).unwrap());
+        g.bench_function("alps_manager", |b| b.iter(|| drive(Arc::clone(&db), &rt)));
+        rt.shutdown();
+    }
+    {
+        let rt = Runtime::threaded();
+        let db: Arc<dyn RwDatabase> = Arc::new(MonitorRw::new(cfg.clone(), None));
+        g.bench_function("monitor", |b| b.iter(|| drive(Arc::clone(&db), &rt)));
+        rt.shutdown();
+    }
+    {
+        let rt = Runtime::threaded();
+        let db: Arc<dyn RwDatabase> = Arc::new(SerializerRw::new(cfg.clone(), None));
+        g.bench_function("serializer", |b| b.iter(|| drive(Arc::clone(&db), &rt)));
+        rt.shutdown();
+    }
+    {
+        let rt = Runtime::threaded();
+        let db: Arc<dyn RwDatabase> = Arc::new(PathRw::new(cfg, None));
+        g.bench_function("path_expression", |b| b.iter(|| drive(Arc::clone(&db), &rt)));
+        rt.shutdown();
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! E10's micro-side: select dispatch cost as the hidden-procedure-array
+//! width grows (paper §3's polling concern).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use alps_core::{vals, EntryDef, Guard, ObjectBuilder, PoolMode, Selected};
+use alps_runtime::Runtime;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("select_width");
+    g.sample_size(15);
+    for width in [1usize, 16, 256] {
+        let rt = Runtime::threaded();
+        let obj = ObjectBuilder::new("Wide")
+            .entry(
+                EntryDef::new("Op")
+                    .array(width)
+                    .intercepted()
+                    .body(|_ctx, _| Ok(vec![])),
+            )
+            .pool(PoolMode::Shared(1))
+            .manager(|mgr| loop {
+                let sel = mgr.select(vec![Guard::accept("Op"), Guard::await_done("Op")])?;
+                match sel {
+                    Selected::Accepted { call, .. } => mgr.start_as_is(call)?,
+                    Selected::Ready { done, .. } => mgr.finish_as_is(done)?,
+                    _ => unreachable!(),
+                }
+            })
+            .spawn(&rt)
+            .unwrap();
+        g.bench_with_input(BenchmarkId::new("call", width), &width, |b, _| {
+            b.iter(|| obj.call("Op", vals![]).unwrap())
+        });
+        obj.shutdown();
+        rt.shutdown();
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

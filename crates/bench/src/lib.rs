@@ -1,0 +1,16 @@
+//! # alps-bench — the experiment harness
+//!
+//! Regenerates every table of `EXPERIMENTS.md`:
+//!
+//! ```text
+//! cargo run -p alps-bench --release --bin experiments          # all
+//! cargo run -p alps-bench --release --bin experiments -- e3   # one
+//! ```
+//!
+//! Criterion micro-benchmarks for the core primitives live under
+//! `benches/`.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;

@@ -1,0 +1,183 @@
+//! Error type for the object/manager layer.
+
+use std::fmt;
+
+use alps_runtime::RuntimeError;
+
+use crate::value::Ty;
+
+/// Errors produced while building, calling, or managing ALPS objects.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AlpsError {
+    /// The named entry does not exist in the object.
+    UnknownEntry {
+        /// Object name.
+        object: String,
+        /// Entry name the caller used.
+        entry: String,
+    },
+    /// An external caller invoked a procedure declared `local`.
+    LocalEntryCalled {
+        /// Object name.
+        object: String,
+        /// Local procedure name.
+        entry: String,
+    },
+    /// Wrong number of arguments or results.
+    ArityMismatch {
+        /// What was being invoked (entry name, channel name, …).
+        what: String,
+        /// Expected arity.
+        expected: usize,
+        /// Provided arity.
+        got: usize,
+    },
+    /// A value did not match the declared type.
+    TypeMismatch {
+        /// What was being invoked.
+        what: String,
+        /// Position of the offending value.
+        index: usize,
+        /// Declared type.
+        expected: Ty,
+        /// Actual type.
+        got: Ty,
+    },
+    /// The object has been shut down.
+    ObjectClosed {
+        /// Object name.
+        object: String,
+    },
+    /// An object definition was inconsistent (duplicate entries, hidden
+    /// parameters without interception, interception without a manager, …).
+    BadDefinition {
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// Every guard of a `select` was closed — the CSP alternative command
+    /// fails (paper §2.4: semantics "similar to those in CSP").
+    SelectFailed,
+    /// Request combining (`finish` on an accepted-but-unstarted call)
+    /// requires the manager to have intercepted the full parameter list
+    /// and to supply the full result list (paper §2.7).
+    BadCombining {
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// An entry-procedure body failed (returned an error or panicked).
+    BodyFailed {
+        /// Entry name.
+        entry: String,
+        /// Failure description.
+        message: String,
+    },
+    /// The manager violated the call protocol (e.g. dropped an
+    /// [`AcceptedCall`](crate::AcceptedCall) without starting or finishing
+    /// it).
+    ProtocolViolation {
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// An underlying runtime error.
+    Runtime(RuntimeError),
+    /// Application-defined failure raised inside an entry body.
+    Custom(String),
+}
+
+impl fmt::Display for AlpsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlpsError::UnknownEntry { object, entry } => {
+                write!(f, "object `{object}` has no entry `{entry}`")
+            }
+            AlpsError::LocalEntryCalled { object, entry } => {
+                write!(f, "`{object}.{entry}` is a local procedure, not callable from outside")
+            }
+            AlpsError::ArityMismatch {
+                what,
+                expected,
+                got,
+            } => write!(f, "{what}: expected {expected} value(s), got {got}"),
+            AlpsError::TypeMismatch {
+                what,
+                index,
+                expected,
+                got,
+            } => write!(
+                f,
+                "{what}: value {index} has type {got}, expected {expected}"
+            ),
+            AlpsError::ObjectClosed { object } => write!(f, "object `{object}` is closed"),
+            AlpsError::BadDefinition { reason } => write!(f, "bad object definition: {reason}"),
+            AlpsError::SelectFailed => write!(f, "select failed: every guard is closed"),
+            AlpsError::BadCombining { reason } => write!(f, "bad combining: {reason}"),
+            AlpsError::BodyFailed { entry, message } => {
+                write!(f, "entry `{entry}` failed: {message}")
+            }
+            AlpsError::ProtocolViolation { reason } => {
+                write!(f, "manager protocol violation: {reason}")
+            }
+            AlpsError::Runtime(e) => write!(f, "runtime error: {e}"),
+            AlpsError::Custom(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AlpsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AlpsError::Runtime(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RuntimeError> for AlpsError {
+    fn from(e: RuntimeError) -> Self {
+        AlpsError::Runtime(e)
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, AlpsError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        let cases: Vec<(AlpsError, &str)> = vec![
+            (
+                AlpsError::UnknownEntry {
+                    object: "X".into(),
+                    entry: "P".into(),
+                },
+                "object `X` has no entry `P`",
+            ),
+            (
+                AlpsError::ObjectClosed { object: "X".into() },
+                "object `X` is closed",
+            ),
+            (AlpsError::SelectFailed, "select failed: every guard is closed"),
+            (AlpsError::Custom("boom".into()), "boom"),
+        ];
+        for (e, want) in cases {
+            assert_eq!(e.to_string(), want);
+        }
+    }
+
+    #[test]
+    fn from_runtime_error_sets_source() {
+        use std::error::Error;
+        let e: AlpsError = RuntimeError::Shutdown.into();
+        assert!(e.source().is_some());
+        assert_eq!(e.to_string(), "runtime error: runtime is shut down");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_ss<T: Send + Sync>() {}
+        assert_ss::<AlpsError>();
+    }
+}

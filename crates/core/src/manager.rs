@@ -1,0 +1,624 @@
+//! The manager process: `accept` / `start` / `await` / `finish` /
+//! `execute`, request combining, and hidden parameters/results.
+//!
+//! Paper §2.3: "When an entry procedure of an object is called, the
+//! procedure is not executed immediately but the call is directed to the
+//! manager" — the manager rendezvouses with the call (`accept`), starts
+//! the body asynchronously (`start`, avoiding the nested-call problem),
+//! recognizes readiness to terminate (`await`), and endorses termination
+//! (`finish`, which never blocks). `execute` packages
+//! `start; await; finish` for exclusive execution. A manager may also
+//! `finish` an accepted call *without* starting it, synthesizing the
+//! results itself — request combining (§2.7).
+
+use std::fmt;
+use std::sync::Arc;
+
+use alps_runtime::Runtime;
+
+use crate::error::{AlpsError, Result};
+use crate::object::{ObjState, ObjectInner, Slot};
+use crate::select::{run_select, Guard, Selected};
+use crate::value::{check_types, ChanValue, Value};
+
+/// A call the manager has accepted but not yet started or finished.
+///
+/// Consume it with [`ManagerCtx::start`] (normal service),
+/// [`ManagerCtx::finish_accepted`] (combining), or
+/// [`ManagerCtx::execute`]. Dropping it unconsumed is a protocol
+/// violation: the caller is failed and the slot freed so the object stays
+/// usable.
+pub struct AcceptedCall {
+    pub(crate) obj: Arc<ObjectInner>,
+    pub(crate) entry: usize,
+    pub(crate) slot: usize,
+    pub(crate) params: Vec<Value>,
+    pub(crate) armed: bool,
+}
+
+impl fmt::Debug for AcceptedCall {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AcceptedCall")
+            .field("entry", &self.entry_name())
+            .field("slot", &self.slot)
+            .field("params", &self.params)
+            .finish()
+    }
+}
+
+impl AcceptedCall {
+    /// Name of the accepted entry.
+    pub fn entry_name(&self) -> &str {
+        &self.obj.entries[self.entry].name
+    }
+
+    /// Procedure-array element the call is attached to (0-based).
+    pub fn slot(&self) -> usize {
+        self.slot
+    }
+
+    /// The intercepted parameter prefix received at `accept`.
+    pub fn params(&self) -> &[Value] {
+        &self.params
+    }
+
+    fn disarm(mut self) -> (Arc<ObjectInner>, usize, usize, Vec<Value>) {
+        self.armed = false;
+        (
+            Arc::clone(&self.obj),
+            self.entry,
+            self.slot,
+            std::mem::take(&mut self.params),
+        )
+    }
+}
+
+impl Drop for AcceptedCall {
+    fn drop(&mut self) {
+        if !self.armed || self.obj.is_closed() {
+            return;
+        }
+        let obj = Arc::clone(&self.obj);
+        let mut st = obj.state.lock();
+        let s = &mut st.entries[self.entry].slots[self.slot];
+        if let Slot::Accepted { call } = std::mem::replace(s, Slot::Free) {
+            obj.complete(
+                &call,
+                Err(AlpsError::ProtocolViolation {
+                    reason: format!(
+                        "manager dropped accepted call to `{}` without start/finish",
+                        self.entry_name()
+                    ),
+                }),
+            );
+            let dispatch = obj.free_slot_and_pull(&mut st, self.entry, self.slot);
+            debug_assert!(dispatch.is_none(), "intercepted entries never self-start");
+        }
+    }
+}
+
+/// An entry execution the manager has `await`ed but not yet `finish`ed.
+///
+/// Carries the intercepted result prefix and the hidden results. Consume
+/// with [`ManagerCtx::finish`]; dropping it unconsumed fails the caller.
+pub struct ReadyEntry {
+    pub(crate) obj: Arc<ObjectInner>,
+    pub(crate) entry: usize,
+    pub(crate) slot: usize,
+    pub(crate) results: Vec<Value>,
+    pub(crate) hidden: Vec<Value>,
+    pub(crate) failure: Option<String>,
+    pub(crate) armed: bool,
+}
+
+impl fmt::Debug for ReadyEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ReadyEntry")
+            .field("entry", &self.entry_name())
+            .field("slot", &self.slot)
+            .field("results", &self.results)
+            .field("hidden", &self.hidden)
+            .field("failure", &self.failure)
+            .finish()
+    }
+}
+
+impl ReadyEntry {
+    /// Name of the terminating entry.
+    pub fn entry_name(&self) -> &str {
+        &self.obj.entries[self.entry].name
+    }
+
+    /// Procedure-array element (0-based).
+    pub fn slot(&self) -> usize {
+        self.slot
+    }
+
+    /// The intercepted result prefix received at `await`.
+    pub fn results(&self) -> &[Value] {
+        &self.results
+    }
+
+    /// The hidden results received at `await` (paper §2.8).
+    pub fn hidden(&self) -> &[Value] {
+        &self.hidden
+    }
+
+    /// If the body failed, its failure message. `finish` then reports
+    /// [`AlpsError::BodyFailed`] to the caller.
+    pub fn failure(&self) -> Option<&str> {
+        self.failure.as_deref()
+    }
+
+    fn disarm(mut self) -> (Arc<ObjectInner>, usize, usize, Vec<Value>, Option<String>) {
+        self.armed = false;
+        (
+            Arc::clone(&self.obj),
+            self.entry,
+            self.slot,
+            std::mem::take(&mut self.results),
+            self.failure.take(),
+        )
+    }
+}
+
+impl Drop for ReadyEntry {
+    fn drop(&mut self) {
+        if !self.armed || self.obj.is_closed() {
+            return;
+        }
+        let obj = Arc::clone(&self.obj);
+        let mut st = obj.state.lock();
+        let s = &mut st.entries[self.entry].slots[self.slot];
+        if let Slot::Awaited { call, .. } = std::mem::replace(s, Slot::Free) {
+            obj.complete(
+                &call,
+                Err(AlpsError::ProtocolViolation {
+                    reason: format!(
+                        "manager dropped awaited entry `{}` without finish",
+                        self.entry_name()
+                    ),
+                }),
+            );
+            let dispatch = obj.free_slot_and_pull(&mut st, self.entry, self.slot);
+            debug_assert!(dispatch.is_none(), "intercepted entries never self-start");
+        }
+    }
+}
+
+/// Commit an accept under the object lock (select internals).
+pub(crate) fn commit_accept(
+    obj: &Arc<ObjectInner>,
+    st: &mut ObjState,
+    entry: usize,
+    slot: usize,
+) -> AcceptedCall {
+    let s = &mut st.entries[entry].slots[slot];
+    let call = match std::mem::replace(s, Slot::Free) {
+        Slot::Attached { call } => call,
+        other => {
+            *s = other;
+            panic!("commit_accept on slot in state `{}`", s.state_name());
+        }
+    };
+    let now = obj.rt.now();
+    let attached_at = {
+        let mut t = call.times.lock();
+        t.accept = now;
+        t.attach
+    };
+    obj.stats.on_accept(now.saturating_sub(attached_at));
+    let k = obj.entries[entry]
+        .intercept
+        .map(|ic| ic.params)
+        .unwrap_or(0);
+    let params = call.args[..k].to_vec();
+    st.entries[entry].slots[slot] = Slot::Accepted { call };
+    AcceptedCall {
+        obj: Arc::clone(obj),
+        entry,
+        slot,
+        params,
+        armed: true,
+    }
+}
+
+/// Commit an await under the object lock (select internals).
+pub(crate) fn commit_await(
+    obj: &Arc<ObjectInner>,
+    st: &mut ObjState,
+    entry: usize,
+    slot: usize,
+) -> ReadyEntry {
+    let s = &mut st.entries[entry].slots[slot];
+    let (call, outcome) = match std::mem::replace(s, Slot::Free) {
+        Slot::Ready { call, outcome } => (call, outcome),
+        other => {
+            *s = other;
+            panic!("commit_await on slot in state `{}`", s.state_name());
+        }
+    };
+    let def = &obj.entries[entry];
+    let kr = def.intercept.map(|ic| ic.results).unwrap_or(0);
+    let pub_len = def.results.len();
+    match outcome {
+        Ok(full) => {
+            let hidden = full[pub_len..].to_vec();
+            let prefix = full[..kr].to_vec();
+            let remainder = full[kr..pub_len].to_vec();
+            st.entries[entry].slots[slot] = Slot::Awaited { call, remainder };
+            ReadyEntry {
+                obj: Arc::clone(obj),
+                entry,
+                slot,
+                results: prefix,
+                hidden,
+                failure: None,
+                armed: true,
+            }
+        }
+        Err(msg) => {
+            st.entries[entry].slots[slot] = Slot::Awaited {
+                call,
+                remainder: Vec::new(),
+            };
+            ReadyEntry {
+                obj: Arc::clone(obj),
+                entry,
+                slot,
+                results: Vec::new(),
+                hidden: Vec::new(),
+                failure: Some(msg),
+                armed: true,
+            }
+        }
+    }
+}
+
+/// The manager's view of its object: the scheduling primitives of paper
+/// §2.3–§2.8. A [`ManagerBody`](crate::ManagerBody) receives `&mut
+/// ManagerCtx` and typically runs `loop { match mgr.select(...)? { … } }`.
+pub struct ManagerCtx {
+    obj: Arc<ObjectInner>,
+}
+
+impl fmt::Debug for ManagerCtx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ManagerCtx")
+            .field("object", &self.obj.name)
+            .finish()
+    }
+}
+
+impl ManagerCtx {
+    pub(crate) fn new(obj: Arc<ObjectInner>) -> ManagerCtx {
+        ManagerCtx { obj }
+    }
+
+    /// The object's name.
+    pub fn object_name(&self) -> &str {
+        &self.obj.name
+    }
+
+    /// The runtime the object lives on.
+    pub fn rt(&self) -> &Runtime {
+        &self.obj.rt
+    }
+
+    /// Current time in ticks.
+    pub fn now(&self) -> u64 {
+        self.obj.rt.now()
+    }
+
+    /// Sleep for `ticks` (virtual in simulation).
+    pub fn sleep(&self, ticks: u64) {
+        self.obj.rt.sleep(ticks)
+    }
+
+    /// `#P` — pending calls to `entry` (paper §2.5.1).
+    ///
+    /// # Errors
+    ///
+    /// [`AlpsError::UnknownEntry`] for a bad name.
+    pub fn pending(&self, entry: &str) -> Result<usize> {
+        let idx = self.obj.entry_idx(entry)?;
+        Ok(self.obj.pending(idx))
+    }
+
+    /// Block on a guarded nondeterministic select (paper §2.4).
+    ///
+    /// # Errors
+    ///
+    /// * [`AlpsError::SelectFailed`] when every guard is closed;
+    /// * [`AlpsError::ObjectClosed`] at shutdown;
+    /// * [`AlpsError::UnknownEntry`] for bad entry names in guards.
+    pub fn select(&self, guards: Vec<Guard<'_>>) -> Result<Selected> {
+        run_select(&self.obj, &guards)
+    }
+
+    /// `accept P` — block until a call to `entry` is attached, accept it.
+    ///
+    /// # Errors
+    ///
+    /// [`AlpsError::ObjectClosed`], [`AlpsError::UnknownEntry`].
+    pub fn accept(&self, entry: &str) -> Result<AcceptedCall> {
+        match self.select(vec![Guard::accept(entry)])? {
+            Selected::Accepted { call, .. } => Ok(call),
+            _ => unreachable!("single accept guard"),
+        }
+    }
+
+    /// `accept P[i]` — accept specifically on array element `i`.
+    ///
+    /// # Errors
+    ///
+    /// [`AlpsError::ObjectClosed`], [`AlpsError::UnknownEntry`].
+    pub fn accept_slot(&self, entry: &str, slot: usize) -> Result<AcceptedCall> {
+        match self.select(vec![Guard::accept_slot(entry, slot)])? {
+            Selected::Accepted { call, .. } => Ok(call),
+            _ => unreachable!("single accept guard"),
+        }
+    }
+
+    /// `await P` — block until some execution of `entry` is ready to
+    /// terminate.
+    ///
+    /// # Errors
+    ///
+    /// [`AlpsError::ObjectClosed`], [`AlpsError::UnknownEntry`].
+    pub fn await_done(&self, entry: &str) -> Result<ReadyEntry> {
+        match self.select(vec![Guard::await_done(entry)])? {
+            Selected::Ready { done, .. } => Ok(done),
+            _ => unreachable!("single await guard"),
+        }
+    }
+
+    /// `await P[i]` — await a specific array element.
+    ///
+    /// # Errors
+    ///
+    /// [`AlpsError::ObjectClosed`], [`AlpsError::UnknownEntry`].
+    pub fn await_slot(&self, entry: &str, slot: usize) -> Result<ReadyEntry> {
+        match self.select(vec![Guard::await_slot(entry, slot)])? {
+            Selected::Ready { done, .. } => Ok(done),
+            _ => unreachable!("single await guard"),
+        }
+    }
+
+    /// `receive C` — block for a message on a channel, interruptible by
+    /// object shutdown (prefer this over [`ChanValue::recv`] inside
+    /// managers).
+    ///
+    /// # Errors
+    ///
+    /// [`AlpsError::ObjectClosed`]; [`AlpsError::SelectFailed`] when the
+    /// channel is closed and drained.
+    pub fn receive(&self, chan: &ChanValue) -> Result<Vec<Value>> {
+        match self.select(vec![Guard::receive(chan)])? {
+            Selected::Received { msg, .. } => Ok(msg),
+            _ => unreachable!("single receive guard"),
+        }
+    }
+
+    /// `start P(...)` — begin executing the accepted call asynchronously,
+    /// supplying the (possibly rewritten) intercepted parameter prefix and
+    /// the hidden parameters.
+    ///
+    /// # Errors
+    ///
+    /// Type/arity mismatches against the declared prefix and hidden
+    /// parameter lists; [`AlpsError::ObjectClosed`].
+    pub fn start(&self, acc: AcceptedCall, prefix: Vec<Value>, hidden: Vec<Value>) -> Result<()> {
+        let def = &acc.obj.entries[acc.entry];
+        let ic = def.intercept.expect("accepted entries are intercepted");
+        check_types(
+            &format!("start {}.{} prefix", acc.obj.name, def.name),
+            &def.params[..ic.params],
+            &prefix,
+        )?;
+        check_types(
+            &format!("start {}.{} hidden", acc.obj.name, def.name),
+            &def.hidden_params,
+            &hidden,
+        )?;
+        if acc.obj.is_closed() {
+            let _ = acc.disarm();
+            return Err(self.obj.closed_err());
+        }
+        let (obj, entry, slot, _) = acc.disarm();
+        let full = {
+            let mut st = obj.state.lock();
+            let s = &mut st.entries[entry].slots[slot];
+            let call = match std::mem::replace(s, Slot::Free) {
+                Slot::Accepted { call } => call,
+                other => {
+                    let name = other.state_name();
+                    *s = other;
+                    return Err(AlpsError::ProtocolViolation {
+                        reason: format!("start on slot in state `{name}`"),
+                    });
+                }
+            };
+            call.times.lock().start = obj.rt.now();
+            obj.stats.on_start();
+            let mut full = prefix;
+            full.extend(call.args[ic.params..].iter().cloned());
+            full.extend(hidden);
+            st.entries[entry].slots[slot] = Slot::Started { call };
+            full
+        };
+        obj.dispatch_body(entry, slot, full);
+        Ok(())
+    }
+
+    /// `start P` forwarding the intercepted parameters unchanged; for
+    /// entries without hidden parameters.
+    ///
+    /// # Errors
+    ///
+    /// As [`start`](Self::start).
+    pub fn start_as_is(&self, acc: AcceptedCall) -> Result<()> {
+        let prefix = acc.params.clone();
+        self.start(acc, prefix, Vec::new())
+    }
+
+    /// `finish P(...)` — endorse termination, forwarding the (possibly
+    /// rewritten) intercepted result prefix to the caller. Never blocks
+    /// (paper §2.3: "when the manager executes a finish P(...), it never
+    /// blocks because the caller of P is simply waiting for the results").
+    ///
+    /// # Errors
+    ///
+    /// Type/arity mismatches against the intercepted result prefix.
+    pub fn finish(&self, done: ReadyEntry, prefix: Vec<Value>) -> Result<()> {
+        let def = &done.obj.entries[done.entry];
+        let ic = def.intercept.expect("awaited entries are intercepted");
+        if done.failure.is_none() {
+            check_types(
+                &format!("finish {}.{} prefix", done.obj.name, def.name),
+                &def.results[..ic.results],
+                &prefix,
+            )?;
+        }
+        let entry_name = def.name.clone();
+        let (obj, entry, slot, _, failure) = done.disarm();
+        let dispatch = {
+            let mut st = obj.state.lock();
+            let s = &mut st.entries[entry].slots[slot];
+            let (call, remainder) = match std::mem::replace(s, Slot::Free) {
+                Slot::Awaited { call, remainder } => (call, remainder),
+                other => {
+                    let name = other.state_name();
+                    *s = other;
+                    return Err(AlpsError::ProtocolViolation {
+                        reason: format!("finish on slot in state `{name}`"),
+                    });
+                }
+            };
+            obj.stats.on_finish();
+            match failure {
+                None => {
+                    let mut results = prefix;
+                    results.extend(remainder);
+                    obj.complete(&call, Ok(results));
+                }
+                Some(msg) => {
+                    obj.complete(
+                        &call,
+                        Err(AlpsError::BodyFailed {
+                            entry: entry_name,
+                            message: msg,
+                        }),
+                    );
+                }
+            }
+            obj.free_slot_and_pull(&mut st, entry, slot)
+        };
+        debug_assert!(dispatch.is_none(), "intercepted entries never self-start");
+        Ok(())
+    }
+
+    /// `finish P` forwarding the intercepted results unchanged.
+    ///
+    /// # Errors
+    ///
+    /// As [`finish`](Self::finish).
+    pub fn finish_as_is(&self, done: ReadyEntry) -> Result<()> {
+        let prefix = done.results.clone();
+        self.finish(done, prefix)
+    }
+
+    /// Request combining (paper §2.7): answer an accepted call *without*
+    /// executing its body, supplying the full public result list. Legal
+    /// only when the manager intercepted the full parameter list.
+    ///
+    /// # Errors
+    ///
+    /// [`AlpsError::BadCombining`] when parameters were not fully
+    /// intercepted; type/arity mismatches against the full result list.
+    pub fn finish_accepted(&self, acc: AcceptedCall, results: Vec<Value>) -> Result<()> {
+        let def = &acc.obj.entries[acc.entry];
+        let ic = def.intercept.expect("accepted entries are intercepted");
+        if ic.params != def.params.len() {
+            return Err(AlpsError::BadCombining {
+                reason: format!(
+                    "entry `{}` intercepts only {} of {} parameters; combining requires \
+                     the manager to receive all invocation parameters",
+                    def.name,
+                    ic.params,
+                    def.params.len()
+                ),
+            });
+        }
+        check_types(
+            &format!("combine {}.{} results", acc.obj.name, def.name),
+            &def.results,
+            &results,
+        )?;
+        let (obj, entry, slot, _) = acc.disarm();
+        let dispatch = {
+            let mut st = obj.state.lock();
+            let s = &mut st.entries[entry].slots[slot];
+            let call = match std::mem::replace(s, Slot::Free) {
+                Slot::Accepted { call } => call,
+                other => {
+                    let name = other.state_name();
+                    *s = other;
+                    return Err(AlpsError::ProtocolViolation {
+                        reason: format!("finish_accepted on slot in state `{name}`"),
+                    });
+                }
+            };
+            obj.stats.on_combine();
+            obj.complete(&call, Ok(results));
+            obj.free_slot_and_pull(&mut st, entry, slot)
+        };
+        debug_assert!(dispatch.is_none(), "intercepted entries never self-start");
+        Ok(())
+    }
+
+    /// `execute P` ≡ `start P; await P; finish P` (paper §2.3): run the
+    /// call to completion while the manager waits — monitor-style
+    /// exclusive execution. Returns the intercepted result prefix and the
+    /// hidden results.
+    ///
+    /// # Errors
+    ///
+    /// As the three underlying primitives; [`AlpsError::BodyFailed`] if
+    /// the body failed (the caller receives the same error).
+    pub fn execute(&self, acc: AcceptedCall) -> Result<(Vec<Value>, Vec<Value>)> {
+        let prefix = acc.params.clone();
+        self.execute_with(acc, prefix, Vec::new())
+    }
+
+    /// [`execute`](Self::execute) with explicit intercepted-parameter
+    /// prefix and hidden parameters.
+    ///
+    /// # Errors
+    ///
+    /// As [`execute`](Self::execute).
+    pub fn execute_with(
+        &self,
+        acc: AcceptedCall,
+        prefix: Vec<Value>,
+        hidden: Vec<Value>,
+    ) -> Result<(Vec<Value>, Vec<Value>)> {
+        let entry = acc.entry;
+        let slot = acc.slot;
+        let entry_name = acc.entry_name().to_string();
+        self.start(acc, prefix, hidden)?;
+        let done = self.await_slot(&entry_name, slot)?;
+        debug_assert_eq!(done.entry, entry);
+        let results = done.results.clone();
+        let hidden_out = done.hidden.clone();
+        let failure = done.failure.clone();
+        self.finish_as_is(done)?;
+        match failure {
+            None => Ok((results, hidden_out)),
+            Some(message) => Err(AlpsError::BodyFailed {
+                entry: entry_name,
+                message,
+            }),
+        }
+    }
+}

@@ -1,0 +1,766 @@
+//! ALPS objects: the call-protocol state machine, hidden procedure
+//! arrays, implicit starts, and object lifecycle.
+//!
+//! Every hidden-procedure-array slot moves through the protocol of paper
+//! §2.3/§2.5:
+//!
+//! ```text
+//!            attach                accept            start
+//! Free ───────────────▶ Attached ─────────▶ Accepted ──────▶ Started
+//!   ▲                                          │                │ body runs
+//!   │                 finish (combining, §2.7) │                ▼
+//!   │◀─────────────────────────────────────────┘             Ready
+//!   │                                  await                    │
+//!   │◀───────────── Awaited ◀───────────────────────────────────┘
+//!          finish
+//! ```
+//!
+//! Calls that find no free slot wait in a FIFO queue and attach when a
+//! slot frees (`#P` counts both attached-unaccepted and queued calls,
+//! paper §2.5.1). Entries not listed in the manager's intercepts clause
+//! are started implicitly at attach time (paper §2.3).
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use alps_runtime::{Notifier, Priority, ProcId, Runtime, Spawn};
+use parking_lot::Mutex;
+
+use crate::entry::EntryDef;
+use crate::error::{AlpsError, Result};
+use crate::manager::ManagerCtx;
+use crate::pool::{Pool, PoolMode};
+use crate::proc_ctx::ProcCtx;
+use crate::stats::ObjectStats;
+use crate::value::{check_types, Value};
+
+/// The manager process body. It runs once, typically an endless
+/// `loop { mgr.select(...)? ... }`; returning `Ok` ends the manager (the
+/// object then no longer accepts intercepted calls), and
+/// [`AlpsError::ObjectClosed`] is the normal exit path at shutdown.
+pub type ManagerBody = Box<dyn FnMut(&mut ManagerCtx) -> Result<()> + Send + 'static>;
+
+pub(crate) struct CallCell {
+    pub(crate) args: Vec<Value>,
+    pub(crate) caller: ProcId,
+    pub(crate) t_call: u64,
+    pub(crate) times: Mutex<Times>,
+    pub(crate) st: Mutex<CallSt>,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct Times {
+    pub(crate) attach: u64,
+    pub(crate) accept: u64,
+    pub(crate) start: u64,
+}
+
+pub(crate) enum CallSt {
+    Waiting,
+    Done(Result<Vec<Value>>),
+}
+
+impl CallCell {
+    fn new(args: Vec<Value>, caller: ProcId, t_call: u64) -> Arc<CallCell> {
+        Arc::new(CallCell {
+            args,
+            caller,
+            t_call,
+            times: Mutex::new(Times::default()),
+            st: Mutex::new(CallSt::Waiting),
+        })
+    }
+}
+
+/// Slot states of the hidden-procedure-array protocol.
+pub(crate) enum Slot {
+    Free,
+    Attached {
+        call: Arc<CallCell>,
+    },
+    Accepted {
+        call: Arc<CallCell>,
+    },
+    Started {
+        call: Arc<CallCell>,
+    },
+    /// Body finished; `outcome` is the full implementation-side result
+    /// list (public ++ hidden) or a failure message.
+    Ready {
+        call: Arc<CallCell>,
+        outcome: std::result::Result<Vec<Value>, String>,
+    },
+    /// Manager executed `await`; the non-intercepted public results wait
+    /// here for `finish` to release them to the caller.
+    Awaited {
+        call: Arc<CallCell>,
+        remainder: Vec<Value>,
+    },
+}
+
+impl Slot {
+    pub(crate) fn state_name(&self) -> &'static str {
+        match self {
+            Slot::Free => "free",
+            Slot::Attached { .. } => "attached",
+            Slot::Accepted { .. } => "accepted",
+            Slot::Started { .. } => "started",
+            Slot::Ready { .. } => "ready",
+            Slot::Awaited { .. } => "awaited",
+        }
+    }
+}
+
+pub(crate) struct EntryState {
+    pub(crate) slots: Vec<Slot>,
+    pub(crate) waitq: VecDeque<Arc<CallCell>>,
+}
+
+pub(crate) struct ObjState {
+    pub(crate) entries: Vec<EntryState>,
+}
+
+pub(crate) struct ObjectInner {
+    pub(crate) name: String,
+    pub(crate) rt: Runtime,
+    pub(crate) entries: Vec<EntryDef>,
+    pub(crate) by_name: HashMap<String, usize>,
+    pub(crate) slot_base: Vec<usize>,
+    pub(crate) state: Mutex<ObjState>,
+    pub(crate) notifier: Notifier,
+    pub(crate) stats: ObjectStats,
+    pub(crate) closed: AtomicBool,
+    pub(crate) pool: Pool,
+    pub(crate) manager_error: Mutex<Option<AlpsError>>,
+}
+
+impl fmt::Debug for ObjectInner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Object")
+            .field("name", &self.name)
+            .field("entries", &self.entries.len())
+            .field("closed", &self.closed.load(Ordering::SeqCst))
+            .finish()
+    }
+}
+
+impl ObjectInner {
+    pub(crate) fn entry_idx(&self, name: &str) -> Result<usize> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| AlpsError::UnknownEntry {
+                object: self.name.clone(),
+                entry: name.to_string(),
+            })
+    }
+
+    pub(crate) fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn closed_err(&self) -> AlpsError {
+        AlpsError::ObjectClosed {
+            object: self.name.clone(),
+        }
+    }
+
+    /// Complete a call: deliver the result and unpark the caller.
+    pub(crate) fn complete(&self, call: &Arc<CallCell>, result: Result<Vec<Value>>) {
+        if result.is_ok() {
+            let now = self.rt.now();
+            self.stats.on_complete(now.saturating_sub(call.t_call));
+        }
+        *call.st.lock() = CallSt::Done(result);
+        self.rt.unpark(call.caller);
+    }
+
+    /// Attach a call to a free slot of `entry`, or queue it. Returns an
+    /// implicit-start dispatch if the entry is not intercepted.
+    /// Caller must run the returned dispatch *after* releasing the state
+    /// lock it passed in.
+    pub(crate) fn attach_or_queue(
+        self: &Arc<Self>,
+        st: &mut ObjState,
+        entry: usize,
+        call: Arc<CallCell>,
+    ) -> Option<(usize, Vec<Value>)> {
+        let es = &mut st.entries[entry];
+        let free = es.slots.iter().position(|s| matches!(s, Slot::Free));
+        match free {
+            Some(i) => self.attach_to_slot(st, entry, i, call),
+            None => {
+                es.waitq.push_back(call);
+                // #P changed; manager `when` conditions may depend on it.
+                self.notifier.notify(&self.rt);
+                None
+            }
+        }
+    }
+
+    /// Attach `call` to the known-free slot `i`.
+    pub(crate) fn attach_to_slot(
+        self: &Arc<Self>,
+        st: &mut ObjState,
+        entry: usize,
+        i: usize,
+        call: Arc<CallCell>,
+    ) -> Option<(usize, Vec<Value>)> {
+        let now = self.rt.now();
+        call.times.lock().attach = now;
+        self.stats.on_attach(now.saturating_sub(call.t_call));
+        let def = &self.entries[entry];
+        if def.intercept.is_some() {
+            st.entries[entry].slots[i] = Slot::Attached { call };
+            self.notifier.notify(&self.rt);
+            None
+        } else {
+            // Implicit start (paper §2.3: calls to procedures not listed
+            // in the intercepts clause are started implicitly).
+            call.times.lock().start = now;
+            let params = call.args.clone();
+            st.entries[entry].slots[i] = Slot::Started { call };
+            self.stats.on_implicit_start();
+            Some((i, params))
+        }
+    }
+
+    /// Free slot `i` of `entry` and attach the next queued call, if any.
+    /// Returns an implicit-start dispatch to run after unlocking.
+    pub(crate) fn free_slot_and_pull(
+        self: &Arc<Self>,
+        st: &mut ObjState,
+        entry: usize,
+        i: usize,
+    ) -> Option<(usize, Vec<Value>)> {
+        st.entries[entry].slots[i] = Slot::Free;
+        if let Some(next) = st.entries[entry].waitq.pop_front() {
+            self.attach_to_slot(st, entry, i, next)
+        } else {
+            None
+        }
+    }
+
+    /// Hand a started slot's execution to the pool.
+    pub(crate) fn dispatch_body(self: &Arc<Self>, entry: usize, slot: usize, params: Vec<Value>) {
+        let weak = Arc::downgrade(self);
+        let key = self.slot_base[entry] + slot;
+        self.pool.dispatch(
+            key,
+            Box::new(move || {
+                let Some(obj) = weak.upgrade() else {
+                    return;
+                };
+                obj.run_body(entry, slot, params);
+            }),
+        );
+    }
+
+    /// Execute the body of `entry` in the current process and report the
+    /// outcome to the state machine.
+    pub(crate) fn run_body(self: &Arc<Self>, entry: usize, slot: usize, params: Vec<Value>) {
+        let def = &self.entries[entry];
+        let body = def
+            .body
+            .clone()
+            .expect("validated at build: every entry has a body");
+        let mut ctx = ProcCtx::new(Arc::clone(self), entry, slot);
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut ctx, params)));
+        let outcome = match outcome {
+            Ok(Ok(results)) => {
+                match check_types(
+                    &format!("results of {}.{}", self.name, def.name),
+                    &def.full_results(),
+                    &results,
+                ) {
+                    Ok(()) => Ok(results),
+                    Err(e) => Err(e.to_string()),
+                }
+            }
+            Ok(Err(e)) => Err(e.to_string()),
+            Err(payload) => Err(panic_message(payload.as_ref())),
+        };
+        self.body_done(entry, slot, outcome);
+    }
+
+    /// Record a body's completion: intercepted entries become `Ready` for
+    /// the manager; implicit entries answer the caller directly.
+    fn body_done(
+        self: &Arc<Self>,
+        entry: usize,
+        slot: usize,
+        outcome: std::result::Result<Vec<Value>, String>,
+    ) {
+        let mut dispatch = None;
+        {
+            let mut st = self.state.lock();
+            let s = &mut st.entries[entry].slots[slot];
+            let call = match std::mem::replace(s, Slot::Free) {
+                Slot::Started { call } => call,
+                other => {
+                    // Object likely shut down underneath the body.
+                    *s = other;
+                    return;
+                }
+            };
+            let now = self.rt.now();
+            let started = call.times.lock().start;
+            self.stats.on_service(now.saturating_sub(started));
+            let def = &self.entries[entry];
+            if def.intercept.is_some() {
+                if outcome.is_err() {
+                    self.stats.on_body_failure();
+                }
+                st.entries[entry].slots[slot] = Slot::Ready { call, outcome };
+                self.notifier.notify(&self.rt);
+            } else {
+                match outcome {
+                    Ok(results) => self.complete(&call, Ok(results)),
+                    Err(msg) => {
+                        self.stats.on_body_failure();
+                        self.complete(
+                            &call,
+                            Err(AlpsError::BodyFailed {
+                                entry: def.name.clone(),
+                                message: msg,
+                            }),
+                        );
+                    }
+                }
+                dispatch = self.free_slot_and_pull(&mut st, entry, slot);
+            }
+        }
+        if let Some((i, params)) = dispatch {
+            self.dispatch_body(entry, i, params);
+        }
+    }
+
+    /// The full blocking call protocol: validate, attach or queue, wait
+    /// for the reply.
+    pub(crate) fn call_protocol(
+        self: &Arc<Self>,
+        entry: usize,
+        args: Vec<Value>,
+        external: bool,
+    ) -> Result<Vec<Value>> {
+        let def = &self.entries[entry];
+        if external && def.local {
+            return Err(AlpsError::LocalEntryCalled {
+                object: self.name.clone(),
+                entry: def.name.clone(),
+            });
+        }
+        check_types(
+            &format!("call {}.{}", self.name, def.name),
+            &def.params,
+            &args,
+        )?;
+        if self.is_closed() {
+            return Err(self.closed_err());
+        }
+        self.stats.on_call();
+        let call = CallCell::new(args, self.rt.current(), self.rt.now());
+        let dispatch = {
+            let mut st = self.state.lock();
+            if self.is_closed() {
+                return Err(self.closed_err());
+            }
+            self.attach_or_queue(&mut st, entry, Arc::clone(&call))
+        };
+        if let Some((i, params)) = dispatch {
+            self.dispatch_body(entry, i, params);
+        }
+        // Wait for the reply.
+        loop {
+            {
+                let mut st = call.st.lock();
+                if let CallSt::Done(_) = &*st {
+                    let CallSt::Done(r) = std::mem::replace(&mut *st, CallSt::Waiting) else {
+                        unreachable!()
+                    };
+                    return r;
+                }
+            }
+            self.rt.park();
+        }
+    }
+
+    /// `#P`: attached-but-unaccepted plus queued calls (paper §2.5.1).
+    pub(crate) fn pending(&self, entry: usize) -> usize {
+        let st = self.state.lock();
+        let es = &st.entries[entry];
+        let attached = es
+            .slots
+            .iter()
+            .filter(|s| matches!(s, Slot::Attached { .. }))
+            .count();
+        attached + es.waitq.len()
+    }
+
+    /// Shut the object down: fail all in-flight and queued calls, stop the
+    /// pool, wake the manager (whose next primitive returns
+    /// [`AlpsError::ObjectClosed`]).
+    pub(crate) fn shutdown(&self) {
+        if self.closed.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let mut victims: Vec<Arc<CallCell>> = Vec::new();
+        {
+            let mut st = self.state.lock();
+            for es in &mut st.entries {
+                victims.extend(es.waitq.drain(..));
+                for s in &mut es.slots {
+                    match std::mem::replace(s, Slot::Free) {
+                        Slot::Free => {}
+                        Slot::Attached { call }
+                        | Slot::Accepted { call }
+                        | Slot::Started { call }
+                        | Slot::Ready { call, .. }
+                        | Slot::Awaited { call, .. } => victims.push(call),
+                    }
+                }
+            }
+        }
+        for call in victims {
+            self.complete(&call, Err(self.closed_err()));
+        }
+        self.pool.shutdown();
+        self.notifier.notify(&self.rt);
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panic: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panic: {s}")
+    } else {
+        "panic: <non-string payload>".to_string()
+    }
+}
+
+/// Builder assembling an ALPS object from entry definitions, an optional
+/// manager, and a pool mode; [`spawn`](ObjectBuilder::spawn) creates the
+/// object and starts its manager process.
+///
+/// # Examples
+///
+/// A minimal managed object (monitor-style mutual exclusion via
+/// `execute`, paper §1):
+///
+/// ```
+/// use alps_core::{EntryDef, Guard, ObjectBuilder, Selected, Ty, vals};
+/// use alps_runtime::SimRuntime;
+///
+/// let sim = SimRuntime::new();
+/// let out = sim
+///     .run(|rt| {
+///         let counter = ObjectBuilder::new("Counter")
+///             .entry(
+///                 EntryDef::new("Incr")
+///                     .params([Ty::Int])
+///                     .results([Ty::Int])
+///                     .intercepted()
+///                     .body(|_ctx, args| {
+///                         Ok(vec![alps_core::Value::Int(args[0].as_int()? + 1)])
+///                     }),
+///             )
+///             .manager(|mgr| {
+///                 loop {
+///                     let acc = mgr.accept("Incr")?;
+///                     mgr.execute(acc)?;
+///                 }
+///             })
+///             .spawn(rt)
+///             .unwrap();
+///         counter.call("Incr", vals![41i64]).unwrap()[0].as_int().unwrap()
+///     })
+///     .unwrap();
+/// assert_eq!(out, 42);
+/// ```
+pub struct ObjectBuilder {
+    name: String,
+    entries: Vec<EntryDef>,
+    manager: Option<ManagerBody>,
+    pool: PoolMode,
+    manager_prio: Priority,
+}
+
+impl fmt::Debug for ObjectBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ObjectBuilder")
+            .field("name", &self.name)
+            .field("entries", &self.entries)
+            .field("has_manager", &self.manager.is_some())
+            .field("pool", &self.pool)
+            .finish()
+    }
+}
+
+impl ObjectBuilder {
+    /// Start building an object with the given name.
+    pub fn new(name: impl Into<String>) -> ObjectBuilder {
+        ObjectBuilder {
+            name: name.into(),
+            entries: Vec::new(),
+            manager: None,
+            pool: PoolMode::default(),
+            manager_prio: Priority::MANAGER,
+        }
+    }
+
+    /// Add an entry (or local) procedure.
+    pub fn entry(mut self, def: EntryDef) -> Self {
+        self.entries.push(def);
+        self
+    }
+
+    /// Install the manager process body.
+    pub fn manager<F>(mut self, f: F) -> Self
+    where
+        F: FnMut(&mut ManagerCtx) -> Result<()> + Send + 'static,
+    {
+        self.manager = Some(Box::new(f));
+        self
+    }
+
+    /// Choose how entry executions map to processes (default:
+    /// [`PoolMode::PerSlot`]).
+    pub fn pool(mut self, mode: PoolMode) -> Self {
+        self.pool = mode;
+        self
+    }
+
+    /// Scheduling priority of the manager process (default
+    /// [`Priority::MANAGER`], the paper's recommendation that the manager
+    /// run "at a higher priority compared to the other processes in the
+    /// object"). Experiment E8 lowers it to quantify the recommendation.
+    pub fn manager_priority(mut self, prio: Priority) -> Self {
+        self.manager_prio = prio;
+        self
+    }
+
+    /// Validate the definition, create the object, start its pool workers
+    /// and manager process.
+    ///
+    /// # Errors
+    ///
+    /// [`AlpsError::BadDefinition`] for inconsistent definitions:
+    /// duplicate entry names, a missing body, an intercept prefix longer
+    /// than the signature, hidden parameters/results on a non-intercepted
+    /// entry, interception without a manager, or an empty shared pool.
+    pub fn spawn(self, rt: &Runtime) -> Result<ObjectHandle> {
+        let bad = |reason: String| AlpsError::BadDefinition { reason };
+        let mut by_name = HashMap::new();
+        for (i, e) in self.entries.iter().enumerate() {
+            if by_name.insert(e.name.clone(), i).is_some() {
+                return Err(bad(format!("duplicate entry `{}`", e.name)));
+            }
+            if e.body.is_none() {
+                return Err(bad(format!("entry `{}` has no body", e.name)));
+            }
+            if let Some(ic) = e.intercept {
+                if ic.params > e.params.len() {
+                    return Err(bad(format!(
+                        "entry `{}` intercepts {} parameters but declares {}",
+                        e.name,
+                        ic.params,
+                        e.params.len()
+                    )));
+                }
+                if ic.results > e.results.len() {
+                    return Err(bad(format!(
+                        "entry `{}` intercepts {} results but declares {}",
+                        e.name,
+                        ic.results,
+                        e.results.len()
+                    )));
+                }
+                if self.manager.is_none() {
+                    return Err(bad(format!(
+                        "entry `{}` is intercepted but the object has no manager",
+                        e.name
+                    )));
+                }
+            } else if !e.hidden_params.is_empty() || !e.hidden_results.is_empty() {
+                return Err(bad(format!(
+                    "entry `{}` declares hidden parameters/results but is not intercepted \
+                     (only the manager can supply or receive them)",
+                    e.name
+                )));
+            }
+        }
+        if let PoolMode::Shared(0) = self.pool {
+            return Err(bad("shared pool must have at least one process".into()));
+        }
+        let mut slot_base = Vec::with_capacity(self.entries.len());
+        let mut total = 0usize;
+        for e in &self.entries {
+            slot_base.push(total);
+            total += e.array;
+        }
+        let state = ObjState {
+            entries: self
+                .entries
+                .iter()
+                .map(|e| EntryState {
+                    slots: (0..e.array).map(|_| Slot::Free).collect(),
+                    waitq: VecDeque::new(),
+                })
+                .collect(),
+        };
+        let pool = Pool::new(rt.clone(), self.name.clone(), self.pool, total);
+        let inner = Arc::new(ObjectInner {
+            name: self.name.clone(),
+            rt: rt.clone(),
+            entries: self.entries,
+            by_name,
+            slot_base,
+            state: Mutex::new(state),
+            notifier: Notifier::new(),
+            stats: ObjectStats::new(),
+            closed: AtomicBool::new(false),
+            pool,
+            manager_error: Mutex::new(None),
+        });
+        if let Some(mut body) = self.manager {
+            let mgr_inner = Arc::clone(&inner);
+            rt.spawn_with(
+                Spawn::new(format!("{}:manager", self.name))
+                    .prio(self.manager_prio)
+                    .daemon(true),
+                move || {
+                    let mut ctx = ManagerCtx::new(Arc::clone(&mgr_inner));
+                    match body(&mut ctx) {
+                        Ok(())
+                        | Err(AlpsError::ObjectClosed { .. })
+                        | Err(AlpsError::Runtime(_)) => {}
+                        Err(e) => {
+                            *mgr_inner.manager_error.lock() = Some(e);
+                            mgr_inner.shutdown();
+                        }
+                    }
+                },
+            );
+        }
+        Ok(ObjectHandle {
+            core: Arc::new(HandleCore { inner }),
+        })
+    }
+}
+
+struct HandleCore {
+    inner: Arc<ObjectInner>,
+}
+
+impl Drop for HandleCore {
+    fn drop(&mut self) {
+        self.inner.shutdown();
+    }
+}
+
+/// Handle to a live ALPS object. Cloning shares the handle; the object is
+/// shut down when the last clone drops (or explicitly via
+/// [`shutdown`](ObjectHandle::shutdown)).
+#[derive(Clone)]
+pub struct ObjectHandle {
+    core: Arc<HandleCore>,
+}
+
+impl fmt::Debug for ObjectHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.core.inner.fmt(f)
+    }
+}
+
+impl ObjectHandle {
+    /// The object's name.
+    pub fn name(&self) -> &str {
+        &self.core.inner.name
+    }
+
+    /// Call an entry procedure and block until it finishes (ALPS
+    /// `X.P(params, results)`, paper §2.2). The reply carries the public
+    /// results.
+    ///
+    /// # Errors
+    ///
+    /// * [`AlpsError::UnknownEntry`] / [`AlpsError::LocalEntryCalled`] for
+    ///   bad names;
+    /// * arity/type mismatches against the public signature;
+    /// * [`AlpsError::ObjectClosed`] if the object shuts down first;
+    /// * [`AlpsError::BodyFailed`] if the entry body fails.
+    pub fn call(&self, entry: &str, args: Vec<Value>) -> Result<Vec<Value>> {
+        let inner = &self.core.inner;
+        let idx = inner.entry_idx(entry)?;
+        inner.call_protocol(idx, args, true)
+    }
+
+    /// Call a procedure *as if from inside the object*: local procedures
+    /// are callable and, when intercepted, go through the full
+    /// attach/accept/start/finish protocol. Intended for language
+    /// runtimes interpreting procedure bodies (the `alps-lang`
+    /// interpreter); ordinary clients should use [`call`](Self::call).
+    ///
+    /// # Errors
+    ///
+    /// As [`call`](Self::call), except local procedures are permitted.
+    pub fn call_from_inside(&self, entry: &str, args: Vec<Value>) -> Result<Vec<Value>> {
+        let inner = &self.core.inner;
+        let idx = inner.entry_idx(entry)?;
+        inner.call_protocol(idx, args, false)
+    }
+
+    /// `#P` for an entry: calls attached-but-unaccepted plus queued
+    /// (paper §2.5.1; Ada `COUNT` / SR `?` analogue).
+    ///
+    /// # Errors
+    ///
+    /// [`AlpsError::UnknownEntry`] for bad names.
+    pub fn pending(&self, entry: &str) -> Result<usize> {
+        let inner = &self.core.inner;
+        let idx = inner.entry_idx(entry)?;
+        Ok(inner.pending(idx))
+    }
+
+    /// Instrumentation counters for this object.
+    pub fn stats(&self) -> ObjectStats {
+        self.core.inner.stats.clone()
+    }
+
+    /// How many runtime processes the object's pool created (experiment
+    /// E7's cost metric).
+    pub fn pool_procs_spawned(&self) -> u64 {
+        self.core.inner.pool.procs_spawned()
+    }
+
+    /// The pool mode the object runs with.
+    pub fn pool_mode(&self) -> PoolMode {
+        self.core.inner.pool.mode()
+    }
+
+    /// Shut the object down now: in-flight and future calls fail with
+    /// [`AlpsError::ObjectClosed`]; the manager and pool workers exit.
+    pub fn shutdown(&self) {
+        self.core.inner.shutdown();
+    }
+
+    /// Whether the object has been shut down.
+    pub fn is_closed(&self) -> bool {
+        self.core.inner.is_closed()
+    }
+
+    /// If the manager exited with an error (other than the normal
+    /// shutdown path), that error.
+    pub fn manager_error(&self) -> Option<AlpsError> {
+        self.core.inner.manager_error.lock().clone()
+    }
+
+    /// Number of body executions the pool has run.
+    pub fn pool_jobs_executed(&self) -> u64 {
+        self.core.inner.pool.jobs_executed()
+    }
+}

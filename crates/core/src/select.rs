@@ -1,0 +1,521 @@
+//! Nondeterministic guarded selection (paper §2.4).
+//!
+//! ALPS `select`/`loop` statements guard alternatives with any of:
+//!
+//! ```text
+//! when B                        -- pure boolean guard
+//! accept P[i] (...) when B      -- a pending call is attached to P[i]
+//! await  P[i] (...) when B      -- P[i] is ready to terminate
+//! receive C(...) when B         -- a message is buffered on channel C
+//! ```
+//!
+//! each optionally ending in `pri E`, a *run-time* priority expression:
+//! among the eligible alternatives, the one with the smallest `pri` value
+//! is selected (ties break deterministically by guard listing order, then
+//! slot index). Acceptance conditions (`when B` over received values) are
+//! evaluated against a candidate without consuming it: a failing condition
+//! leaves the call attached / the message buffered — SR semantics, which
+//! the paper adopts [12].
+//!
+//! Closedness follows CSP: a `when false` guard is closed; a `receive`
+//! guard on a closed, unmatched channel is closed; `accept`/`await`
+//! guards close only when the whole object shuts down. A `select` whose
+//! guards are all closed fails with [`AlpsError::SelectFailed`].
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::{AlpsError, Result};
+use crate::manager::{AcceptedCall, ReadyEntry};
+use crate::object::{ObjState, ObjectInner, Slot};
+use crate::value::{ChanValue, Value};
+
+/// Read-only view handed to `when`/`pri` closures while the object state
+/// is locked: the candidate's slot index and visible values, plus the
+/// `#P` pending counts the paper allows in acceptance conditions
+/// (§2.5.1 uses `#Read`/`#Write` inside guards).
+pub struct GuardView<'s> {
+    pub(crate) slot: usize,
+    pub(crate) values: &'s [Value],
+    pub(crate) obj: &'s ObjectInner,
+    pub(crate) st: &'s ObjState,
+}
+
+impl fmt::Debug for GuardView<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("GuardView")
+            .field("slot", &self.slot)
+            .field("values", &self.values)
+            .finish()
+    }
+}
+
+impl GuardView<'_> {
+    /// Procedure-array index of the candidate (0-based; the paper writes
+    /// `P[1..N]`, the embedded API uses `0..N`).
+    pub fn slot(&self) -> usize {
+        self.slot
+    }
+
+    /// Visible values of the candidate: intercepted parameters for an
+    /// `accept` guard, intercepted results followed by hidden results for
+    /// an `await` guard, the full message for a `receive` guard, empty for
+    /// `when` guards.
+    pub fn values(&self) -> &[Value] {
+        self.values
+    }
+
+    /// `#entry` — pending-call count usable inside acceptance conditions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entry does not exist (a programming error in the
+    /// manager body).
+    pub fn pending(&self, entry: &str) -> usize {
+        let idx = self
+            .obj
+            .entry_idx(entry)
+            .unwrap_or_else(|e| panic!("GuardView::pending: {e}"));
+        let es = &self.st.entries[idx];
+        let attached = es
+            .slots
+            .iter()
+            .filter(|s| matches!(s, Slot::Attached { .. }))
+            .count();
+        attached + es.waitq.len()
+    }
+}
+
+type WhenFn<'a> = Box<dyn Fn(&GuardView<'_>) -> bool + 'a>;
+type PriFn<'a> = Box<dyn Fn(&GuardView<'_>) -> i64 + 'a>;
+
+pub(crate) enum GuardKind {
+    Accept { entry: String, slot: Option<usize> },
+    AwaitDone { entry: String, slot: Option<usize> },
+    Receive { chan: ChanValue },
+    When { cond: bool },
+}
+
+/// One guarded alternative of a [`select`](crate::ManagerCtx::select).
+///
+/// # Examples
+///
+/// The bounded-buffer manager guards (paper §2.4.1):
+///
+/// ```no_run
+/// use alps_core::Guard;
+/// let count = 3usize;
+/// let n = 8usize;
+/// let guards = vec![
+///     Guard::accept("Deposit").when(move |_| count < n),
+///     Guard::accept("Remove").when(move |_| count > 0),
+/// ];
+/// # let _ = guards;
+/// ```
+pub struct Guard<'a> {
+    pub(crate) kind: GuardKind,
+    pub(crate) when: Option<WhenFn<'a>>,
+    pub(crate) pri: Option<PriFn<'a>>,
+}
+
+impl fmt::Debug for Guard<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match &self.kind {
+            GuardKind::Accept { entry, slot } => format!("accept {entry}{slot:?}"),
+            GuardKind::AwaitDone { entry, slot } => format!("await {entry}{slot:?}"),
+            GuardKind::Receive { chan } => format!("receive {}", chan.name()),
+            GuardKind::When { cond } => format!("when {cond}"),
+        };
+        f.debug_struct("Guard")
+            .field("kind", &kind)
+            .field("has_when", &self.when.is_some())
+            .field("has_pri", &self.pri.is_some())
+            .finish()
+    }
+}
+
+impl<'a> Guard<'a> {
+    fn new(kind: GuardKind) -> Guard<'a> {
+        Guard {
+            kind,
+            when: None,
+            pri: None,
+        }
+    }
+
+    /// `accept P` over any element of P's hidden procedure array.
+    pub fn accept(entry: impl Into<String>) -> Guard<'a> {
+        Guard::new(GuardKind::Accept {
+            entry: entry.into(),
+            slot: None,
+        })
+    }
+
+    /// `accept P[i]` for a specific array element.
+    pub fn accept_slot(entry: impl Into<String>, slot: usize) -> Guard<'a> {
+        Guard::new(GuardKind::Accept {
+            entry: entry.into(),
+            slot: Some(slot),
+        })
+    }
+
+    /// `await P` — some element of P is ready to terminate.
+    pub fn await_done(entry: impl Into<String>) -> Guard<'a> {
+        Guard::new(GuardKind::AwaitDone {
+            entry: entry.into(),
+            slot: None,
+        })
+    }
+
+    /// `await P[i]` for a specific array element.
+    pub fn await_slot(entry: impl Into<String>, slot: usize) -> Guard<'a> {
+        Guard::new(GuardKind::AwaitDone {
+            entry: entry.into(),
+            slot: Some(slot),
+        })
+    }
+
+    /// `receive C(...)` — a buffered message is available on `chan`.
+    pub fn receive(chan: &ChanValue) -> Guard<'a> {
+        Guard::new(GuardKind::Receive { chan: chan.clone() })
+    }
+
+    /// `when B` — a pure boolean alternative.
+    pub fn cond(cond: bool) -> Guard<'a> {
+        Guard::new(GuardKind::When { cond })
+    }
+
+    /// Attach an acceptance condition evaluated against each candidate
+    /// (paper §2.4: conditions may depend on the values received).
+    pub fn when(mut self, f: impl Fn(&GuardView<'_>) -> bool + 'a) -> Self {
+        self.when = Some(Box::new(f));
+        self
+    }
+
+    /// Attach a run-time priority expression (`pri E`): among eligible
+    /// alternatives the smallest value wins. Guards without `pri` have
+    /// priority 0.
+    pub fn pri(mut self, f: impl Fn(&GuardView<'_>) -> i64 + 'a) -> Self {
+        self.pri = Some(Box::new(f));
+        self
+    }
+
+    /// Constant-priority convenience for [`pri`](Guard::pri).
+    pub fn pri_const(self, v: i64) -> Self {
+        self.pri(move |_| v)
+    }
+}
+
+/// The alternative a [`select`](crate::ManagerCtx::select) chose.
+#[derive(Debug)]
+pub enum Selected {
+    /// An `accept` guard fired; consume the call with
+    /// [`start`](crate::ManagerCtx::start),
+    /// [`finish_accepted`](crate::ManagerCtx::finish_accepted) or
+    /// [`execute`](crate::ManagerCtx::execute).
+    Accepted {
+        /// Index of the guard that fired.
+        guard: usize,
+        /// The accepted call token.
+        call: AcceptedCall,
+    },
+    /// An `await` guard fired; consume with
+    /// [`finish`](crate::ManagerCtx::finish).
+    Ready {
+        /// Index of the guard that fired.
+        guard: usize,
+        /// The awaited-entry token.
+        done: ReadyEntry,
+    },
+    /// A `receive` guard fired.
+    Received {
+        /// Index of the guard that fired.
+        guard: usize,
+        /// The received message.
+        msg: Vec<Value>,
+    },
+    /// A pure `when` guard fired.
+    Cond {
+        /// Index of the guard that fired.
+        guard: usize,
+    },
+}
+
+impl Selected {
+    /// Index of the guard that fired, in listing order.
+    pub fn guard_index(&self) -> usize {
+        match self {
+            Selected::Accepted { guard, .. }
+            | Selected::Ready { guard, .. }
+            | Selected::Received { guard, .. }
+            | Selected::Cond { guard } => *guard,
+        }
+    }
+}
+
+enum CandAction {
+    Accept { entry: usize, slot: usize },
+    Await { entry: usize, slot: usize },
+    Receive,
+    Cond,
+}
+
+struct Candidate {
+    pri: i64,
+    guard: usize,
+    slot: usize,
+    action: CandAction,
+}
+
+/// Run one select: block until a guard fires or all guards close.
+pub(crate) fn run_select(obj: &Arc<ObjectInner>, guards: &[Guard<'_>]) -> Result<Selected> {
+    if guards.is_empty() {
+        return Err(AlpsError::SelectFailed);
+    }
+    // Resolve entry names once.
+    let mut resolved: Vec<Option<usize>> = Vec::with_capacity(guards.len());
+    for g in guards {
+        match &g.kind {
+            GuardKind::Accept { entry, .. } | GuardKind::AwaitDone { entry, .. } => {
+                resolved.push(Some(obj.entry_idx(entry)?));
+            }
+            _ => resolved.push(None),
+        }
+    }
+    loop {
+        if obj.is_closed() {
+            return Err(obj.closed_err());
+        }
+        let epoch = obj.notifier.epoch();
+        for g in guards {
+            if let GuardKind::Receive { chan } = &g.kind {
+                chan.raw().subscribe(&obj.notifier);
+            }
+        }
+        let mut all_closed = true;
+        #[allow(unused_assignments)]
+        let mut had_candidate = false;
+        let chosen: Option<Selected> = {
+            let mut st = obj.state.lock();
+            let mut best: Option<Candidate> = None;
+            let consider = |best: &mut Option<Candidate>, c: Candidate| {
+                let better = match best {
+                    None => true,
+                    Some(b) => (c.pri, c.guard, c.slot) < (b.pri, b.guard, b.slot),
+                };
+                if better {
+                    *best = Some(c);
+                }
+            };
+            for (gi, g) in guards.iter().enumerate() {
+                match &g.kind {
+                    GuardKind::Accept { slot, .. } => {
+                        all_closed = false;
+                        let entry = resolved[gi].expect("resolved above");
+                        let k = obj.entries[entry]
+                            .intercept
+                            .map(|ic| ic.params)
+                            .unwrap_or(0);
+                        let nslots = st.entries[entry].slots.len();
+                        for i in 0..nslots {
+                            if slot.is_some() && *slot != Some(i) {
+                                continue;
+                            }
+                            let Slot::Attached { call } = &st.entries[entry].slots[i] else {
+                                continue;
+                            };
+                            let prefix = &call.args[..k];
+                            let view = GuardView {
+                                slot: i,
+                                values: prefix,
+                                obj,
+                                st: &st,
+                            };
+                            if g.when.as_ref().map(|f| f(&view)).unwrap_or(true) {
+                                let pri = g.pri.as_ref().map(|f| f(&view)).unwrap_or(0);
+                                consider(
+                                    &mut best,
+                                    Candidate {
+                                        pri,
+                                        guard: gi,
+                                        slot: i,
+                                        action: CandAction::Accept { entry, slot: i },
+                                    },
+                                );
+                            }
+                        }
+                    }
+                    GuardKind::AwaitDone { slot, .. } => {
+                        all_closed = false;
+                        let entry = resolved[gi].expect("resolved above");
+                        let def = &obj.entries[entry];
+                        let kr = def.intercept.map(|ic| ic.results).unwrap_or(0);
+                        let pub_len = def.results.len();
+                        let nslots = st.entries[entry].slots.len();
+                        for i in 0..nslots {
+                            if slot.is_some() && *slot != Some(i) {
+                                continue;
+                            }
+                            let Slot::Ready { outcome, .. } = &st.entries[entry].slots[i] else {
+                                continue;
+                            };
+                            // Visible values: intercepted result prefix +
+                            // hidden results; a failed body is always
+                            // eligible so the manager can clean up.
+                            let visible: Vec<Value> = match outcome {
+                                Ok(full) => {
+                                    let mut v = full[..kr.min(full.len())].to_vec();
+                                    if full.len() >= pub_len {
+                                        v.extend(full[pub_len..].iter().cloned());
+                                    }
+                                    v
+                                }
+                                Err(_) => Vec::new(),
+                            };
+                            let eligible = match outcome {
+                                Err(_) => true,
+                                Ok(_) => {
+                                    let view = GuardView {
+                                        slot: i,
+                                        values: &visible,
+                                        obj,
+                                        st: &st,
+                                    };
+                                    g.when.as_ref().map(|f| f(&view)).unwrap_or(true)
+                                }
+                            };
+                            if eligible {
+                                let view = GuardView {
+                                    slot: i,
+                                    values: &visible,
+                                    obj,
+                                    st: &st,
+                                };
+                                let pri = g.pri.as_ref().map(|f| f(&view)).unwrap_or(0);
+                                consider(
+                                    &mut best,
+                                    Candidate {
+                                        pri,
+                                        guard: gi,
+                                        slot: i,
+                                        action: CandAction::Await { entry, slot: i },
+                                    },
+                                );
+                            }
+                        }
+                    }
+                    GuardKind::Receive { chan } => {
+                        let found = chan.raw().peek_with(|it| {
+                            for msg in it {
+                                let view = GuardView {
+                                    slot: 0,
+                                    values: msg,
+                                    obj,
+                                    st: &st,
+                                };
+                                if g.when.as_ref().map(|f| f(&view)).unwrap_or(true) {
+                                    let pri = g.pri.as_ref().map(|f| f(&view)).unwrap_or(0);
+                                    return Some(pri);
+                                }
+                            }
+                            None
+                        });
+                        match found {
+                            Some(pri) => {
+                                all_closed = false;
+                                consider(
+                                    &mut best,
+                                    Candidate {
+                                        pri,
+                                        guard: gi,
+                                        slot: 0,
+                                        action: CandAction::Receive,
+                                    },
+                                );
+                            }
+                            None => {
+                                if !chan.is_closed() {
+                                    all_closed = false;
+                                }
+                            }
+                        }
+                    }
+                    GuardKind::When { cond } => {
+                        if *cond {
+                            all_closed = false;
+                            let view = GuardView {
+                                slot: 0,
+                                values: &[],
+                                obj,
+                                st: &st,
+                            };
+                            let pri = g.pri.as_ref().map(|f| f(&view)).unwrap_or(0);
+                            consider(
+                                &mut best,
+                                Candidate {
+                                    pri,
+                                    guard: gi,
+                                    slot: 0,
+                                    action: CandAction::Cond,
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+            had_candidate = best.is_some();
+            match best {
+                None => None,
+                Some(c) => match c.action {
+                    CandAction::Accept { entry, slot } => {
+                        let call = crate::manager::commit_accept(obj, &mut st, entry, slot);
+                        Some(Selected::Accepted {
+                            guard: c.guard,
+                            call,
+                        })
+                    }
+                    CandAction::Await { entry, slot } => {
+                        let done = crate::manager::commit_await(obj, &mut st, entry, slot);
+                        Some(Selected::Ready {
+                            guard: c.guard,
+                            done,
+                        })
+                    }
+                    CandAction::Receive => {
+                        let GuardKind::Receive { chan } = &guards[c.guard].kind else {
+                            unreachable!()
+                        };
+                        let g = &guards[c.guard];
+                        let msg = chan.raw().recv_match(&obj.rt, |m| {
+                            let view = GuardView {
+                                slot: 0,
+                                values: m,
+                                obj,
+                                st: &st,
+                            };
+                            g.when.as_ref().map(|f| f(&view)).unwrap_or(true)
+                        });
+                        msg.map(|m| Selected::Received {
+                            guard: c.guard,
+                            msg: m,
+                        })
+                    }
+                    CandAction::Cond => Some(Selected::Cond { guard: c.guard }),
+                },
+            }
+        };
+        if let Some(sel) = chosen {
+            return Ok(sel);
+        }
+        if had_candidate {
+            // A receive candidate was stolen between evaluation and
+            // commit (possible only with concurrent receivers on the same
+            // channel under the threaded executor); re-evaluate at once.
+            continue;
+        }
+        if all_closed {
+            return Err(AlpsError::SelectFailed);
+        }
+        obj.notifier.wait_past(&obj.rt, epoch);
+    }
+}

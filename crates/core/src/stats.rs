@@ -1,0 +1,172 @@
+//! Per-object instrumentation.
+//!
+//! The benchmark harness (EXPERIMENTS.md) and property tests read these
+//! counters and histograms; the hot paths only touch atomics.
+
+use std::fmt;
+use std::sync::Arc;
+
+use alps_runtime::metrics::{Counter, Histogram};
+
+/// Counters and latency histograms for one object. Cheap to clone (all
+/// fields are shared).
+#[derive(Clone, Debug, Default)]
+pub struct ObjectStats {
+    inner: Arc<StatsInner>,
+}
+
+#[derive(Debug, Default)]
+struct StatsInner {
+    calls: Counter,
+    accepts: Counter,
+    starts: Counter,
+    finishes: Counter,
+    combines: Counter,
+    implicit_starts: Counter,
+    body_failures: Counter,
+    attach_wait: Histogram,
+    accept_wait: Histogram,
+    service_time: Histogram,
+    call_latency: Histogram,
+}
+
+impl ObjectStats {
+    /// New zeroed stats.
+    pub fn new() -> ObjectStats {
+        ObjectStats::default()
+    }
+
+    /// Total entry calls received (external + local-through-protocol).
+    pub fn calls(&self) -> u64 {
+        self.inner.calls.get()
+    }
+    /// Calls accepted by the manager.
+    pub fn accepts(&self) -> u64 {
+        self.inner.accepts.get()
+    }
+    /// Entry executions started by the manager.
+    pub fn starts(&self) -> u64 {
+        self.inner.starts.get()
+    }
+    /// Calls finished by the manager.
+    pub fn finishes(&self) -> u64 {
+        self.inner.finishes.get()
+    }
+    /// Calls answered by combining (accepted then finished without a
+    /// start, paper §2.7).
+    pub fn combines(&self) -> u64 {
+        self.inner.combines.get()
+    }
+    /// Executions started implicitly (entries not intercepted).
+    pub fn implicit_starts(&self) -> u64 {
+        self.inner.implicit_starts.get()
+    }
+    /// Entry bodies that failed (error return or panic).
+    pub fn body_failures(&self) -> u64 {
+        self.inner.body_failures.get()
+    }
+    /// Ticks from call arrival to attachment on a procedure-array slot.
+    pub fn attach_wait(&self) -> &Histogram {
+        &self.inner.attach_wait
+    }
+    /// Ticks from attachment to manager `accept`.
+    pub fn accept_wait(&self) -> &Histogram {
+        &self.inner.accept_wait
+    }
+    /// Ticks from `start` to readiness-to-terminate.
+    pub fn service_time(&self) -> &Histogram {
+        &self.inner.service_time
+    }
+    /// End-to-end ticks from call to reply.
+    pub fn call_latency(&self) -> &Histogram {
+        &self.inner.call_latency
+    }
+
+    pub(crate) fn on_call(&self) {
+        self.inner.calls.incr();
+    }
+    pub(crate) fn on_accept(&self, waited: u64) {
+        self.inner.accepts.incr();
+        self.inner.accept_wait.record(waited);
+    }
+    pub(crate) fn on_attach(&self, waited: u64) {
+        self.inner.attach_wait.record(waited);
+    }
+    pub(crate) fn on_start(&self) {
+        self.inner.starts.incr();
+    }
+    pub(crate) fn on_finish(&self) {
+        self.inner.finishes.incr();
+    }
+    pub(crate) fn on_combine(&self) {
+        self.inner.combines.incr();
+    }
+    pub(crate) fn on_implicit_start(&self) {
+        self.inner.implicit_starts.incr();
+    }
+    pub(crate) fn on_body_failure(&self) {
+        self.inner.body_failures.incr();
+    }
+    pub(crate) fn on_service(&self, ticks: u64) {
+        self.inner.service_time.record(ticks);
+    }
+    pub(crate) fn on_complete(&self, latency: u64) {
+        self.inner.call_latency.record(latency);
+    }
+}
+
+impl fmt::Display for ObjectStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "calls={} accepts={} starts={} finishes={} combines={} implicit={} failures={} \
+             p50_latency={} p99_latency={}",
+            self.calls(),
+            self.accepts(),
+            self.starts(),
+            self.finishes(),
+            self.combines(),
+            self.implicit_starts(),
+            self.body_failures(),
+            self.call_latency().percentile(50.0),
+            self.call_latency().percentile(99.0),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_start_at_zero_and_accumulate() {
+        let s = ObjectStats::new();
+        assert_eq!(s.calls(), 0);
+        s.on_call();
+        s.on_accept(5);
+        s.on_start();
+        s.on_service(10);
+        s.on_finish();
+        s.on_complete(20);
+        assert_eq!(s.calls(), 1);
+        assert_eq!(s.accepts(), 1);
+        assert_eq!(s.starts(), 1);
+        assert_eq!(s.finishes(), 1);
+        assert_eq!(s.service_time().count(), 1);
+        assert_eq!(s.call_latency().count(), 1);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let s = ObjectStats::new();
+        let s2 = s.clone();
+        s2.on_combine();
+        assert_eq!(s.combines(), 1);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let s = ObjectStats::new();
+        assert!(s.to_string().contains("calls=0"));
+    }
+}

@@ -1,0 +1,259 @@
+//! Partial interception: the manager receives only an *initial
+//! subsequence* of parameters/results (paper §2.6); the remainder flows
+//! caller↔body directly. These tests pin the splicing logic.
+
+use alps_core::{vals, AlpsError, EntryDef, Guard, ObjectBuilder, Selected, Ty, Value};
+use alps_runtime::{SimRuntime, Spawn};
+
+#[test]
+fn uninterecepted_result_remainder_reaches_caller() {
+    // Two public results; the manager intercepts only the first. The
+    // second must arrive untouched.
+    let sim = SimRuntime::new();
+    sim.run(|rt| {
+        let obj = ObjectBuilder::new("Split")
+            .entry(
+                EntryDef::new("P")
+                    .params([Ty::Int])
+                    .results([Ty::Int, Ty::Str])
+                    .intercept_params(1)
+                    .intercept_results(1)
+                    .body(|_ctx, args| {
+                        let v = args[0].as_int()?;
+                        Ok(vec![Value::Int(v), Value::str(format!("tail-{v}"))])
+                    }),
+            )
+            .manager(|mgr| loop {
+                let acc = mgr.accept("P")?;
+                let slot = acc.slot();
+                mgr.start_as_is(acc)?;
+                let done = mgr.await_slot("P", slot)?;
+                // Manager sees only the intercepted first result.
+                assert_eq!(done.results().len(), 1);
+                let bumped = done.results()[0].as_int()? + 1000;
+                mgr.finish(done, vals![bumped])?;
+            })
+            .spawn(rt)
+            .unwrap();
+        let r = obj.call("P", vals![7i64]).unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0].as_int().unwrap(), 1007); // rewritten by manager
+        assert_eq!(r[1].as_str().unwrap(), "tail-7"); // direct from body
+    })
+    .unwrap();
+}
+
+#[test]
+fn unintercepted_param_remainder_reaches_body() {
+    // Two public params; manager intercepts the first only and rewrites
+    // it; the second must reach the body unchanged.
+    let sim = SimRuntime::new();
+    sim.run(|rt| {
+        let obj = ObjectBuilder::new("Split")
+            .entry(
+                EntryDef::new("P")
+                    .params([Ty::Int, Ty::Str])
+                    .results([Ty::Str])
+                    .intercept_params(1)
+                    .body(|_ctx, args| {
+                        Ok(vec![Value::str(format!(
+                            "{}+{}",
+                            args[0].as_int()?,
+                            args[1].as_str()?
+                        ))])
+                    }),
+            )
+            .manager(|mgr| loop {
+                let acc = mgr.accept("P")?;
+                assert_eq!(acc.params().len(), 1, "only the prefix is intercepted");
+                let doubled = acc.params()[0].as_int()? * 2;
+                mgr.start(acc, vals![doubled], vals![])?;
+                let done = mgr.await_done("P")?;
+                mgr.finish_as_is(done)?;
+            })
+            .spawn(rt)
+            .unwrap();
+        let r = obj.call("P", vals![21i64, "keep"]).unwrap();
+        assert_eq!(r[0].as_str().unwrap(), "42+keep");
+    })
+    .unwrap();
+}
+
+#[test]
+fn finish_validates_prefix_types() {
+    let sim = SimRuntime::new();
+    sim.run(|rt| {
+        let obj = ObjectBuilder::new("Strict")
+            .entry(
+                EntryDef::new("P")
+                    .results([Ty::Int])
+                    .intercept_results(1)
+                    .body(|_ctx, _| Ok(vec![Value::Int(1)])),
+            )
+            .manager(|mgr| {
+                let acc = mgr.accept("P")?;
+                let slot = acc.slot();
+                mgr.start_as_is(acc)?;
+                let done = mgr.await_slot("P", slot)?;
+                // Wrong type for the intercepted result: must error.
+                match mgr.finish(done, vals!["wrong"]) {
+                    Err(AlpsError::TypeMismatch { .. }) => {}
+                    other => panic!("expected TypeMismatch, got {other:?}"),
+                }
+                // NOTE: `finish` consumed the token; the caller has been
+                // failed by the token drop. Subsequent calls still work.
+                loop {
+                    let acc = mgr.accept("P")?;
+                    mgr.execute(acc)?;
+                }
+            })
+            .spawn(rt)
+            .unwrap();
+        // First call fails (manager misuse), second succeeds.
+        let e = obj.call("P", vals![]).unwrap_err();
+        assert!(
+            matches!(
+                e,
+                AlpsError::ProtocolViolation { .. } | AlpsError::BodyFailed { .. }
+            ),
+            "{e}"
+        );
+        let r = obj.call("P", vals![]).unwrap();
+        assert_eq!(r[0].as_int().unwrap(), 1);
+    })
+    .unwrap();
+}
+
+#[test]
+fn execute_with_returns_results_and_hidden() {
+    let sim = SimRuntime::new();
+    sim.run(|rt| {
+        let obj = ObjectBuilder::new("Exec")
+            .entry(
+                EntryDef::new("P")
+                    .params([Ty::Int])
+                    .results([Ty::Int])
+                    .intercept_params(1)
+                    .intercept_results(1)
+                    .hidden_params([Ty::Int])
+                    .hidden_results([Ty::Int])
+                    .body(|_ctx, args| {
+                        let v = args[0].as_int()?;
+                        let h = args[1].as_int()?;
+                        Ok(vec![Value::Int(v * 10), Value::Int(h + 1)])
+                    }),
+            )
+            .manager(|mgr| loop {
+                let acc = mgr.accept("P")?;
+                let prefix = acc.params().to_vec();
+                let (results, hidden) = mgr.execute_with(acc, prefix, vals![500i64])?;
+                assert_eq!(hidden[0].as_int()?, 501);
+                assert_eq!(results.len(), 1);
+            })
+            .spawn(rt)
+            .unwrap();
+        let r = obj.call("P", vals![3i64]).unwrap();
+        assert_eq!(r[0].as_int().unwrap(), 30);
+    })
+    .unwrap();
+}
+
+#[test]
+fn accept_slot_targets_one_array_element() {
+    let sim = SimRuntime::new();
+    sim.run(|rt| {
+        let gate = alps_core::ChanValue::new("gate", vec![]);
+        let gate2 = gate.clone();
+        let obj = ObjectBuilder::new("Slots")
+            .entry(
+                EntryDef::new("P")
+                    .results([Ty::Int])
+                    .array(3)
+                    .intercepted()
+                    .body(|ctx, _| Ok(vec![Value::Int(ctx.slot() as i64)])),
+            )
+            .manager(move |mgr| {
+                mgr.receive(&gate2)?; // let all three attach
+                // Serve slot 2 first, then 0, then 1.
+                for want in [2usize, 0, 1] {
+                    let acc = mgr.accept_slot("P", want)?;
+                    assert_eq!(acc.slot(), want);
+                    mgr.execute(acc)?;
+                }
+                loop {
+                    let acc = mgr.accept("P")?;
+                    mgr.execute(acc)?;
+                }
+            })
+            .spawn(rt)
+            .unwrap();
+        let mut hs = Vec::new();
+        for i in 0..3 {
+            let obj2 = obj.clone();
+            hs.push(rt.spawn_with(Spawn::new(format!("c{i}")), move || {
+                obj2.call("P", vals![]).unwrap()[0].as_int().unwrap()
+            }));
+        }
+        for _ in 0..10 {
+            rt.yield_now();
+        }
+        gate.send(rt, vals![]).unwrap();
+        let mut got: Vec<i64> = hs.into_iter().map(|h| h.join().unwrap()).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2], "each call ran on its own slot");
+    })
+    .unwrap();
+}
+
+#[test]
+fn managers_can_select_on_external_channels() {
+    // A manager mixing entry guards with a command channel (paper §2.3:
+    // "the manager can be programmed to exchange messages with the
+    // executing processes").
+    let sim = SimRuntime::new();
+    sim.run(|rt| {
+        let commands = alps_core::ChanValue::new("commands", vec![Ty::Str]);
+        let cmd2 = commands.clone();
+        let obj = ObjectBuilder::new("Cmd")
+            .entry(
+                EntryDef::new("Get")
+                    .results([Ty::Str])
+                    .intercept_results(1)
+                    .body(|_ctx, _| Ok(vec![Value::str("-")])),
+            )
+            .manager(move |mgr| {
+                let mut mode = "normal".to_string();
+                loop {
+                    let sel = mgr.select(vec![
+                        Guard::receive(&cmd2),
+                        Guard::accept("Get"),
+                    ])?;
+                    match sel {
+                        Selected::Received { msg, .. } => {
+                            mode = msg[0].as_str()?.to_string();
+                        }
+                        Selected::Accepted { call, .. } => {
+                            let slot = call.slot();
+                            mgr.start_as_is(call)?;
+                            let done = mgr.await_slot("Get", slot)?;
+                            mgr.finish(done, vals![mode.clone()])?;
+                        }
+                        _ => unreachable!(),
+                    }
+                }
+            })
+            .spawn(rt)
+            .unwrap();
+        assert_eq!(obj.call("Get", vals![]).unwrap()[0].as_str().unwrap(), "normal");
+        commands.send(rt, vals!["maintenance"]).unwrap();
+        // Give the manager a chance to drain the channel first.
+        for _ in 0..5 {
+            rt.yield_now();
+        }
+        assert_eq!(
+            obj.call("Get", vals![]).unwrap()[0].as_str().unwrap(),
+            "maintenance"
+        );
+    })
+    .unwrap();
+}

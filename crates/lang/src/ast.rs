@@ -1,0 +1,367 @@
+//! Abstract syntax of the ALPS language (see `GRAMMAR.md` in this crate
+//! for the concrete grammar and the documented deviations from the
+//! paper's informal notation).
+
+use crate::token::Pos;
+
+/// A type expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TypeExpr {
+    /// `int`
+    Int,
+    /// `bool`
+    Bool,
+    /// `float`
+    Float,
+    /// `string`
+    Str,
+    /// `chan(T1, …, Tn)`
+    Chan(Vec<TypeExpr>),
+    /// `list(T)`
+    List(Box<TypeExpr>),
+}
+
+/// `name: Type` formal parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// Declared type.
+    pub ty: TypeExpr,
+    /// Position of the name.
+    pub pos: Pos,
+}
+
+/// A procedure header as written in a definition or implementation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcHeader {
+    /// Procedure name.
+    pub name: String,
+    /// Hidden-array size: `proc P[1..N](…)`; `None` for a plain proc.
+    pub array: Option<i64>,
+    /// Formal parameters (in an implementation these may extend the
+    /// definition's list with hidden parameters).
+    pub params: Vec<Param>,
+    /// Result types (`returns (T1, …)`); implementation may append hidden
+    /// results.
+    pub results: Vec<TypeExpr>,
+    /// `local proc …` — not exported (implementation only).
+    pub local: bool,
+    /// Position of the `proc` keyword.
+    pub pos: Pos,
+}
+
+/// The definition part of an object: exported headers only.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObjectDef {
+    /// Object name.
+    pub name: String,
+    /// Exported entry headers.
+    pub procs: Vec<ProcHeader>,
+    /// Position.
+    pub pos: Pos,
+}
+
+/// One `intercepts` clause item: `P(params; results)` with *counts* of
+/// intercepted prefix types resolved during checking.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InterceptItem {
+    /// Entry name.
+    pub name: String,
+    /// Intercepted parameter prefix types, as written.
+    pub params: Vec<TypeExpr>,
+    /// Intercepted result prefix types, as written.
+    pub results: Vec<TypeExpr>,
+    /// Whether a parenthesized list was written at all.
+    pub explicit: bool,
+    /// Position.
+    pub pos: Pos,
+}
+
+/// The manager process of an object implementation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Manager {
+    /// The intercepts clause.
+    pub intercepts: Vec<InterceptItem>,
+    /// Manager-local variables.
+    pub vars: Vec<Param>,
+    /// The body.
+    pub body: Vec<Stmt>,
+    /// Position.
+    pub pos: Pos,
+}
+
+/// A procedure implementation: header + locals + body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcImpl {
+    /// The header (with hidden params/results appended).
+    pub header: ProcHeader,
+    /// Local variables.
+    pub vars: Vec<Param>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+}
+
+/// The implementation part of an object.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObjectImpl {
+    /// Object name (must match a definition).
+    pub name: String,
+    /// Shared data part (object-level variables).
+    pub vars: Vec<Param>,
+    /// Procedure implementations (entries and locals).
+    pub procs: Vec<ProcImpl>,
+    /// Optional manager.
+    pub manager: Option<Manager>,
+    /// Optional initialization code (`begin …` before `end Name`).
+    pub init: Vec<Stmt>,
+    /// Position.
+    pub pos: Pos,
+}
+
+/// The `main` block driving a program (an addition over the paper, which
+/// never shows a program entry point).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MainBlock {
+    /// Main-local variables.
+    pub vars: Vec<Param>,
+    /// Statements.
+    pub body: Vec<Stmt>,
+    /// Position.
+    pub pos: Pos,
+}
+
+/// A whole program.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Object definitions.
+    pub defs: Vec<ObjectDef>,
+    /// Object implementations.
+    pub impls: Vec<ObjectImpl>,
+    /// The main block, if any.
+    pub main: Option<MainBlock>,
+}
+
+/// An l-value (assignment / receive target).
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// A variable.
+    Var(String, Pos),
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64, Pos),
+    /// Float literal.
+    Float(f64, Pos),
+    /// String literal.
+    Str(String, Pos),
+    /// Boolean literal.
+    Bool(bool, Pos),
+    /// Variable reference.
+    Var(String, Pos),
+    /// `#P` — pending-call count (manager scope).
+    Pending(String, Pos),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>, Pos),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>, Pos),
+    /// Builtin or object call used as an expression:
+    /// `len(xs)`, `X.P(a, b)` (yields the single result or a tuple for
+    /// multi-assignment).
+    Call(CallTarget, Vec<Expr>, Pos),
+}
+
+impl Expr {
+    /// Position of the expression.
+    pub fn pos(&self) -> Pos {
+        match self {
+            Expr::Int(_, p)
+            | Expr::Float(_, p)
+            | Expr::Str(_, p)
+            | Expr::Bool(_, p)
+            | Expr::Var(_, p)
+            | Expr::Pending(_, p)
+            | Expr::Unary(_, _, p)
+            | Expr::Binary(_, _, _, p)
+            | Expr::Call(_, _, p) => *p,
+        }
+    }
+}
+
+/// What a call statement/expression targets.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CallTarget {
+    /// `X.P` — entry `P` of object `X`.
+    Entry(String, String),
+    /// `P` — a local/sibling procedure, or a builtin.
+    Plain(String),
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Boolean `not`.
+    Not,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+` (also string concatenation).
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `mod`
+    Mod,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `and` (short-circuit)
+    And,
+    /// `or` (short-circuit)
+    Or,
+}
+
+/// A slot designator on a manager primitive: `P`, or `P[i]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlotRef {
+    /// Entry name.
+    pub entry: String,
+    /// Optional index expression (variable bound by a guard quantifier or
+    /// any int expression).
+    pub index: Option<Expr>,
+    /// Position.
+    pub pos: Pos,
+}
+
+/// Guard kinds in `select`/`loop`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GuardKind {
+    /// `accept P[i](x, y)` — binds the intercepted parameter prefix.
+    Accept {
+        /// Entry and optional slot.
+        slot: SlotRef,
+        /// Targets for intercepted parameters.
+        binds: Vec<LValue>,
+    },
+    /// `await P[i](r, h)` — binds intercepted results then hidden results.
+    Await {
+        /// Entry and optional slot.
+        slot: SlotRef,
+        /// Targets for intercepted + hidden results.
+        binds: Vec<LValue>,
+    },
+    /// `receive C(x, y)`.
+    Receive {
+        /// Channel expression.
+        chan: Expr,
+        /// Targets for message elements.
+        binds: Vec<LValue>,
+    },
+    /// Pure boolean guard (the `when` expression is in [`Guarded::when`]).
+    Plain,
+}
+
+/// One guarded alternative.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Guarded {
+    /// Optional quantifier `(i: lo..hi)` over array slots.
+    pub quantifier: Option<(String, Expr, Expr)>,
+    /// The guard kind.
+    pub kind: GuardKind,
+    /// Optional acceptance condition `when B` (may use bound values).
+    pub when: Option<Expr>,
+    /// Optional run-time priority `pri E`.
+    pub pri: Option<Expr>,
+    /// Statements to run when selected.
+    pub body: Vec<Stmt>,
+    /// Position.
+    pub pos: Pos,
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `x := e` or multi-assignment `x, y := X.P(…)`.
+    Assign(Vec<LValue>, Expr, Pos),
+    /// A call for effect: `X.P(a)` or `helper(a)` or `print(…)`.
+    Call(CallTarget, Vec<Expr>, Pos),
+    /// `if … then … elsif … else … end if`.
+    If(Vec<(Expr, Vec<Stmt>)>, Vec<Stmt>, Pos),
+    /// `while e do … end while`.
+    While(Expr, Vec<Stmt>, Pos),
+    /// `for i := a to b do … end for`.
+    For(String, Expr, Expr, Vec<Stmt>, Pos),
+    /// `send C(e1, …)`.
+    Send(Expr, Vec<Expr>, Pos),
+    /// `receive C(x, …)`.
+    Receive(Expr, Vec<LValue>, Pos),
+    /// `select G1 => S1 or … end select`.
+    Select(Vec<Guarded>, Pos),
+    /// `loop G1 => S1 or … end loop` (repeats until all guards closed).
+    Loop(Vec<Guarded>, Pos),
+    /// `par call and call … end par`.
+    Par(Vec<(CallTarget, Vec<Expr>)>, Pos),
+    /// `par i = a to b do P(i) end par`.
+    ParFor(String, Expr, Expr, CallTarget, Vec<Expr>, Pos),
+    /// `return (e1, …)`.
+    Return(Vec<Expr>, Pos),
+    /// Manager primitive `accept P[i](x, …)` (blocking form).
+    Accept(SlotRef, Vec<LValue>, Pos),
+    /// Manager primitive `start P[i](e1, …)` — intercepted prefix values
+    /// then hidden parameters.
+    Start(SlotRef, Vec<Expr>, Pos),
+    /// Manager primitive `await P[i](x, …)` (blocking form).
+    AwaitStmt(SlotRef, Vec<LValue>, Pos),
+    /// Manager primitive `finish P[i](e1, …)` — intercepted result prefix
+    /// (or, for combining, the full public result list).
+    Finish(SlotRef, Vec<Expr>, Pos),
+    /// Manager primitive `execute P[i](e…)` ≡ start; await; finish.
+    Execute(SlotRef, Vec<Expr>, Pos),
+    /// `skip`.
+    Skip(Pos),
+}
+
+impl Stmt {
+    /// Position of the statement.
+    pub fn pos(&self) -> Pos {
+        match self {
+            Stmt::Assign(_, _, p)
+            | Stmt::Call(_, _, p)
+            | Stmt::If(_, _, p)
+            | Stmt::While(_, _, p)
+            | Stmt::For(_, _, _, _, p)
+            | Stmt::Send(_, _, p)
+            | Stmt::Receive(_, _, p)
+            | Stmt::Select(_, p)
+            | Stmt::Loop(_, p)
+            | Stmt::Par(_, p)
+            | Stmt::ParFor(_, _, _, _, _, p)
+            | Stmt::Return(_, p)
+            | Stmt::Accept(_, _, p)
+            | Stmt::Start(_, _, p)
+            | Stmt::AwaitStmt(_, _, p)
+            | Stmt::Finish(_, _, p)
+            | Stmt::Execute(_, _, p)
+            | Stmt::Skip(p) => *p,
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! `alps-run` — execute an ALPS program.
+//!
+//! ```text
+//! alps-run [--threaded] [--check-only] <file.alps>
+//! ```
+//!
+//! Programs run on the deterministic simulator by default (virtual time,
+//! reproducible scheduling, deadlock detection); `--threaded` uses OS
+//! threads instead.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use alps_lang::check::check;
+use alps_lang::interp::{run_checked, Output};
+use alps_lang::parser::parse;
+use alps_runtime::{Runtime, SimRuntime};
+
+fn main() -> ExitCode {
+    let mut threaded = false;
+    let mut check_only = false;
+    let mut file = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--threaded" => threaded = true,
+            "--check-only" => check_only = true,
+            "--help" | "-h" => {
+                println!("usage: alps-run [--threaded] [--check-only] <file.alps>");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag `{other}`");
+                return ExitCode::FAILURE;
+            }
+            other => file = Some(other.to_string()),
+        }
+    }
+    let Some(file) = file else {
+        eprintln!("usage: alps-run [--threaded] [--check-only] <file.alps>");
+        return ExitCode::FAILURE;
+    };
+    let src = match std::fs::read_to_string(&file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let program = match parse(&src) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{file}:{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let checked = match check(program) {
+        Ok(c) => Arc::new(c),
+        Err(e) => {
+            eprintln!("{file}:{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if check_only {
+        println!("{file}: ok");
+        return ExitCode::SUCCESS;
+    }
+    let result = if threaded {
+        let rt = Runtime::threaded();
+        let r = run_checked(&rt, &checked, Output::Stdout);
+        rt.shutdown();
+        r
+    } else {
+        let sim = SimRuntime::new();
+        match sim.run(move |rt| run_checked(rt, &checked, Output::Stdout)) {
+            Ok(inner) => inner,
+            Err(e) => {
+                eprintln!("{file}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{file}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Diagnostics for the ALPS language frontend.
+
+use std::fmt;
+
+use crate::token::Pos;
+
+/// A lex, parse, or type error with source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LangError {
+    /// Position the error was detected at.
+    pub pos: Pos,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl LangError {
+    /// Build an error at a position.
+    pub fn at(pos: Pos, message: impl Into<String>) -> LangError {
+        LangError {
+            pos,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for LangError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = LangError::at(
+            Pos {
+                offset: 3,
+                line: 2,
+                col: 1,
+            },
+            "boom",
+        );
+        assert_eq!(e.to_string(), "2:1: boom");
+    }
+}

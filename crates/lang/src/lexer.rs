@@ -1,0 +1,349 @@
+//! Lexer for the ALPS surface language.
+//!
+//! Comments: `{ … }` (Pascal style, as in the paper's listings — e.g.
+//! `{ the database is declared here }`) and `-- …` to end of line.
+
+use crate::error::LangError;
+use crate::token::{keyword, Pos, Spanned, Tok};
+
+/// Tokenize a source string.
+///
+/// # Errors
+///
+/// [`LangError`] on unterminated strings/comments or unexpected
+/// characters, with position information.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LangError> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    out: Vec<Spanned>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            out: Vec::new(),
+        }
+    }
+
+    fn here(&self) -> Pos {
+        Pos {
+            offset: self.pos,
+            line: self.line,
+            col: self.col,
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> LangError {
+        LangError::at(self.here(), message)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, tok: Tok, pos: Pos) {
+        self.out.push(Spanned { tok, pos });
+    }
+
+    fn run(mut self) -> Result<Vec<Spanned>, LangError> {
+        loop {
+            // Skip whitespace and comments.
+            loop {
+                match self.peek() {
+                    Some(c) if c.is_ascii_whitespace() => {
+                        self.bump();
+                    }
+                    Some(b'{') => {
+                        let start = self.here();
+                        self.bump();
+                        loop {
+                            match self.bump() {
+                                Some(b'}') => break,
+                                Some(_) => {}
+                                None => {
+                                    return Err(LangError::at(
+                                        start,
+                                        "unterminated `{ … }` comment",
+                                    ))
+                                }
+                            }
+                        }
+                    }
+                    Some(b'-') if self.peek2() == Some(b'-') => {
+                        while let Some(c) = self.peek() {
+                            if c == b'\n' {
+                                break;
+                            }
+                            self.bump();
+                        }
+                    }
+                    _ => break,
+                }
+            }
+            let pos = self.here();
+            let Some(c) = self.peek() else {
+                self.push(Tok::Eof, pos);
+                return Ok(self.out);
+            };
+            match c {
+                b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
+                    let start = self.pos;
+                    while let Some(c) = self.peek() {
+                        if c.is_ascii_alphanumeric() || c == b'_' {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    let word = &self.src[start..self.pos];
+                    match keyword(word) {
+                        Some(kw) => self.push(kw, pos),
+                        None => self.push(Tok::Ident(word.to_string()), pos),
+                    }
+                }
+                b'0'..=b'9' => {
+                    let start = self.pos;
+                    while matches!(self.peek(), Some(b'0'..=b'9')) {
+                        self.bump();
+                    }
+                    // A float needs `digit . digit`; `1..2` is Int DotDot.
+                    if self.peek() == Some(b'.')
+                        && matches!(self.peek2(), Some(b'0'..=b'9'))
+                    {
+                        self.bump();
+                        while matches!(self.peek(), Some(b'0'..=b'9')) {
+                            self.bump();
+                        }
+                        let text = &self.src[start..self.pos];
+                        let v: f64 = text
+                            .parse()
+                            .map_err(|_| self.error(format!("bad float literal `{text}`")))?;
+                        self.push(Tok::Float(v), pos);
+                    } else {
+                        let text = &self.src[start..self.pos];
+                        let v: i64 = text
+                            .parse()
+                            .map_err(|_| self.error(format!("integer literal out of range `{text}`")))?;
+                        self.push(Tok::Int(v), pos);
+                    }
+                }
+                b'"' => {
+                    self.bump();
+                    let mut s = String::new();
+                    loop {
+                        match self.bump() {
+                            Some(b'"') => break,
+                            Some(b'\\') => match self.bump() {
+                                Some(b'n') => s.push('\n'),
+                                Some(b't') => s.push('\t'),
+                                Some(b'"') => s.push('"'),
+                                Some(b'\\') => s.push('\\'),
+                                other => {
+                                    return Err(self.error(format!(
+                                        "bad escape `\\{}`",
+                                        other.map(|c| c as char).unwrap_or(' ')
+                                    )))
+                                }
+                            },
+                            Some(c) => s.push(c as char),
+                            None => return Err(LangError::at(pos, "unterminated string literal")),
+                        }
+                    }
+                    self.push(Tok::Str(s), pos);
+                }
+                _ => {
+                    self.bump();
+                    let tok = match c {
+                        b'(' => Tok::LParen,
+                        b')' => Tok::RParen,
+                        b'[' => Tok::LBracket,
+                        b']' => Tok::RBracket,
+                        b',' => Tok::Comma,
+                        b';' => Tok::Semi,
+                        b'.' => {
+                            if self.peek() == Some(b'.') {
+                                self.bump();
+                                Tok::DotDot
+                            } else {
+                                Tok::Dot
+                            }
+                        }
+                        b':' => {
+                            if self.peek() == Some(b'=') {
+                                self.bump();
+                                Tok::Assign
+                            } else {
+                                Tok::Colon
+                            }
+                        }
+                        b'=' => {
+                            if self.peek() == Some(b'>') {
+                                self.bump();
+                                Tok::Arrow
+                            } else {
+                                Tok::Eq
+                            }
+                        }
+                        b'#' => Tok::Hash,
+                        b'+' => Tok::Plus,
+                        b'-' => Tok::Minus,
+                        b'*' => Tok::Star,
+                        b'/' => Tok::Slash,
+                        b'<' => match self.peek() {
+                            Some(b'=') => {
+                                self.bump();
+                                Tok::Le
+                            }
+                            Some(b'>') => {
+                                self.bump();
+                                Tok::Ne
+                            }
+                            _ => Tok::Lt,
+                        },
+                        b'>' => {
+                            if self.peek() == Some(b'=') {
+                                self.bump();
+                                Tok::Ge
+                            } else {
+                                Tok::Gt
+                            }
+                        }
+                        other => {
+                            return Err(LangError::at(
+                                pos,
+                                format!("unexpected character `{}`", other as char),
+                            ))
+                        }
+                    };
+                    self.push(tok, pos);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            toks("object Buffer defines end Buffer"),
+            vec![
+                Tok::KwObject,
+                Tok::Ident("Buffer".into()),
+                Tok::KwDefines,
+                Tok::KwEnd,
+                Tok::Ident("Buffer".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_ranges_and_floats() {
+        assert_eq!(
+            toks("1..4 3.5 42"),
+            vec![
+                Tok::Int(1),
+                Tok::DotDot,
+                Tok::Int(4),
+                Tok::Float(3.5),
+                Tok::Int(42),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            toks(":= => <> <= >= < > = # .."),
+            vec![
+                Tok::Assign,
+                Tok::Arrow,
+                Tok::Ne,
+                Tok::Le,
+                Tok::Ge,
+                Tok::Lt,
+                Tok::Gt,
+                Tok::Eq,
+                Tok::Hash,
+                Tok::DotDot,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("a { comment } b -- line comment\n c"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Ident("b".into()),
+                Tok::Ident("c".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            toks(r#""hi\n" "a\"b""#),
+            vec![Tok::Str("hi\n".into()), Tok::Str("a\"b".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let err = lex("a\n  @").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("2:3"), "{msg}");
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("{ open").is_err());
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let ts = lex("a\nbb\n ccc").unwrap();
+        assert_eq!(ts[0].pos.line, 1);
+        assert_eq!(ts[1].pos.line, 2);
+        assert_eq!(ts[2].pos.line, 3);
+        assert_eq!(ts[2].pos.col, 2);
+    }
+}

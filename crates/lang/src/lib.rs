@@ -1,0 +1,57 @@
+//! # alps-lang — the ALPS language
+//!
+//! A frontend and interpreter for the ALPS notation of *"Synchronization
+//! and Scheduling in ALPS Objects"* (ICDCS 1988): lexer, recursive-descent
+//! parser, static checker (definitions vs implementations, hidden
+//! parameter/result derivation, intercepts validation, types, manager-only
+//! statements), and a tree-walking interpreter that maps objects onto
+//! [`alps_core`] and processes onto [`alps_runtime`].
+//!
+//! The concrete grammar and its documented deviations from the paper's
+//! informal notation are in `GRAMMAR.md` next to this crate.
+//!
+//! ```
+//! use alps_lang::interp::{run_source, Output};
+//! use alps_runtime::SimRuntime;
+//!
+//! let src = r#"
+//!     object Greeter defines
+//!       proc Greet(name: string) returns (string);
+//!     end Greeter;
+//!     object Greeter implements
+//!       proc Greet(name: string) returns (string);
+//!       begin return ("hello, " + name) end Greet;
+//!       manager
+//!         intercepts Greet;
+//!         begin
+//!           loop accept Greet => execute Greet end loop
+//!         end;
+//!     end Greeter;
+//!     main var s: string; begin
+//!       s := Greeter.Greet("world");
+//!       print(s)
+//!     end
+//! "#;
+//! let (out, buf) = Output::buffer();
+//! let src = src.to_string();
+//! let sim = SimRuntime::new();
+//! sim.run(move |rt| run_source(rt, &src, out).unwrap()).unwrap();
+//! assert_eq!(buf.lock().trim(), "hello, world");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod check;
+pub mod error;
+pub mod interp;
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+pub mod token;
+
+pub use check::{check, Checked};
+pub use error::LangError;
+pub use interp::{run_checked, run_source, Output, RunError};
+pub use parser::parse;
+pub use pretty::pretty;

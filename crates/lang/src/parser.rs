@@ -1,0 +1,1173 @@
+//! Recursive-descent parser for the ALPS language (grammar in
+//! `GRAMMAR.md`).
+
+use crate::ast::*;
+use crate::error::LangError;
+use crate::lexer::lex;
+use crate::token::{Pos, Spanned, Tok};
+
+/// Parse a full program.
+///
+/// # Errors
+///
+/// [`LangError`] with the position of the first syntax error.
+pub fn parse(src: &str) -> Result<Program, LangError> {
+    let toks = lex(src)?;
+    Parser { toks, at: 0 }.program()
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    at: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.at].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        let i = (self.at + 1).min(self.toks.len() - 1);
+        &self.toks[i].tok
+    }
+
+    fn pos(&self) -> Pos {
+        self.toks[self.at].pos
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.at].tok.clone();
+        if self.at + 1 < self.toks.len() {
+            self.at += 1;
+        }
+        t
+    }
+
+    fn error(&self, message: impl Into<String>) -> LangError {
+        LangError::at(self.pos(), message)
+    }
+
+    fn expect(&mut self, want: Tok) -> Result<(), LangError> {
+        if *self.peek() == want {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {want}, found {}", self.peek())))
+        }
+    }
+
+    fn eat(&mut self, want: Tok) -> bool {
+        if *self.peek() == want {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, LangError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.error(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    // ---- program structure ------------------------------------------
+
+    fn program(&mut self) -> Result<Program, LangError> {
+        let mut prog = Program::default();
+        loop {
+            match self.peek() {
+                Tok::Eof => break,
+                Tok::KwObject => {
+                    let pos = self.pos();
+                    self.bump();
+                    let name = self.ident()?;
+                    match self.peek() {
+                        Tok::KwDefines => {
+                            self.bump();
+                            prog.defs.push(self.object_def(name, pos)?);
+                        }
+                        Tok::KwImplements => {
+                            self.bump();
+                            prog.impls.push(self.object_impl(name, pos)?);
+                        }
+                        other => {
+                            return Err(self.error(format!(
+                                "expected `defines` or `implements`, found {other}"
+                            )))
+                        }
+                    }
+                }
+                Tok::KwMain => {
+                    let pos = self.pos();
+                    self.bump();
+                    if prog.main.is_some() {
+                        return Err(LangError::at(pos, "duplicate `main` block"));
+                    }
+                    let vars = self.var_decls()?;
+                    self.expect(Tok::KwBegin)?;
+                    let body = self.stmts_until(&[Tok::KwEnd])?;
+                    self.expect(Tok::KwEnd)?;
+                    self.eat(Tok::Semi);
+                    prog.main = Some(MainBlock { vars, body, pos });
+                }
+                other => {
+                    return Err(self.error(format!(
+                        "expected `object` or `main` at top level, found {other}"
+                    )))
+                }
+            }
+        }
+        Ok(prog)
+    }
+
+    fn object_def(&mut self, name: String, pos: Pos) -> Result<ObjectDef, LangError> {
+        let mut procs = Vec::new();
+        while *self.peek() == Tok::KwProc {
+            let h = self.proc_header()?;
+            self.expect(Tok::Semi)?;
+            procs.push(h);
+        }
+        self.expect(Tok::KwEnd)?;
+        let closing = self.ident()?;
+        if closing != name {
+            return Err(self.error(format!(
+                "definition of `{name}` closed with `end {closing}`"
+            )));
+        }
+        self.eat(Tok::Semi);
+        Ok(ObjectDef { name, procs, pos })
+    }
+
+    fn object_impl(&mut self, name: String, pos: Pos) -> Result<ObjectImpl, LangError> {
+        let mut vars = Vec::new();
+        let mut procs = Vec::new();
+        let mut manager = None;
+        let mut init = Vec::new();
+        loop {
+            match self.peek() {
+                Tok::KwVar => {
+                    vars.extend(self.var_decls()?);
+                }
+                Tok::KwProc | Tok::KwLocal => {
+                    procs.push(self.proc_impl()?);
+                }
+                Tok::KwManager => {
+                    let mpos = self.pos();
+                    self.bump();
+                    if manager.is_some() {
+                        return Err(LangError::at(mpos, "duplicate manager"));
+                    }
+                    manager = Some(self.manager(mpos)?);
+                }
+                Tok::KwBegin => {
+                    self.bump();
+                    init = self.stmts_until(&[Tok::KwEnd])?;
+                    break;
+                }
+                Tok::KwEnd => break,
+                other => {
+                    return Err(self.error(format!(
+                        "expected `var`, `proc`, `local`, `manager`, `begin` or `end` in \
+                         implementation of `{name}`, found {other}"
+                    )))
+                }
+            }
+        }
+        self.expect(Tok::KwEnd)?;
+        let closing = self.ident()?;
+        if closing != name {
+            return Err(self.error(format!(
+                "implementation of `{name}` closed with `end {closing}`"
+            )));
+        }
+        self.eat(Tok::Semi);
+        Ok(ObjectImpl {
+            name,
+            vars,
+            procs,
+            manager,
+            init,
+            pos,
+        })
+    }
+
+    fn proc_header(&mut self) -> Result<ProcHeader, LangError> {
+        let local = self.eat(Tok::KwLocal);
+        let pos = self.pos();
+        self.expect(Tok::KwProc)?;
+        let name = self.ident()?;
+        let array = if self.eat(Tok::LBracket) {
+            // proc P[1..N]
+            let lo = match self.bump() {
+                Tok::Int(v) => v,
+                other => return Err(self.error(format!("expected array lower bound, found {other}"))),
+            };
+            if lo != 1 {
+                return Err(self.error("procedure arrays are written P[1..N]"));
+            }
+            self.expect(Tok::DotDot)?;
+            let hi = match self.bump() {
+                Tok::Int(v) => v,
+                other => return Err(self.error(format!("expected array upper bound, found {other}"))),
+            };
+            if hi < 1 {
+                return Err(self.error("procedure array upper bound must be at least 1"));
+            }
+            self.expect(Tok::RBracket)?;
+            Some(hi)
+        } else {
+            None
+        };
+        self.expect(Tok::LParen)?;
+        let params = self.param_list()?;
+        self.expect(Tok::RParen)?;
+        let results = if self.eat(Tok::KwReturns) {
+            self.expect(Tok::LParen)?;
+            let tys = self.type_list()?;
+            self.expect(Tok::RParen)?;
+            tys
+        } else {
+            Vec::new()
+        };
+        Ok(ProcHeader {
+            name,
+            array,
+            params,
+            results,
+            local,
+            pos,
+        })
+    }
+
+    fn proc_impl(&mut self) -> Result<ProcImpl, LangError> {
+        let header = self.proc_header()?;
+        self.expect(Tok::Semi)?;
+        let vars = self.var_decls()?;
+        self.expect(Tok::KwBegin)?;
+        let body = self.stmts_until(&[Tok::KwEnd])?;
+        self.expect(Tok::KwEnd)?;
+        let closing = self.ident()?;
+        if closing != header.name {
+            return Err(self.error(format!(
+                "procedure `{}` closed with `end {closing}`",
+                header.name
+            )));
+        }
+        self.eat(Tok::Semi);
+        Ok(ProcImpl { header, vars, body })
+    }
+
+    fn manager(&mut self, pos: Pos) -> Result<Manager, LangError> {
+        let mut intercepts = Vec::new();
+        if self.eat(Tok::KwIntercepts) {
+            loop {
+                let ipos = self.pos();
+                let name = self.ident()?;
+                let mut params = Vec::new();
+                let mut results = Vec::new();
+                let mut explicit = false;
+                if self.eat(Tok::LParen) {
+                    explicit = true;
+                    if *self.peek() != Tok::RParen && *self.peek() != Tok::Semi {
+                        params = self.type_list()?;
+                    }
+                    if self.eat(Tok::Semi) && *self.peek() != Tok::RParen {
+                        results = self.type_list()?;
+                    }
+                    self.expect(Tok::RParen)?;
+                }
+                intercepts.push(InterceptItem {
+                    name,
+                    params,
+                    results,
+                    explicit,
+                    pos: ipos,
+                });
+                if !self.eat(Tok::Comma) {
+                    break;
+                }
+            }
+            self.expect(Tok::Semi)?;
+        }
+        let vars = self.var_decls()?;
+        self.expect(Tok::KwBegin)?;
+        let body = self.stmts_until(&[Tok::KwEnd])?;
+        self.expect(Tok::KwEnd)?;
+        self.eat(Tok::Semi);
+        Ok(Manager {
+            intercepts,
+            vars,
+            body,
+            pos,
+        })
+    }
+
+    fn var_decls(&mut self) -> Result<Vec<Param>, LangError> {
+        let mut out = Vec::new();
+        while self.eat(Tok::KwVar) {
+            loop {
+                // var a, b: int; c: bool;
+                let mut names = vec![(self.ident()?, self.pos())];
+                while self.eat(Tok::Comma) {
+                    names.push((self.ident()?, self.pos()));
+                }
+                self.expect(Tok::Colon)?;
+                let ty = self.type_expr()?;
+                for (name, pos) in names {
+                    out.push(Param {
+                        name,
+                        ty: ty.clone(),
+                        pos,
+                    });
+                }
+                self.expect(Tok::Semi)?;
+                // Another declaration group without a fresh `var`?
+                if !matches!(self.peek(), Tok::Ident(_)) || *self.peek2() != Tok::Colon {
+                    break;
+                }
+                // Heuristic: `name :` directly follows — another group.
+                let looks_like_decl = matches!((self.peek(), self.peek2()), (Tok::Ident(_), Tok::Colon));
+                if !looks_like_decl {
+                    break;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn param_list(&mut self) -> Result<Vec<Param>, LangError> {
+        let mut out = Vec::new();
+        if *self.peek() == Tok::RParen {
+            return Ok(out);
+        }
+        loop {
+            let mut names = vec![(self.ident()?, self.pos())];
+            while self.eat(Tok::Comma) {
+                names.push((self.ident()?, self.pos()));
+            }
+            self.expect(Tok::Colon)?;
+            let ty = self.type_expr()?;
+            for (name, pos) in names {
+                out.push(Param {
+                    name,
+                    ty: ty.clone(),
+                    pos,
+                });
+            }
+            if !self.eat(Tok::Semi) {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    fn type_list(&mut self) -> Result<Vec<TypeExpr>, LangError> {
+        let mut out = vec![self.type_expr()?];
+        while self.eat(Tok::Comma) {
+            out.push(self.type_expr()?);
+        }
+        Ok(out)
+    }
+
+    fn type_expr(&mut self) -> Result<TypeExpr, LangError> {
+        match self.bump() {
+            Tok::KwInt => Ok(TypeExpr::Int),
+            Tok::KwBool => Ok(TypeExpr::Bool),
+            Tok::KwFloat => Ok(TypeExpr::Float),
+            Tok::KwString => Ok(TypeExpr::Str),
+            Tok::KwChan => {
+                self.expect(Tok::LParen)?;
+                let tys = if *self.peek() == Tok::RParen {
+                    Vec::new()
+                } else {
+                    self.type_list()?
+                };
+                self.expect(Tok::RParen)?;
+                Ok(TypeExpr::Chan(tys))
+            }
+            Tok::KwList => {
+                self.expect(Tok::LParen)?;
+                let t = self.type_expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(TypeExpr::List(Box::new(t)))
+            }
+            other => Err(self.error(format!("expected a type, found {other}"))),
+        }
+    }
+
+    // ---- statements --------------------------------------------------
+
+    fn stmts_until(&mut self, stops: &[Tok]) -> Result<Vec<Stmt>, LangError> {
+        let mut out = Vec::new();
+        loop {
+            if stops.contains(self.peek())
+                || matches!(
+                    self.peek(),
+                    Tok::KwOr | Tok::KwElse | Tok::KwElsif | Tok::Eof
+                )
+            {
+                return Ok(out);
+            }
+            out.push(self.stmt()?);
+            self.eat(Tok::Semi);
+        }
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, LangError> {
+        let pos = self.pos();
+        match self.peek().clone() {
+            Tok::KwSkip => {
+                self.bump();
+                Ok(Stmt::Skip(pos))
+            }
+            Tok::KwIf => {
+                self.bump();
+                let mut arms = Vec::new();
+                let cond = self.expr()?;
+                self.expect(Tok::KwThen)?;
+                let body = self.stmts_until(&[Tok::KwEnd])?;
+                arms.push((cond, body));
+                let mut else_body = Vec::new();
+                loop {
+                    if self.eat(Tok::KwElsif) {
+                        let c = self.expr()?;
+                        self.expect(Tok::KwThen)?;
+                        let b = self.stmts_until(&[Tok::KwEnd])?;
+                        arms.push((c, b));
+                    } else if self.eat(Tok::KwElse) {
+                        else_body = self.stmts_until(&[Tok::KwEnd])?;
+                        break;
+                    } else {
+                        break;
+                    }
+                }
+                self.expect(Tok::KwEnd)?;
+                self.expect(Tok::KwIf)?;
+                Ok(Stmt::If(arms, else_body, pos))
+            }
+            Tok::KwWhile => {
+                self.bump();
+                let cond = self.expr()?;
+                self.expect(Tok::KwDo)?;
+                let body = self.stmts_until(&[Tok::KwEnd])?;
+                self.expect(Tok::KwEnd)?;
+                self.expect(Tok::KwWhile)?;
+                Ok(Stmt::While(cond, body, pos))
+            }
+            Tok::KwFor => {
+                self.bump();
+                let var = self.ident()?;
+                self.expect(Tok::Assign)?;
+                let lo = self.expr()?;
+                self.expect(Tok::KwTo)?;
+                let hi = self.expr()?;
+                self.expect(Tok::KwDo)?;
+                let body = self.stmts_until(&[Tok::KwEnd])?;
+                self.expect(Tok::KwEnd)?;
+                self.expect(Tok::KwFor)?;
+                Ok(Stmt::For(var, lo, hi, body, pos))
+            }
+            Tok::KwSend => {
+                self.bump();
+                let chan = self.chan_operand()?;
+                self.expect(Tok::LParen)?;
+                let args = self.expr_list_until_rparen()?;
+                self.expect(Tok::RParen)?;
+                Ok(Stmt::Send(chan, args, pos))
+            }
+            Tok::KwReceive => {
+                self.bump();
+                let chan = self.chan_operand()?;
+                self.expect(Tok::LParen)?;
+                let binds = self.lvalue_list_until_rparen()?;
+                self.expect(Tok::RParen)?;
+                Ok(Stmt::Receive(chan, binds, pos))
+            }
+            Tok::KwSelect => {
+                self.bump();
+                let arms = self.guarded_arms()?;
+                self.expect(Tok::KwEnd)?;
+                self.expect(Tok::KwSelect)?;
+                Ok(Stmt::Select(arms, pos))
+            }
+            Tok::KwLoop => {
+                self.bump();
+                let arms = self.guarded_arms()?;
+                self.expect(Tok::KwEnd)?;
+                self.expect(Tok::KwLoop)?;
+                Ok(Stmt::Loop(arms, pos))
+            }
+            Tok::KwPar => {
+                self.bump();
+                if let (Tok::Ident(v), Tok::Eq) = (self.peek().clone(), self.peek2().clone()) {
+                    // par i = a to b do P(i) end par
+                    self.bump();
+                    self.bump();
+                    let lo = self.expr()?;
+                    self.expect(Tok::KwTo)?;
+                    let hi = self.expr()?;
+                    self.expect(Tok::KwDo)?;
+                    let (target, args) = self.call_target_and_args()?;
+                    self.expect(Tok::KwEnd)?;
+                    self.expect(Tok::KwPar)?;
+                    return Ok(Stmt::ParFor(v, lo, hi, target, args, pos));
+                }
+                let mut calls = vec![self.call_target_and_args()?];
+                while self.eat(Tok::Comma) || self.eat(Tok::KwAnd) {
+                    calls.push(self.call_target_and_args()?);
+                }
+                self.expect(Tok::KwEnd)?;
+                self.expect(Tok::KwPar)?;
+                Ok(Stmt::Par(calls, pos))
+            }
+            Tok::KwReturn => {
+                self.bump();
+                let args = if self.eat(Tok::LParen) {
+                    let a = self.expr_list_until_rparen()?;
+                    self.expect(Tok::RParen)?;
+                    a
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::Return(args, pos))
+            }
+            Tok::KwAccept => {
+                self.bump();
+                let slot = self.slot_ref()?;
+                let binds = if self.eat(Tok::LParen) {
+                    let b = self.lvalue_list_until_rparen()?;
+                    self.expect(Tok::RParen)?;
+                    b
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::Accept(slot, binds, pos))
+            }
+            Tok::KwStart => {
+                self.bump();
+                let slot = self.slot_ref()?;
+                let args = if self.eat(Tok::LParen) {
+                    let a = self.expr_list_until_rparen()?;
+                    self.expect(Tok::RParen)?;
+                    a
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::Start(slot, args, pos))
+            }
+            Tok::KwAwait => {
+                self.bump();
+                let slot = self.slot_ref()?;
+                let binds = if self.eat(Tok::LParen) {
+                    let b = self.lvalue_list_until_rparen()?;
+                    self.expect(Tok::RParen)?;
+                    b
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::AwaitStmt(slot, binds, pos))
+            }
+            Tok::KwFinish => {
+                self.bump();
+                let slot = self.slot_ref()?;
+                let args = if self.eat(Tok::LParen) {
+                    let a = self.expr_list_until_rparen()?;
+                    self.expect(Tok::RParen)?;
+                    a
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::Finish(slot, args, pos))
+            }
+            Tok::KwExecute => {
+                self.bump();
+                let slot = self.slot_ref()?;
+                let args = if self.eat(Tok::LParen) {
+                    let a = self.expr_list_until_rparen()?;
+                    self.expect(Tok::RParen)?;
+                    a
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::Execute(slot, args, pos))
+            }
+            Tok::Ident(_) => {
+                // assignment (single or multi) or a call statement
+                let save = self.at;
+                let first = self.ident()?;
+                match self.peek().clone() {
+                    Tok::Assign => {
+                        self.bump();
+                        let e = self.expr()?;
+                        Ok(Stmt::Assign(vec![LValue::Var(first, pos)], e, pos))
+                    }
+                    Tok::Comma => {
+                        // multi-assign: a, b := expr
+                        let mut lvs = vec![LValue::Var(first, pos)];
+                        while self.eat(Tok::Comma) {
+                            let p = self.pos();
+                            lvs.push(LValue::Var(self.ident()?, p));
+                        }
+                        self.expect(Tok::Assign)?;
+                        let e = self.expr()?;
+                        Ok(Stmt::Assign(lvs, e, pos))
+                    }
+                    Tok::Dot | Tok::LParen => {
+                        self.at = save;
+                        let (target, args) = self.call_target_and_args()?;
+                        Ok(Stmt::Call(target, args, pos))
+                    }
+                    other => Err(self.error(format!(
+                        "expected `:=`, `,`, `.` or `(` after `{first}`, found {other}"
+                    ))),
+                }
+            }
+            other => Err(self.error(format!("expected a statement, found {other}"))),
+        }
+    }
+
+    /// Channel operand of `send`/`receive`: a variable or a
+    /// parenthesized expression (a full postfix expression would swallow
+    /// the message list as a call).
+    fn chan_operand(&mut self) -> Result<Expr, LangError> {
+        let pos = self.pos();
+        match self.peek().clone() {
+            Tok::Ident(name) => {
+                self.bump();
+                Ok(Expr::Var(name, pos))
+            }
+            Tok::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            other => Err(self.error(format!(
+                "expected a channel variable or parenthesized expression, found {other}"
+            ))),
+        }
+    }
+
+    fn call_target_and_args(&mut self) -> Result<(CallTarget, Vec<Expr>), LangError> {
+        let first = self.ident()?;
+        let target = if self.eat(Tok::Dot) {
+            let entry = self.ident()?;
+            CallTarget::Entry(first, entry)
+        } else {
+            CallTarget::Plain(first)
+        };
+        self.expect(Tok::LParen)?;
+        let args = self.expr_list_until_rparen()?;
+        self.expect(Tok::RParen)?;
+        Ok((target, args))
+    }
+
+    fn slot_ref(&mut self) -> Result<SlotRef, LangError> {
+        let pos = self.pos();
+        let entry = self.ident()?;
+        let index = if self.eat(Tok::LBracket) {
+            let e = self.expr()?;
+            self.expect(Tok::RBracket)?;
+            Some(e)
+        } else {
+            None
+        };
+        Ok(SlotRef { entry, index, pos })
+    }
+
+    fn guarded_arms(&mut self) -> Result<Vec<Guarded>, LangError> {
+        let mut arms = vec![self.guarded()?];
+        while self.eat(Tok::KwOr) {
+            arms.push(self.guarded()?);
+        }
+        Ok(arms)
+    }
+
+    fn guarded(&mut self) -> Result<Guarded, LangError> {
+        let pos = self.pos();
+        // Optional quantifier: ( i : lo .. hi )
+        let quantifier = if *self.peek() == Tok::LParen {
+            // Lookahead: LParen Ident Colon
+            let save = self.at;
+            self.bump();
+            if let Tok::Ident(v) = self.peek().clone() {
+                self.bump();
+                if self.eat(Tok::Colon) {
+                    let lo = self.expr()?;
+                    self.expect(Tok::DotDot)?;
+                    let hi = self.expr()?;
+                    self.expect(Tok::RParen)?;
+                    Some((v, lo, hi))
+                } else {
+                    self.at = save;
+                    None
+                }
+            } else {
+                self.at = save;
+                None
+            }
+        } else {
+            None
+        };
+        let kind = match self.peek().clone() {
+            Tok::KwAccept => {
+                self.bump();
+                let slot = self.slot_ref()?;
+                let binds = if self.eat(Tok::LParen) {
+                    let b = self.lvalue_list_until_rparen()?;
+                    self.expect(Tok::RParen)?;
+                    b
+                } else {
+                    Vec::new()
+                };
+                GuardKind::Accept { slot, binds }
+            }
+            Tok::KwAwait => {
+                self.bump();
+                let slot = self.slot_ref()?;
+                let binds = if self.eat(Tok::LParen) {
+                    let b = self.lvalue_list_until_rparen()?;
+                    self.expect(Tok::RParen)?;
+                    b
+                } else {
+                    Vec::new()
+                };
+                GuardKind::Await { slot, binds }
+            }
+            Tok::KwReceive => {
+                self.bump();
+                let chan = self.chan_operand()?;
+                self.expect(Tok::LParen)?;
+                let binds = self.lvalue_list_until_rparen()?;
+                self.expect(Tok::RParen)?;
+                GuardKind::Receive { chan, binds }
+            }
+            Tok::KwWhen => GuardKind::Plain,
+            other => {
+                return Err(self.error(format!(
+                    "expected `accept`, `await`, `receive` or `when` in guard, found {other}"
+                )))
+            }
+        };
+        let when = if self.eat(Tok::KwWhen) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        if matches!(kind, GuardKind::Plain) && when.is_none() {
+            return Err(self.error("a pure guard needs a `when` condition"));
+        }
+        let pri = if self.eat(Tok::KwPri) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        self.expect(Tok::Arrow)?;
+        let body = self.stmts_until(&[Tok::KwEnd])?;
+        Ok(Guarded {
+            quantifier,
+            kind,
+            when,
+            pri,
+            body,
+            pos,
+        })
+    }
+
+    fn lvalue_list_until_rparen(&mut self) -> Result<Vec<LValue>, LangError> {
+        let mut out = Vec::new();
+        if *self.peek() == Tok::RParen {
+            return Ok(out);
+        }
+        loop {
+            let pos = self.pos();
+            out.push(LValue::Var(self.ident()?, pos));
+            if !self.eat(Tok::Comma) {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn expr_list_until_rparen(&mut self) -> Result<Vec<Expr>, LangError> {
+        let mut out = Vec::new();
+        if *self.peek() == Tok::RParen {
+            return Ok(out);
+        }
+        loop {
+            out.push(self.expr()?);
+            if !self.eat(Tok::Comma) {
+                return Ok(out);
+            }
+        }
+    }
+
+    // ---- expressions (precedence climbing) ---------------------------
+
+    fn expr(&mut self) -> Result<Expr, LangError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.and_expr()?;
+        while *self.peek() == Tok::KwOr {
+            // `or` doubles as the guard separator of select/loop. A
+            // guard can only start with accept/await/receive/when or a
+            // quantifier `(i: lo..hi)`; the keyword cases are decided by
+            // lookahead, the quantifier case by backtracking when the
+            // right-hand side fails to parse as an expression.
+            if matches!(
+                self.peek2(),
+                Tok::KwAccept | Tok::KwAwait | Tok::KwReceive | Tok::KwWhen
+            ) {
+                break;
+            }
+            let save = self.at;
+            let pos = self.pos();
+            self.bump();
+            match self.and_expr() {
+                Ok(rhs) => {
+                    lhs = Expr::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs), pos);
+                }
+                Err(_) => {
+                    self.at = save;
+                    break;
+                }
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.cmp_expr()?;
+        while *self.peek() == Tok::KwAnd {
+            let pos = self.pos();
+            self.bump();
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::Binary(BinOp::And, Box::new(lhs), Box::new(rhs), pos);
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, LangError> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            Tok::Eq => BinOp::Eq,
+            Tok::Ne => BinOp::Ne,
+            Tok::Lt => BinOp::Lt,
+            Tok::Le => BinOp::Le,
+            Tok::Gt => BinOp::Gt,
+            Tok::Ge => BinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        let pos = self.pos();
+        self.bump();
+        let rhs = self.add_expr()?;
+        Ok(Expr::Binary(op, Box::new(lhs), Box::new(rhs), pos))
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            let pos = self.pos();
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs), pos);
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                Tok::KwMod => BinOp::Mod,
+                _ => return Ok(lhs),
+            };
+            let pos = self.pos();
+            self.bump();
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs), pos);
+        }
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, LangError> {
+        let pos = self.pos();
+        match self.peek() {
+            Tok::Minus => {
+                self.bump();
+                let e = self.unary_expr()?;
+                Ok(Expr::Unary(UnOp::Neg, Box::new(e), pos))
+            }
+            Tok::KwNot => {
+                self.bump();
+                let e = self.unary_expr()?;
+                Ok(Expr::Unary(UnOp::Not, Box::new(e), pos))
+            }
+            _ => self.primary(),
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, LangError> {
+        let pos = self.pos();
+        match self.peek().clone() {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(Expr::Int(v, pos))
+            }
+            Tok::Float(v) => {
+                self.bump();
+                Ok(Expr::Float(v, pos))
+            }
+            Tok::Str(s) => {
+                self.bump();
+                Ok(Expr::Str(s, pos))
+            }
+            Tok::KwTrue => {
+                self.bump();
+                Ok(Expr::Bool(true, pos))
+            }
+            Tok::KwFalse => {
+                self.bump();
+                Ok(Expr::Bool(false, pos))
+            }
+            Tok::Hash => {
+                self.bump();
+                let name = self.ident()?;
+                Ok(Expr::Pending(name, pos))
+            }
+            Tok::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                if self.eat(Tok::Dot) {
+                    let entry = self.ident()?;
+                    self.expect(Tok::LParen)?;
+                    let args = self.expr_list_until_rparen()?;
+                    self.expect(Tok::RParen)?;
+                    Ok(Expr::Call(CallTarget::Entry(name, entry), args, pos))
+                } else if self.eat(Tok::LParen) {
+                    let args = self.expr_list_until_rparen()?;
+                    self.expect(Tok::RParen)?;
+                    Ok(Expr::Call(CallTarget::Plain(name), args, pos))
+                } else {
+                    Ok(Expr::Var(name, pos))
+                }
+            }
+            other => Err(self.error(format!("expected an expression, found {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_object_definition() {
+        let src = r#"
+            object Buffer defines
+              proc Deposit(M: int);
+              proc Remove() returns (int);
+            end Buffer;
+        "#;
+        let p = parse(src).unwrap();
+        assert_eq!(p.defs.len(), 1);
+        let d = &p.defs[0];
+        assert_eq!(d.name, "Buffer");
+        assert_eq!(d.procs.len(), 2);
+        assert_eq!(d.procs[0].name, "Deposit");
+        assert_eq!(d.procs[0].params.len(), 1);
+        assert_eq!(d.procs[1].results, vec![TypeExpr::Int]);
+    }
+
+    #[test]
+    fn parses_procedure_array_header() {
+        let src = r#"
+            object D implements
+              proc Search[1..8](Word: string) returns (string);
+              begin
+                return (Word)
+              end Search;
+            end D;
+        "#;
+        let p = parse(src).unwrap();
+        assert_eq!(p.impls[0].procs[0].header.array, Some(8));
+    }
+
+    #[test]
+    fn parses_manager_with_intercepts_and_loop() {
+        let src = r#"
+            object Buffer implements
+              proc Deposit(M: int);
+              begin skip end Deposit;
+              manager
+                intercepts Deposit(int);
+                var Count: int;
+                begin
+                  loop
+                    accept Deposit(M) when Count < 4 => execute Deposit; Count := Count + 1
+                  end loop
+                end;
+            end Buffer;
+        "#;
+        let p = parse(src).unwrap();
+        let m = p.impls[0].manager.as_ref().unwrap();
+        assert_eq!(m.intercepts.len(), 1);
+        assert_eq!(m.intercepts[0].params, vec![TypeExpr::Int]);
+        assert_eq!(m.vars.len(), 1);
+        assert_eq!(m.body.len(), 1);
+        match &m.body[0] {
+            Stmt::Loop(arms, _) => {
+                assert_eq!(arms.len(), 1);
+                assert!(matches!(arms[0].kind, GuardKind::Accept { .. }));
+                assert!(arms[0].when.is_some());
+            }
+            other => panic!("expected loop, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_quantified_guard() {
+        let src = r#"
+            object X implements
+              proc Read[1..4]();
+              begin skip end Read;
+              manager
+                intercepts Read;
+                begin
+                  loop
+                    (i: 1..4) accept Read[i] when true => start Read[i]
+                  end loop
+                end;
+            end X;
+        "#;
+        let p = parse(src).unwrap();
+        let m = p.impls[0].manager.as_ref().unwrap();
+        let Stmt::Loop(arms, _) = &m.body[0] else {
+            panic!()
+        };
+        assert!(arms[0].quantifier.is_some());
+    }
+
+    #[test]
+    fn parses_expressions_with_precedence() {
+        let src = "main begin x := 1 + 2 * 3 end";
+        let p = parse(src).unwrap();
+        let Stmt::Assign(_, e, _) = &p.main.as_ref().unwrap().body[0] else {
+            panic!()
+        };
+        // 1 + (2*3)
+        match e {
+            Expr::Binary(BinOp::Add, _, rhs, _) => {
+                assert!(matches!(**rhs, Expr::Binary(BinOp::Mul, _, _, _)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_pending_count_and_calls() {
+        let src = r#"main begin
+            x := #Write;
+            y := Database.Read("k");
+            print("v=", y)
+        end"#;
+        let p = parse(src).unwrap();
+        assert_eq!(p.main.unwrap().body.len(), 3);
+    }
+
+    #[test]
+    fn parses_send_receive_par() {
+        let src = r#"main var C: chan(int); begin
+            send C(5);
+            receive C(x);
+            par P(1) and Q(2) end par;
+            par i = 1 to 4 do Work(i) end par
+        end"#;
+        let p = parse(src).unwrap();
+        assert_eq!(p.main.unwrap().body.len(), 4);
+    }
+
+    #[test]
+    fn parses_if_elsif_else_and_while_for() {
+        let src = r#"main begin
+            if x = 1 then skip elsif x = 2 then skip else skip end if;
+            while x < 10 do x := x + 1 end while;
+            for i := 1 to 3 do print(i) end for
+        end"#;
+        let p = parse(src).unwrap();
+        assert_eq!(p.main.unwrap().body.len(), 3);
+    }
+
+    #[test]
+    fn rejects_mismatched_end_name() {
+        let src = "object A defines end B;";
+        let err = parse(src).unwrap_err();
+        assert!(err.to_string().contains("closed with"));
+    }
+
+    #[test]
+    fn rejects_bad_guard() {
+        let src = "main begin select skip => skip end select end";
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn rejects_plain_guard_without_when() {
+        let src = "main begin select pri 1 => skip end select end";
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn multi_assignment() {
+        let src = "main begin a, b := X.P(1) end";
+        let p = parse(src).unwrap();
+        let Stmt::Assign(lvs, _, _) = &p.main.as_ref().unwrap().body[0] else {
+            panic!()
+        };
+        assert_eq!(lvs.len(), 2);
+    }
+
+    #[test]
+    fn object_level_vars_and_init() {
+        let src = r#"
+            object X implements
+              var Count: int;
+              proc P();
+              begin skip end P;
+              begin
+                Count := 0
+              end X;
+        "#;
+        let p = parse(src).unwrap();
+        assert_eq!(p.impls[0].vars.len(), 1);
+        assert_eq!(p.impls[0].init.len(), 1);
+    }
+
+    #[test]
+    fn local_procedures() {
+        let src = r#"
+            object X implements
+              local proc Helper(v: int) returns (int);
+              begin return (v + 1) end Helper;
+            end X;
+        "#;
+        let p = parse(src).unwrap();
+        assert!(p.impls[0].procs[0].header.local);
+    }
+}

@@ -1,0 +1,564 @@
+//! Pretty-printer: renders an AST back to concrete ALPS syntax.
+//!
+//! The output is canonical (stable indentation and separators) and
+//! round-trips: `parse(pretty(parse(src)))` equals `parse(src)` up to
+//! source positions. Used by tooling and as a parser test oracle.
+
+use std::fmt::Write as _;
+
+use crate::ast::*;
+
+/// Render a whole program to canonical source.
+pub fn pretty(p: &Program) -> String {
+    let mut w = Writer::default();
+    for d in &p.defs {
+        w.object_def(d);
+        w.blank();
+    }
+    for i in &p.impls {
+        w.object_impl(i);
+        w.blank();
+    }
+    if let Some(m) = &p.main {
+        w.main(m);
+    }
+    w.out
+}
+
+#[derive(Default)]
+struct Writer {
+    out: String,
+    indent: usize,
+}
+
+impl Writer {
+    fn line(&mut self, s: impl AsRef<str>) {
+        for _ in 0..self.indent {
+            self.out.push_str("  ");
+        }
+        self.out.push_str(s.as_ref());
+        self.out.push('\n');
+    }
+
+    fn blank(&mut self) {
+        self.out.push('\n');
+    }
+
+    fn object_def(&mut self, d: &ObjectDef) {
+        self.line(format!("object {} defines", d.name));
+        self.indent += 1;
+        for p in &d.procs {
+            let h = header(p);
+            self.line(format!("{h};"));
+        }
+        self.indent -= 1;
+        self.line(format!("end {};", d.name));
+    }
+
+    fn object_impl(&mut self, i: &ObjectImpl) {
+        self.line(format!("object {} implements", i.name));
+        self.indent += 1;
+        self.vars(&i.vars);
+        for p in &i.procs {
+            self.proc_impl(p);
+        }
+        if let Some(m) = &i.manager {
+            self.manager(m);
+        }
+        if !i.init.is_empty() {
+            self.line("begin");
+            self.indent += 1;
+            self.stmts(&i.init);
+            self.indent -= 1;
+        }
+        self.indent -= 1;
+        self.line(format!("end {};", i.name));
+    }
+
+    fn main(&mut self, m: &MainBlock) {
+        self.line("main");
+        self.indent += 1;
+        self.vars(&m.vars);
+        self.indent -= 1;
+        self.line("begin");
+        self.indent += 1;
+        self.stmts(&m.body);
+        self.indent -= 1;
+        self.line("end");
+    }
+
+    fn vars(&mut self, vars: &[Param]) {
+        for v in vars {
+            self.line(format!("var {}: {};", v.name, ty(&v.ty)));
+        }
+    }
+
+    fn proc_impl(&mut self, p: &ProcImpl) {
+        let h = header(&p.header);
+        self.line(format!("{h};"));
+        self.indent += 1;
+        self.vars(&p.vars);
+        self.indent -= 1;
+        self.line("begin");
+        self.indent += 1;
+        self.stmts(&p.body);
+        self.indent -= 1;
+        self.line(format!("end {};", p.header.name));
+    }
+
+    fn manager(&mut self, m: &Manager) {
+        self.line("manager");
+        self.indent += 1;
+        if !m.intercepts.is_empty() {
+            let items: Vec<String> = m
+                .intercepts
+                .iter()
+                .map(|it| {
+                    if !it.explicit {
+                        it.name.clone()
+                    } else {
+                        let ps = it
+                            .params
+                            .iter()
+                            .map(ty)
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        let rs = it
+                            .results
+                            .iter()
+                            .map(ty)
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        if it.results.is_empty() {
+                            format!("{}({ps})", it.name)
+                        } else {
+                            format!("{}({ps}; {rs})", it.name)
+                        }
+                    }
+                })
+                .collect();
+            self.line(format!("intercepts {};", items.join(", ")));
+        }
+        self.vars(&m.vars);
+        self.indent -= 1;
+        self.line("begin");
+        self.indent += 1;
+        self.stmts(&m.body);
+        self.indent -= 1;
+        self.line("end;");
+    }
+
+    fn stmts(&mut self, stmts: &[Stmt]) {
+        for (i, s) in stmts.iter().enumerate() {
+            let last = i + 1 == stmts.len();
+            self.stmt(s, if last { "" } else { ";" });
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn stmt(&mut self, s: &Stmt, term: &str) {
+        match s {
+            Stmt::Skip(_) => self.line(format!("skip{term}")),
+            Stmt::Assign(lvs, e, _) => {
+                let names: Vec<&str> = lvs
+                    .iter()
+                    .map(|LValue::Var(n, _)| n.as_str())
+                    .collect();
+                self.line(format!("{} := {}{term}", names.join(", "), expr(e)));
+            }
+            Stmt::Call(t, args, _) => {
+                self.line(format!("{}{term}", call(t, args)));
+            }
+            Stmt::If(arms, els, _) => {
+                for (i, (c, body)) in arms.iter().enumerate() {
+                    let kw = if i == 0 { "if" } else { "elsif" };
+                    self.line(format!("{kw} {} then", expr(c)));
+                    self.indent += 1;
+                    self.stmts(body);
+                    self.indent -= 1;
+                }
+                if !els.is_empty() {
+                    self.line("else");
+                    self.indent += 1;
+                    self.stmts(els);
+                    self.indent -= 1;
+                }
+                self.line(format!("end if{term}"));
+            }
+            Stmt::While(c, body, _) => {
+                self.line(format!("while {} do", expr(c)));
+                self.indent += 1;
+                self.stmts(body);
+                self.indent -= 1;
+                self.line(format!("end while{term}"));
+            }
+            Stmt::For(v, lo, hi, body, _) => {
+                self.line(format!("for {v} := {} to {} do", expr(lo), expr(hi)));
+                self.indent += 1;
+                self.stmts(body);
+                self.indent -= 1;
+                self.line(format!("end for{term}"));
+            }
+            Stmt::Send(c, args, _) => {
+                self.line(format!("send {}({}){term}", expr(c), exprs(args)));
+            }
+            Stmt::Receive(c, binds, _) => {
+                self.line(format!("receive {}({}){term}", expr(c), lvals(binds)));
+            }
+            Stmt::Select(arms, _) | Stmt::Loop(arms, _) => {
+                let kw = if matches!(s, Stmt::Select(..)) {
+                    "select"
+                } else {
+                    "loop"
+                };
+                self.line(kw);
+                self.indent += 1;
+                for (i, arm) in arms.iter().enumerate() {
+                    if i > 0 {
+                        self.indent -= 1;
+                        self.line("or");
+                        self.indent += 1;
+                    }
+                    self.guarded(arm);
+                }
+                self.indent -= 1;
+                self.line(format!("end {kw}{term}"));
+            }
+            Stmt::Par(calls, _) => {
+                let parts: Vec<String> =
+                    calls.iter().map(|(t, a)| call(t, a)).collect();
+                self.line(format!("par {} end par{term}", parts.join(", ")));
+            }
+            Stmt::ParFor(v, lo, hi, t, args, _) => {
+                self.line(format!(
+                    "par {v} = {} to {} do {} end par{term}",
+                    expr(lo),
+                    expr(hi),
+                    call(t, args)
+                ));
+            }
+            Stmt::Return(args, _) => {
+                if args.is_empty() {
+                    self.line(format!("return{term}"));
+                } else {
+                    self.line(format!("return ({}){term}", exprs(args)));
+                }
+            }
+            Stmt::Accept(slot, binds, _) => {
+                self.line(format!("accept {}{}{term}", slotref(slot), bindlist(binds)));
+            }
+            Stmt::Start(slot, args, _) => {
+                self.line(format!("start {}{}{term}", slotref(slot), arglist(args)));
+            }
+            Stmt::AwaitStmt(slot, binds, _) => {
+                self.line(format!("await {}{}{term}", slotref(slot), bindlist(binds)));
+            }
+            Stmt::Finish(slot, args, _) => {
+                self.line(format!("finish {}{}{term}", slotref(slot), arglist(args)));
+            }
+            Stmt::Execute(slot, args, _) => {
+                self.line(format!("execute {}{}{term}", slotref(slot), arglist(args)));
+            }
+        }
+    }
+
+    fn guarded(&mut self, g: &Guarded) {
+        let mut head = String::new();
+        if let Some((v, lo, hi)) = &g.quantifier {
+            let _ = write!(head, "({v}: {}..{}) ", expr(lo), expr(hi));
+        }
+        match &g.kind {
+            GuardKind::Accept { slot, binds } => {
+                let _ = write!(head, "accept {}{}", slotref(slot), bindlist(binds));
+            }
+            GuardKind::Await { slot, binds } => {
+                let _ = write!(head, "await {}{}", slotref(slot), bindlist(binds));
+            }
+            GuardKind::Receive { chan, binds } => {
+                let _ = write!(head, "receive {}({})", expr(chan), lvals(binds));
+            }
+            GuardKind::Plain => {}
+        }
+        if let Some(w) = &g.when {
+            if matches!(g.kind, GuardKind::Plain) {
+                let _ = write!(head, "when {}", expr(w));
+            } else {
+                let _ = write!(head, " when {}", expr(w));
+            }
+        }
+        if let Some(p) = &g.pri {
+            let _ = write!(head, " pri {}", expr(p));
+        }
+        head.push_str(" =>");
+        self.line(head);
+        self.indent += 1;
+        self.stmts(&g.body);
+        self.indent -= 1;
+    }
+}
+
+fn header(h: &ProcHeader) -> String {
+    let mut s = String::new();
+    if h.local {
+        s.push_str("local ");
+    }
+    let _ = write!(s, "proc {}", h.name);
+    if let Some(n) = h.array {
+        let _ = write!(s, "[1..{n}]");
+    }
+    let params: Vec<String> = h
+        .params
+        .iter()
+        .map(|p| format!("{}: {}", p.name, ty(&p.ty)))
+        .collect();
+    let _ = write!(s, "({})", params.join("; "));
+    if !h.results.is_empty() {
+        let rs: Vec<String> = h.results.iter().map(ty).collect();
+        let _ = write!(s, " returns ({})", rs.join(", "));
+    }
+    s
+}
+
+fn ty(t: &TypeExpr) -> String {
+    match t {
+        TypeExpr::Int => "int".into(),
+        TypeExpr::Bool => "bool".into(),
+        TypeExpr::Float => "float".into(),
+        TypeExpr::Str => "string".into(),
+        TypeExpr::Chan(sig) => format!(
+            "chan({})",
+            sig.iter().map(ty).collect::<Vec<_>>().join(", ")
+        ),
+        TypeExpr::List(e) => format!("list({})", ty(e)),
+    }
+}
+
+fn slotref(s: &SlotRef) -> String {
+    match &s.index {
+        Some(e) => format!("{}[{}]", s.entry, expr(e)),
+        None => s.entry.clone(),
+    }
+}
+
+fn bindlist(binds: &[LValue]) -> String {
+    if binds.is_empty() {
+        String::new()
+    } else {
+        format!("({})", lvals(binds))
+    }
+}
+
+fn arglist(args: &[Expr]) -> String {
+    if args.is_empty() {
+        String::new()
+    } else {
+        format!("({})", exprs(args))
+    }
+}
+
+fn lvals(binds: &[LValue]) -> String {
+    binds
+        .iter()
+        .map(|LValue::Var(n, _)| n.clone())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn exprs(args: &[Expr]) -> String {
+    args.iter().map(expr).collect::<Vec<_>>().join(", ")
+}
+
+fn call(t: &CallTarget, args: &[Expr]) -> String {
+    match t {
+        CallTarget::Entry(o, e) => format!("{o}.{e}({})", exprs(args)),
+        CallTarget::Plain(n) => format!("{n}({})", exprs(args)),
+    }
+}
+
+fn binop_str(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Mod => "mod",
+        BinOp::Eq => "=",
+        BinOp::Ne => "<>",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+        BinOp::And => "and",
+        BinOp::Or => "or",
+    }
+}
+
+/// Render an expression, parenthesizing conservatively (every compound
+/// sub-expression) so precedence never changes meaning on re-parse.
+pub fn expr(e: &Expr) -> String {
+    match e {
+        Expr::Int(v, _) => v.to_string(),
+        Expr::Float(v, _) => {
+            let s = v.to_string();
+            if s.contains('.') {
+                s
+            } else {
+                format!("{s}.0")
+            }
+        }
+        Expr::Str(s, _) => format!(
+            "\"{}\"",
+            s.replace('\\', "\\\\")
+                .replace('"', "\\\"")
+                .replace('\n', "\\n")
+                .replace('\t', "\\t")
+        ),
+        Expr::Bool(b, _) => b.to_string(),
+        Expr::Var(n, _) => n.clone(),
+        Expr::Pending(n, _) => format!("#{n}"),
+        Expr::Unary(UnOp::Neg, inner, _) => format!("(-{})", expr(inner)),
+        Expr::Unary(UnOp::Not, inner, _) => format!("(not {})", expr(inner)),
+        Expr::Binary(op, a, b, _) => {
+            format!("({} {} {})", expr(a), binop_str(*op), expr(b))
+        }
+        Expr::Call(t, args, _) => call(t, args),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    /// Strip positions so ASTs compare structurally.
+    fn normalize(src: &str) -> String {
+        format!("{:?}", parse(src).expect("parse"))
+            .split("pos: Pos")
+            .count()
+            .to_string()
+            + &strip_pos(&format!("{:?}", parse(src).unwrap()))
+    }
+
+    fn strip_pos(s: &str) -> String {
+        // Positions render as `Pos { offset: .., line: .., col: .. }`;
+        // replace them all with a fixed token.
+        let mut out = String::new();
+        let mut rest = s;
+        while let Some(i) = rest.find("Pos {") {
+            out.push_str(&rest[..i]);
+            out.push_str("Pos{..}");
+            match rest[i..].find('}') {
+                Some(j) => rest = &rest[i + j + 1..],
+                None => {
+                    rest = "";
+                }
+            }
+        }
+        out.push_str(rest);
+        out
+    }
+
+    fn roundtrip(src: &str) {
+        let p1 = parse(src).expect("original parses");
+        let printed = pretty(&p1);
+        let p2 = parse(&printed)
+            .unwrap_or_else(|e| panic!("pretty output failed to parse: {e}\n---\n{printed}"));
+        assert_eq!(
+            strip_pos(&format!("{p1:?}")),
+            strip_pos(&format!("{p2:?}")),
+            "round-trip changed the AST\n--- printed ---\n{printed}"
+        );
+    }
+
+    #[test]
+    fn roundtrip_simple_main() {
+        roundtrip(r#"main var x: int; begin x := 1 + 2 * 3; print("v", x) end"#);
+    }
+
+    #[test]
+    fn roundtrip_control_flow() {
+        roundtrip(
+            r#"main var x: int; begin
+                if x = 1 then skip elsif x < 4 then x := 2 else x := -x end if;
+                while not (x > 10) do x := x + 1 end while;
+                for i := 1 to 3 do print(i) end for
+            end"#,
+        );
+    }
+
+    #[test]
+    fn roundtrip_paper_example_files() {
+        for f in [
+            "bounded_buffer",
+            "readers_writers",
+            "dictionary",
+            "spooler",
+            "parallel_buffer",
+            "nested_calls",
+            "disk_scheduler",
+        ] {
+            let path = format!(
+                "{}/../../examples/alps/{f}.alps",
+                env!("CARGO_MANIFEST_DIR")
+            );
+            let src = std::fs::read_to_string(&path).unwrap();
+            roundtrip(&src);
+        }
+    }
+
+    #[test]
+    fn roundtrip_guards_and_primitives() {
+        roundtrip(
+            r#"
+            object X implements
+              proc P[1..4](v: int; h: int) returns (int, int);
+              begin return (v, h) end P;
+              manager
+                intercepts P(int; int);
+                var n: int;
+                begin
+                  loop
+                    (i: 1..4) accept P[i](v) when v > 0 or n = 0 pri v =>
+                      start P[i](v, 9)
+                  or
+                    (i: 1..4) await P[i](r, h) =>
+                      finish P[i](r)
+                  or
+                    when n < 0 =>
+                      n := 0
+                  end loop
+                end;
+            end X;
+            "#,
+        );
+    }
+
+    #[test]
+    fn roundtrip_channels_and_par() {
+        roundtrip(
+            r#"
+            object O defines
+              proc P(i: int);
+            end O;
+            object O implements
+              proc P(i: int);
+              begin skip end P;
+            end O;
+            main var C: chan(int, string); var n: int; var s: string; begin
+              send C(1, "x");
+              receive C(n, s);
+              par O.P(1), O.P(2) end par;
+              par i = 1 to 4 do O.P(i) end par
+            end
+            "#,
+        );
+    }
+
+    #[test]
+    fn normalize_helper_sane() {
+        // Guard against the helper silently matching everything.
+        let a = normalize("main begin skip end");
+        let b = normalize(r#"main begin print("x") end"#);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,254 @@
+//! Tokens of the ALPS surface language.
+
+use std::fmt;
+
+/// Source location (byte offset, 1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Pos {
+    /// Byte offset into the source.
+    pub offset: usize,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Token kinds. Keywords are case-sensitive lowercase, as in the paper's
+/// examples (`object Buffer defines … end Buffer`).
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // token names are self-describing
+pub enum Tok {
+    // Literals and names
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    // Keywords
+    KwObject,
+    KwDefines,
+    KwImplements,
+    KwProc,
+    KwReturns,
+    KwManager,
+    KwIntercepts,
+    KwBegin,
+    KwEnd,
+    KwVar,
+    KwConst,
+    KwIf,
+    KwThen,
+    KwElsif,
+    KwElse,
+    KwWhile,
+    KwDo,
+    KwFor,
+    KwTo,
+    KwPar,
+    KwAnd,
+    KwOr,
+    KwNot,
+    KwSelect,
+    KwLoop,
+    KwWhen,
+    KwPri,
+    KwAccept,
+    KwStart,
+    KwAwait,
+    KwFinish,
+    KwExecute,
+    KwSend,
+    KwReceive,
+    KwReturn,
+    KwSkip,
+    KwTrue,
+    KwFalse,
+    KwMod,
+    KwMain,
+    KwLocal,
+    // Types
+    KwInt,
+    KwBool,
+    KwFloat,
+    KwString,
+    KwChan,
+    KwList,
+    // Punctuation
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Colon,
+    Dot,
+    DotDot,
+    Assign,  // :=
+    Arrow,   // =>
+    Hash,    // #
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Eq,      // =
+    Ne,      // <>
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Int(v) => write!(f, "integer {v}"),
+            Tok::Float(v) => write!(f, "float {v}"),
+            Tok::Str(s) => write!(f, "string {s:?}"),
+            Tok::Eof => write!(f, "end of input"),
+            other => {
+                let s = match other {
+                    Tok::KwObject => "object",
+                    Tok::KwDefines => "defines",
+                    Tok::KwImplements => "implements",
+                    Tok::KwProc => "proc",
+                    Tok::KwReturns => "returns",
+                    Tok::KwManager => "manager",
+                    Tok::KwIntercepts => "intercepts",
+                    Tok::KwBegin => "begin",
+                    Tok::KwEnd => "end",
+                    Tok::KwVar => "var",
+                    Tok::KwConst => "const",
+                    Tok::KwIf => "if",
+                    Tok::KwThen => "then",
+                    Tok::KwElsif => "elsif",
+                    Tok::KwElse => "else",
+                    Tok::KwWhile => "while",
+                    Tok::KwDo => "do",
+                    Tok::KwFor => "for",
+                    Tok::KwTo => "to",
+                    Tok::KwPar => "par",
+                    Tok::KwAnd => "and",
+                    Tok::KwOr => "or",
+                    Tok::KwNot => "not",
+                    Tok::KwSelect => "select",
+                    Tok::KwLoop => "loop",
+                    Tok::KwWhen => "when",
+                    Tok::KwPri => "pri",
+                    Tok::KwAccept => "accept",
+                    Tok::KwStart => "start",
+                    Tok::KwAwait => "await",
+                    Tok::KwFinish => "finish",
+                    Tok::KwExecute => "execute",
+                    Tok::KwSend => "send",
+                    Tok::KwReceive => "receive",
+                    Tok::KwReturn => "return",
+                    Tok::KwSkip => "skip",
+                    Tok::KwTrue => "true",
+                    Tok::KwFalse => "false",
+                    Tok::KwMod => "mod",
+                    Tok::KwMain => "main",
+                    Tok::KwLocal => "local",
+                    Tok::KwInt => "int",
+                    Tok::KwBool => "bool",
+                    Tok::KwFloat => "float",
+                    Tok::KwString => "string",
+                    Tok::KwChan => "chan",
+                    Tok::KwList => "list",
+                    Tok::LParen => "(",
+                    Tok::RParen => ")",
+                    Tok::LBracket => "[",
+                    Tok::RBracket => "]",
+                    Tok::Comma => ",",
+                    Tok::Semi => ";",
+                    Tok::Colon => ":",
+                    Tok::Dot => ".",
+                    Tok::DotDot => "..",
+                    Tok::Assign => ":=",
+                    Tok::Arrow => "=>",
+                    Tok::Hash => "#",
+                    Tok::Plus => "+",
+                    Tok::Minus => "-",
+                    Tok::Star => "*",
+                    Tok::Slash => "/",
+                    Tok::Eq => "=",
+                    Tok::Ne => "<>",
+                    Tok::Lt => "<",
+                    Tok::Le => "<=",
+                    Tok::Gt => ">",
+                    Tok::Ge => ">=",
+                    _ => unreachable!(),
+                };
+                write!(f, "`{s}`")
+            }
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// Where it starts.
+    pub pos: Pos,
+}
+
+pub(crate) fn keyword(s: &str) -> Option<Tok> {
+    Some(match s {
+        "object" => Tok::KwObject,
+        "defines" => Tok::KwDefines,
+        "implements" => Tok::KwImplements,
+        "proc" => Tok::KwProc,
+        "returns" => Tok::KwReturns,
+        "manager" => Tok::KwManager,
+        "intercepts" => Tok::KwIntercepts,
+        "begin" => Tok::KwBegin,
+        "end" => Tok::KwEnd,
+        "var" => Tok::KwVar,
+        "const" => Tok::KwConst,
+        "if" => Tok::KwIf,
+        "then" => Tok::KwThen,
+        "elsif" => Tok::KwElsif,
+        "else" => Tok::KwElse,
+        "while" => Tok::KwWhile,
+        "do" => Tok::KwDo,
+        "for" => Tok::KwFor,
+        "to" => Tok::KwTo,
+        "par" => Tok::KwPar,
+        "and" => Tok::KwAnd,
+        "or" => Tok::KwOr,
+        "not" => Tok::KwNot,
+        "select" => Tok::KwSelect,
+        "loop" => Tok::KwLoop,
+        "when" => Tok::KwWhen,
+        "pri" => Tok::KwPri,
+        "accept" => Tok::KwAccept,
+        "start" => Tok::KwStart,
+        "await" => Tok::KwAwait,
+        "finish" => Tok::KwFinish,
+        "execute" => Tok::KwExecute,
+        "send" => Tok::KwSend,
+        "receive" => Tok::KwReceive,
+        "return" => Tok::KwReturn,
+        "skip" => Tok::KwSkip,
+        "true" => Tok::KwTrue,
+        "false" => Tok::KwFalse,
+        "mod" => Tok::KwMod,
+        "main" => Tok::KwMain,
+        "local" => Tok::KwLocal,
+        "int" => Tok::KwInt,
+        "bool" => Tok::KwBool,
+        "float" => Tok::KwFloat,
+        "string" => Tok::KwString,
+        "chan" => Tok::KwChan,
+        "list" => Tok::KwList,
+        _ => return None,
+    })
+}

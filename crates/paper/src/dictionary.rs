@@ -1,0 +1,248 @@
+//! The dictionary database of paper §2.7.1 — request combining.
+//!
+//! "Since it is wasteful to execute multiple Search processes that search
+//! for the meaning of the same word, the object's manager can be
+//! programmed to recognize such requests and to combine them" — a
+//! software adaptation of NYU Ultracomputer memory combining (§2.7).
+//! Experiment E3 sweeps the duplicate rate and compares combining on/off.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use alps_core::{
+    vals, AcceptedCall, EntryDef, Guard, ObjectBuilder, ObjectHandle, Result, Selected, Ty, Value,
+};
+use alps_runtime::Runtime;
+use parking_lot::Mutex;
+
+/// Configuration for the dictionary object.
+#[derive(Debug, Clone)]
+pub struct DictConfig {
+    /// Elements of the hidden `Search` procedure array (`SearchMax`).
+    pub search_max: usize,
+    /// Simulated ticks one dictionary lookup costs.
+    pub lookup_cost: u64,
+    /// Whether the manager combines duplicate in-flight words.
+    pub combining: bool,
+}
+
+impl Default for DictConfig {
+    fn default() -> Self {
+        DictConfig {
+            search_max: 8,
+            lookup_cost: 500,
+            combining: true,
+        }
+    }
+}
+
+/// The dictionary object: one entry `Search(word) returns (meaning)`,
+/// implemented as a hidden procedure array, with full parameter and
+/// result interception (`intercepts Search(String; String)`).
+#[derive(Debug, Clone)]
+pub struct Dictionary {
+    obj: ObjectHandle,
+}
+
+impl Dictionary {
+    /// Build the dictionary with the supplied word→meaning store.
+    ///
+    /// # Errors
+    ///
+    /// Propagates object-definition errors (none for valid configs).
+    pub fn spawn(
+        rt: &Runtime,
+        cfg: DictConfig,
+        entries: HashMap<String, String>,
+    ) -> Result<Dictionary> {
+        let store = Arc::new(entries);
+        let store2 = Arc::clone(&store);
+        let lookup_cost = cfg.lookup_cost;
+        let combining = cfg.combining;
+        let obj = ObjectBuilder::new("Dictionary")
+            .entry(
+                EntryDef::new("Search")
+                    .params([Ty::Str])
+                    .results([Ty::Str])
+                    .array(cfg.search_max.max(1))
+                    .intercept_params(1)
+                    .intercept_results(1)
+                    .body(move |ctx, args| {
+                        let word = args[0].as_str()?;
+                        ctx.sleep(lookup_cost); // model the search
+                        let meaning = store2
+                            .get(word)
+                            .cloned()
+                            .unwrap_or_else(|| format!("<no entry for {word}>"));
+                        Ok(vec![Value::from(meaning)])
+                    }),
+            )
+            .manager(move |mgr| {
+                // word currently being searched -> calls combined onto it
+                let mut waiting: HashMap<String, Vec<AcceptedCall>> = HashMap::new();
+                // slot -> word it is searching
+                let mut in_flight: HashMap<usize, String> = HashMap::new();
+                loop {
+                    let sel = mgr.select(vec![
+                        Guard::accept("Search"),
+                        Guard::await_done("Search"),
+                    ])?;
+                    match sel {
+                        Selected::Accepted { call, .. } => {
+                            let word = call.params()[0].as_str()?.to_string();
+                            if combining {
+                                if let Some(q) = waiting.get_mut(&word) {
+                                    // "record that Word is now being
+                                    // searched on behalf of Search[i]"
+                                    q.push(call);
+                                    continue;
+                                }
+                                waiting.insert(word.clone(), Vec::new());
+                            }
+                            in_flight.insert(call.slot(), word);
+                            mgr.start_as_is(call)?;
+                        }
+                        Selected::Ready { done, .. } => {
+                            let word = in_flight
+                                .remove(&done.slot())
+                                .expect("every start was recorded");
+                            let meaning = done.results()[0].clone();
+                            mgr.finish_as_is(done)?;
+                            if combining {
+                                for acc in waiting.remove(&word).unwrap_or_default() {
+                                    mgr.finish_accepted(acc, vec![meaning.clone()])?;
+                                }
+                            }
+                        }
+                        _ => unreachable!(),
+                    }
+                }
+            })
+            .spawn(rt)?;
+        Ok(Dictionary { obj })
+    }
+
+    /// Look up a word (ALPS `Dictionary.Search(word, meaning)`).
+    ///
+    /// # Errors
+    ///
+    /// [`alps_core::AlpsError::ObjectClosed`] after shutdown.
+    pub fn search(&self, word: &str) -> Result<String> {
+        let r = self.obj.call("Search", vals![word])?;
+        Ok(r[0].as_str()?.to_string())
+    }
+
+    /// The underlying object handle (stats expose starts vs combines).
+    pub fn object(&self) -> &ObjectHandle {
+        &self.obj
+    }
+}
+
+/// Convenience store for tests and benches: `word-i -> meaning-i`.
+pub fn synthetic_store(words: usize) -> HashMap<String, String> {
+    (0..words)
+        .map(|i| (format!("word-{i}"), format!("meaning-{i}")))
+        .collect()
+}
+
+/// Shared counter type used by benches to track redundant executions.
+pub type ExecCounter = Arc<Mutex<u64>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alps_runtime::{SimRuntime, Spawn};
+
+    fn run_queries(combining: bool, queries: &[&str]) -> (Vec<String>, u64, u64) {
+        let queries: Vec<String> = queries.iter().map(|s| s.to_string()).collect();
+        let sim = SimRuntime::new();
+        sim.run(move |rt| {
+            let dict = Dictionary::spawn(
+                rt,
+                DictConfig {
+                    search_max: 8,
+                    lookup_cost: 200,
+                    combining,
+                },
+                synthetic_store(10),
+            )
+            .unwrap();
+            let mut hs = Vec::new();
+            for (i, w) in queries.iter().enumerate() {
+                let (d2, w2) = (dict.clone(), w.clone());
+                hs.push(rt.spawn_with(Spawn::new(format!("q{i}")), move || {
+                    d2.search(&w2).unwrap()
+                }));
+            }
+            let answers: Vec<String> = hs.into_iter().map(|h| h.join().unwrap()).collect();
+            (answers, dict.object().stats().starts(), dict.object().stats().combines())
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn all_duplicates_execute_once_with_combining() {
+        let (answers, starts, combines) =
+            run_queries(true, &["word-1", "word-1", "word-1", "word-1"]);
+        assert!(answers.iter().all(|a| a == "meaning-1"));
+        assert_eq!(starts, 1);
+        assert_eq!(combines, 3);
+    }
+
+    #[test]
+    fn distinct_words_all_execute() {
+        let (answers, starts, combines) = run_queries(true, &["word-1", "word-2", "word-3"]);
+        assert_eq!(answers, vec!["meaning-1", "meaning-2", "meaning-3"]);
+        assert_eq!(starts, 3);
+        assert_eq!(combines, 0);
+    }
+
+    #[test]
+    fn without_combining_every_query_executes() {
+        let (answers, starts, combines) =
+            run_queries(false, &["word-1", "word-1", "word-1"]);
+        assert!(answers.iter().all(|a| a == "meaning-1"));
+        assert_eq!(starts, 3);
+        assert_eq!(combines, 0);
+    }
+
+    #[test]
+    fn missing_words_get_placeholder() {
+        let (answers, _, _) = run_queries(true, &["nope"]);
+        assert_eq!(answers[0], "<no entry for nope>");
+    }
+
+    #[test]
+    fn combining_preserves_latency_equivalence() {
+        // All combined callers get the answer when the single execution
+        // completes — total virtual time ~ one lookup, not four.
+        let sim = SimRuntime::new();
+        let elapsed = sim
+            .run(|rt| {
+                let dict = Dictionary::spawn(
+                    rt,
+                    DictConfig {
+                        search_max: 4,
+                        lookup_cost: 300,
+                        combining: true,
+                    },
+                    synthetic_store(4),
+                )
+                .unwrap();
+                let t0 = rt.now();
+                let mut hs = Vec::new();
+                for i in 0..4 {
+                    let d2 = dict.clone();
+                    hs.push(rt.spawn_with(Spawn::new(format!("q{i}")), move || {
+                        d2.search("word-0").unwrap()
+                    }));
+                }
+                for h in hs {
+                    h.join().unwrap();
+                }
+                rt.now() - t0
+            })
+            .unwrap();
+        assert!(elapsed < 2 * 300, "combining did not overlap: {elapsed}");
+    }
+}

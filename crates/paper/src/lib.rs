@@ -1,0 +1,24 @@
+//! # alps-paper — the worked examples of the ALPS paper
+//!
+//! Every example program in *"Synchronization and Scheduling in ALPS
+//! Objects"* (ICDCS 1988), implemented on `alps-core`, plus the baseline
+//! implementations (on `alps-sync`) that the benchmark harness compares
+//! them against:
+//!
+//! | Paper § | Module | Mechanism exercised |
+//! |---------|--------|---------------------|
+//! | §2.4.1  | [`bounded_buffer`] | basic manager, guarded accept, `execute` |
+//! | §2.5.1  | [`readers_writers`] | hidden procedure arrays, `#P` in guards, starvation-free policy |
+//! | §2.7.1  | [`dictionary`] | full param/result interception, request combining |
+//! | §2.8.1  | [`spooler`] | hidden parameters and hidden results |
+//! | §2.8.2  | [`parallel_buffer`] | everything combined: parallel deposits/removals |
+//! | §2.3    | [`nested`] | asynchronous `start` avoids nested-call deadlock |
+
+#![warn(missing_docs)]
+
+pub mod bounded_buffer;
+pub mod dictionary;
+pub mod nested;
+pub mod parallel_buffer;
+pub mod readers_writers;
+pub mod spooler;

@@ -1,0 +1,187 @@
+//! Nested cross-object calls (paper §2.3): the asynchronous `start`
+//! avoids the nested-monitor-call problem.
+//!
+//! "Two objects X and Y can be programmed without deadlock such that an
+//! entry procedure P in X calls a procedure Q in Y which in turn calls
+//! another entry R in X. Deadlock can be avoided because X's manager can
+//! be programmed such that after starting the execution of P it can be
+//! ready to accept calls to R. Note that DP, Ada and SR suffer from the
+//! nested calls problem." Experiment E6 demonstrates both sides: the ALPS
+//! pair completes; the equivalent monitor nesting deadlocks (detected by
+//! the simulator).
+
+use alps_core::{EntryDef, ObjectBuilder, ObjectHandle, Result, Ty, Value};
+use alps_runtime::Runtime;
+use alps_sync::Monitor;
+
+/// Builds the paper's X/Y pair: `X.P` calls `Y.Q`, which calls back into
+/// `X.R`. Returns the handle for `X` (call `P` on it).
+///
+/// Both X entries are intercepted; X's manager is a plain
+/// accept-start / await-finish loop, so after starting `P` it is free to
+/// accept the reentrant `R`.
+///
+/// # Errors
+///
+/// Propagates object-definition errors (none for this fixed shape).
+pub fn spawn_cross_calling_pair(rt: &Runtime) -> Result<(ObjectHandle, ObjectHandle)> {
+    // Y is built first; X's P body captures its handle.
+    // Y.Q(v) = X.R(v) + 100   (the callback into X)
+    // X.R(v) = v + 1
+    // X.P(v) = Y.Q(v) * 2
+    let y_builder_slot: std::sync::Arc<parking_lot::Mutex<Option<ObjectHandle>>> =
+        std::sync::Arc::new(parking_lot::Mutex::new(None));
+    let y_for_p = std::sync::Arc::clone(&y_builder_slot);
+    let x = ObjectBuilder::new("X")
+        .entry(
+            EntryDef::new("P")
+                .params([Ty::Int])
+                .results([Ty::Int])
+                .intercepted()
+                .body(move |_ctx, args| {
+                    let y = y_for_p.lock().clone().expect("Y installed before use");
+                    let r = y.call("Q", vec![args[0].clone()])?;
+                    Ok(vec![Value::Int(r[0].as_int()? * 2)])
+                }),
+        )
+        .entry(
+            EntryDef::new("R")
+                .params([Ty::Int])
+                .results([Ty::Int])
+                .intercepted()
+                .body(|_ctx, args| Ok(vec![Value::Int(args[0].as_int()? + 1)])),
+        )
+        .manager(|mgr| loop {
+            // The crucial shape: start asynchronously, keep accepting.
+            let sel = mgr.select(vec![
+                alps_core::Guard::accept("P"),
+                alps_core::Guard::accept("R"),
+                alps_core::Guard::await_done("P"),
+                alps_core::Guard::await_done("R"),
+            ])?;
+            match sel {
+                alps_core::Selected::Accepted { call, .. } => mgr.start_as_is(call)?,
+                alps_core::Selected::Ready { done, .. } => mgr.finish_as_is(done)?,
+                _ => unreachable!(),
+            }
+        })
+        .spawn(rt)?;
+    let x_for_q = x.clone();
+    let y = ObjectBuilder::new("Y")
+        .entry(
+            EntryDef::new("Q")
+                .params([Ty::Int])
+                .results([Ty::Int])
+                .intercepted()
+                .body(move |_ctx, args| {
+                    let r = x_for_q.call("R", vec![args[0].clone()])?;
+                    Ok(vec![Value::Int(r[0].as_int()? + 100)])
+                }),
+        )
+        .manager(|mgr| loop {
+            let sel = mgr.select(vec![
+                alps_core::Guard::accept("Q"),
+                alps_core::Guard::await_done("Q"),
+            ])?;
+            match sel {
+                alps_core::Selected::Accepted { call, .. } => mgr.start_as_is(call)?,
+                alps_core::Selected::Ready { done, .. } => mgr.finish_as_is(done)?,
+                _ => unreachable!(),
+            }
+        })
+        .spawn(rt)?;
+    *y_builder_slot.lock() = Some(y.clone());
+    Ok((x, y))
+}
+
+/// The monitor analogue that *does* deadlock: `X.P` holds monitor X while
+/// calling `Y.Q`, which tries to re-enter monitor X. Calling
+/// [`NestedMonitors::nested_monitor_call`] from a simulated process never
+/// returns; the simulation's deadlock detector reports it (E6's baseline
+/// row).
+#[derive(Debug, Clone)]
+pub struct NestedMonitors {
+    x: Monitor<i64>,
+    y: Monitor<i64>,
+}
+
+impl Default for NestedMonitors {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl NestedMonitors {
+    /// New monitor pair.
+    pub fn new() -> NestedMonitors {
+        NestedMonitors {
+            x: Monitor::new(0, 0),
+            y: Monitor::new(0, 0),
+        }
+    }
+
+    /// `X.P` under nested-monitor semantics: enter X, call `Y.Q` while
+    /// still inside X; `Y.Q` re-enters X → self-deadlock.
+    pub fn nested_monitor_call(&self, rt: &Runtime, v: i64) -> i64 {
+        let _gx = self.x.enter(rt); // hold X across the nested call
+        let _gy = self.y.enter(rt); // Y.Q
+        let _gx2 = self.x.enter(rt); // X.R — blocks forever: X is held
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alps_core::vals;
+    use alps_runtime::{RuntimeError, SimRuntime, Spawn};
+
+    #[test]
+    fn alps_cross_calls_complete_without_deadlock() {
+        let sim = SimRuntime::new();
+        let v = sim
+            .run(|rt| {
+                let (x, _y) = spawn_cross_calling_pair(rt).unwrap();
+                x.call("P", vals![5i64]).unwrap()[0].as_int().unwrap()
+            })
+            .unwrap();
+        // P(5) = (Q(5)) * 2 = (R(5) + 100) * 2 = (5 + 1 + 100) * 2
+        assert_eq!(v, 212);
+    }
+
+    #[test]
+    fn several_concurrent_cross_calls_complete() {
+        let sim = SimRuntime::new();
+        let ok = sim
+            .run(|rt| {
+                let (x, _y) = spawn_cross_calling_pair(rt).unwrap();
+                let mut hs = Vec::new();
+                for i in 0..5i64 {
+                    let x2 = x.clone();
+                    hs.push(rt.spawn_with(Spawn::new(format!("c{i}")), move || {
+                        x2.call("P", vals![i]).unwrap()[0].as_int().unwrap()
+                    }));
+                }
+                hs.into_iter()
+                    .enumerate()
+                    .all(|(i, h)| h.join().unwrap() == (i as i64 + 101) * 2)
+            })
+            .unwrap();
+        assert!(ok);
+    }
+
+    #[test]
+    fn monitor_nesting_deadlocks_and_is_detected() {
+        let sim = SimRuntime::new();
+        let err = sim
+            .run(|rt| {
+                let nm = NestedMonitors::new();
+                nm.nested_monitor_call(rt, 1)
+            })
+            .unwrap_err();
+        assert!(
+            matches!(err, RuntimeError::Deadlock { .. }),
+            "expected detected deadlock, got {err:?}"
+        );
+    }
+}

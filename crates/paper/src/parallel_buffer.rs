@@ -1,0 +1,281 @@
+//! The parallel bounded buffer of paper §2.8.2 — the culminating example.
+//!
+//! Several producers and consumers are serviced *in parallel*: `Deposit`
+//! and `Remove` are hidden procedure arrays; when the manager accepts a
+//! `Deposit[i]` it allocates a free buffer slot from its `Free` list and
+//! passes the index as a hidden parameter, so the body copies the
+//! (potentially long) message into the slot without further
+//! synchronization; the body returns the slot index as a hidden result,
+//! which the manager moves to the `Full` list at `finish`. `Remove`
+//! mirrors this with the `Full` list. Experiment E5 compares against the
+//! serial manager of §2.4.1 as the message copy cost grows.
+
+use std::sync::Arc;
+
+use alps_core::{vals, EntryDef, Guard, ObjectBuilder, ObjectHandle, Result, Selected, Ty, Value};
+use alps_runtime::Runtime;
+use parking_lot::Mutex;
+
+/// Configuration for the parallel buffer.
+#[derive(Debug, Clone)]
+pub struct ParBufConfig {
+    /// Buffer capacity `N` (slots).
+    pub slots: usize,
+    /// `ProducerMax` — elements of the `Deposit` procedure array.
+    pub producer_max: usize,
+    /// `ConsumerMax` — elements of the `Remove` procedure array.
+    pub consumer_max: usize,
+    /// Simulated ticks to copy a message into or out of a slot (the
+    /// "potentially long messages" of the paper).
+    pub copy_cost: u64,
+}
+
+impl Default for ParBufConfig {
+    fn default() -> Self {
+        ParBufConfig {
+            slots: 8,
+            producer_max: 4,
+            consumer_max: 4,
+            copy_cost: 100,
+        }
+    }
+}
+
+/// The parallel bounded buffer object.
+#[derive(Debug, Clone)]
+pub struct ParallelBuffer {
+    obj: ObjectHandle,
+}
+
+impl ParallelBuffer {
+    /// Build the object per §2.8.2.
+    ///
+    /// # Errors
+    ///
+    /// Propagates object-definition errors (none for valid configs).
+    pub fn spawn(rt: &Runtime, cfg: ParBufConfig) -> Result<ParallelBuffer> {
+        let n = cfg.slots.max(1);
+        // Buf: array 0..N-1 of Message, one lock per slot: the manager
+        // hands out disjoint indices, so slot locks are uncontended; they
+        // exist to keep the Rust API safe.
+        let buf: Arc<Vec<Mutex<Value>>> =
+            Arc::new((0..n).map(|_| Mutex::new(Value::Unit)).collect());
+        let (buf_d, buf_r) = (Arc::clone(&buf), Arc::clone(&buf));
+        let copy = cfg.copy_cost;
+        let obj = ObjectBuilder::new("ParBuffer")
+            .entry(
+                // proc Deposit[1..ProducerMax](M: Message; Place: int)
+                //   returns (int /* hidden */)
+                EntryDef::new("Deposit")
+                    .params([Ty::Int])
+                    .array(cfg.producer_max.max(1))
+                    .intercepted()
+                    .hidden_params([Ty::Int])
+                    .hidden_results([Ty::Int])
+                    .body(move |ctx, args| {
+                        let place = args[1].as_int()? as usize;
+                        ctx.sleep(copy); // copy the long message in
+                        *buf_d[place].lock() = args[0].clone();
+                        // return (Place) as the hidden result
+                        Ok(vec![Value::Int(place as i64)])
+                    }),
+            )
+            .entry(
+                // proc Remove[1..ConsumerMax](Place: int /* hidden */)
+                //   returns (Message, int /* hidden */)
+                EntryDef::new("Remove")
+                    .results([Ty::Int])
+                    .array(cfg.consumer_max.max(1))
+                    .intercepted()
+                    .hidden_params([Ty::Int])
+                    .hidden_results([Ty::Int])
+                    .body(move |ctx, args| {
+                        let place = args[0].as_int()? as usize;
+                        ctx.sleep(copy); // copy the long message out
+                        let m = buf_r[place].lock().clone();
+                        Ok(vec![m, Value::Int(place as i64)])
+                    }),
+            )
+            .manager(move |mgr| {
+                // Free/Full are the manager's two index lists; Max/Min
+                // track their sizes as in the paper's code.
+                let mut free: Vec<i64> = (0..n as i64).collect();
+                let mut full: Vec<i64> = Vec::new();
+                loop {
+                    let can_deposit = !free.is_empty();
+                    let can_remove = !full.is_empty();
+                    let sel = mgr.select(vec![
+                        Guard::accept("Deposit").when(move |_| can_deposit),
+                        Guard::accept("Remove").when(move |_| can_remove),
+                        Guard::await_done("Deposit"),
+                        Guard::await_done("Remove"),
+                    ])?;
+                    match sel {
+                        Selected::Accepted { guard: 0, call } => {
+                            let place = free.pop().expect("guard checked");
+                            let prefix = call.params().to_vec();
+                            mgr.start(call, prefix, vals![place])?;
+                        }
+                        Selected::Accepted { guard: 1, call } => {
+                            let place = full.remove(0); // FIFO across slots
+                            mgr.start(call, vals![], vals![place])?;
+                        }
+                        Selected::Ready { done, .. } => {
+                            let is_deposit = done.entry_name() == "Deposit";
+                            let place = done.hidden()[0].as_int()?;
+                            mgr.finish_as_is(done)?;
+                            if is_deposit {
+                                full.push(place);
+                            } else {
+                                free.push(place);
+                            }
+                        }
+                        _ => unreachable!(),
+                    }
+                }
+            })
+            .spawn(rt)?;
+        Ok(ParallelBuffer { obj })
+    }
+
+    /// Deposit a message, blocking while no slot is free.
+    ///
+    /// # Errors
+    ///
+    /// [`alps_core::AlpsError::ObjectClosed`] after shutdown.
+    pub fn deposit(&self, v: i64) -> Result<()> {
+        self.obj.call("Deposit", vals![v])?;
+        Ok(())
+    }
+
+    /// Remove some buffered message (any producer's), blocking while the
+    /// buffer is empty.
+    ///
+    /// # Errors
+    ///
+    /// [`alps_core::AlpsError::ObjectClosed`] after shutdown.
+    pub fn remove(&self) -> Result<i64> {
+        let r = self.obj.call("Remove", vals![])?;
+        r[0].as_int()
+    }
+
+    /// The underlying object handle.
+    pub fn object(&self) -> &ObjectHandle {
+        &self.obj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alps_runtime::{SimRuntime, Spawn};
+
+    fn run_parallel(cfg: ParBufConfig, producers: usize, consumers: usize, per: i64) -> (Vec<i64>, u64) {
+        let sim = SimRuntime::new();
+        sim.run(move |rt| {
+            let buf = ParallelBuffer::spawn(rt, cfg).unwrap();
+            let t0 = rt.now();
+            let mut phs = Vec::new();
+            for p in 0..producers {
+                let b2 = buf.clone();
+                phs.push(rt.spawn_with(Spawn::new(format!("prod{p}")), move || {
+                    for i in 0..per {
+                        b2.deposit(p as i64 * 1_000 + i).unwrap();
+                    }
+                }));
+            }
+            let mut chs = Vec::new();
+            let total = producers as i64 * per;
+            let per_cons = total / consumers as i64;
+            for c in 0..consumers {
+                let b2 = buf.clone();
+                chs.push(rt.spawn_with(Spawn::new(format!("cons{c}")), move || {
+                    (0..per_cons).map(|_| b2.remove().unwrap()).collect::<Vec<i64>>()
+                }));
+            }
+            for h in phs {
+                h.join().unwrap();
+            }
+            let mut got: Vec<i64> = Vec::new();
+            for h in chs {
+                got.extend(h.join().unwrap());
+            }
+            (got, rt.now() - t0)
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn conservation_no_loss_no_duplication() {
+        let (mut got, _) = run_parallel(ParBufConfig::default(), 4, 4, 10);
+        got.sort_unstable();
+        let mut want: Vec<i64> = (0..4)
+            .flat_map(|p| (0..10).map(move |i| p * 1_000 + i))
+            .collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn copies_overlap_in_virtual_time() {
+        // With 4 producers/consumers and expensive copies, the parallel
+        // buffer must beat the serial lower bound of (copies × cost).
+        let cfg = ParBufConfig {
+            slots: 8,
+            producer_max: 4,
+            consumer_max: 4,
+            copy_cost: 500,
+        };
+        let per = 5i64;
+        let (got, elapsed) = run_parallel(cfg, 4, 4, per);
+        assert_eq!(got.len(), 20);
+        let serial_bound = (2 * 20) as u64 * 500; // every copy serialized
+        assert!(
+            elapsed < serial_bound / 2,
+            "copies did not overlap: {elapsed} vs serial {serial_bound}"
+        );
+    }
+
+    #[test]
+    fn single_slot_degenerates_to_alternation() {
+        let cfg = ParBufConfig {
+            slots: 1,
+            producer_max: 2,
+            consumer_max: 2,
+            copy_cost: 10,
+        };
+        let (mut got, _) = run_parallel(cfg, 2, 2, 5);
+        got.sort_unstable();
+        let mut want: Vec<i64> = (0..2)
+            .flat_map(|p| (0..5).map(move |i| p * 1_000 + i))
+            .collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn works_threaded_too() {
+        let rt = Runtime::threaded();
+        let buf = ParallelBuffer::spawn(
+            &rt,
+            ParBufConfig {
+                slots: 4,
+                producer_max: 2,
+                consumer_max: 2,
+                copy_cost: 0,
+            },
+        )
+        .unwrap();
+        let b2 = buf.clone();
+        let prod = rt.spawn_with(Spawn::new("prod"), move || {
+            for i in 0..50 {
+                b2.deposit(i).unwrap();
+            }
+        });
+        let mut got: Vec<i64> = (0..50).map(|_| buf.remove().unwrap()).collect();
+        prod.join().unwrap();
+        got.sort_unstable();
+        assert_eq!(got, (0..50).collect::<Vec<_>>());
+        buf.object().shutdown();
+    }
+}

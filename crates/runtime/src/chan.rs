@@ -1,0 +1,527 @@
+//! Asynchronous typed point-to-point channels (paper §2.1.2).
+//!
+//! ALPS channels are asynchronous (`send` buffers and continues), typed,
+//! first-class values (they can be stored in data structures, passed as
+//! procedure parameters and inside messages), and usable in the guards of
+//! `select`/`loop` statements. This module provides `Chan<T>` with exactly
+//! those properties:
+//!
+//! * unbounded by default, optionally bounded (`send` then blocks when
+//!   full — a buffering limit, not a rendezvous);
+//! * FIFO per channel;
+//! * *acceptance-condition* support for guards: a receive guard may scan
+//!   the queue for the first message satisfying a predicate, leaving
+//!   non-matching messages untouched (SR-style semantics, see paper §2.4);
+//! * select integration through [`Notifier`] subscription.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::error::RuntimeError;
+use crate::executor::Runtime;
+use crate::notifier::{Notifier, WeakNotifier};
+use crate::process::ProcId;
+
+struct ChanSt<T> {
+    q: VecDeque<T>,
+    recv_waiters: Vec<ProcId>,
+    send_waiters: Vec<ProcId>,
+    subscribers: Vec<WeakNotifier>,
+    closed: bool,
+}
+
+struct ChanInner<T> {
+    st: Mutex<ChanSt<T>>,
+    cap: Option<usize>,
+    name: String,
+}
+
+/// An asynchronous buffered channel carrying values of type `T`.
+///
+/// Cloning the handle is cheap; all clones refer to the same queue. The
+/// paper requires each channel be used for input *or* output by a given
+/// process but the type itself does not enforce directionality (split
+/// wrappers [`SendHalf`]/[`RecvHalf`] provide it when wanted).
+///
+/// # Examples
+///
+/// ```
+/// use alps_runtime::{Chan, Runtime};
+///
+/// let rt = Runtime::threaded();
+/// let c: Chan<i64> = Chan::unbounded("nums");
+/// c.send(&rt, 1).unwrap();
+/// c.send(&rt, 2).unwrap();
+/// assert_eq!(c.recv(&rt).unwrap(), 1);
+/// assert_eq!(c.recv(&rt).unwrap(), 2);
+/// rt.shutdown();
+/// ```
+pub struct Chan<T> {
+    inner: Arc<ChanInner<T>>,
+}
+
+impl<T> Clone for Chan<T> {
+    fn clone(&self) -> Self {
+        Chan {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> fmt::Debug for Chan<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let st = self.inner.st.lock();
+        f.debug_struct("Chan")
+            .field("name", &self.inner.name)
+            .field("len", &st.q.len())
+            .field("cap", &self.inner.cap)
+            .field("closed", &st.closed)
+            .finish()
+    }
+}
+
+impl<T: Send + 'static> Chan<T> {
+    /// Create an unbounded channel with a debug name.
+    pub fn unbounded(name: impl Into<String>) -> Chan<T> {
+        Self::with_capacity(name, None)
+    }
+
+    /// Create a bounded channel: `send` blocks while `cap` messages are
+    /// buffered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap == 0` (ALPS channels are asynchronous; a rendezvous
+    /// channel would change the language semantics).
+    pub fn bounded(name: impl Into<String>, cap: usize) -> Chan<T> {
+        assert!(cap > 0, "ALPS channels are buffered; capacity must be > 0");
+        Self::with_capacity(name, Some(cap))
+    }
+
+    fn with_capacity(name: impl Into<String>, cap: Option<usize>) -> Chan<T> {
+        Chan {
+            inner: Arc::new(ChanInner {
+                st: Mutex::new(ChanSt {
+                    q: VecDeque::new(),
+                    recv_waiters: Vec::new(),
+                    send_waiters: Vec::new(),
+                    subscribers: Vec::new(),
+                    closed: false,
+                }),
+                cap,
+                name: name.into(),
+            }),
+        }
+    }
+
+    /// The channel's debug name.
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// Whether two handles refer to the same underlying channel.
+    pub fn same(&self, other: &Chan<T>) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// A stable identity for the underlying channel (pointer-based).
+    pub fn id(&self) -> usize {
+        Arc::as_ptr(&self.inner) as *const () as usize
+    }
+
+    /// Number of buffered messages.
+    pub fn len(&self) -> usize {
+        self.inner.st.lock().q.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the channel has been closed.
+    pub fn is_closed(&self) -> bool {
+        self.inner.st.lock().closed
+    }
+
+    /// Send a message. Buffers and returns immediately on an unbounded
+    /// channel; blocks while a bounded channel is full.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Shutdown`] if the channel is closed.
+    pub fn send(&self, rt: &Runtime, v: T) -> Result<(), RuntimeError> {
+        let mut v = Some(v);
+        loop {
+            let (recv_waiters, notify_subs) = {
+                let mut st = self.inner.st.lock();
+                if st.closed {
+                    return Err(RuntimeError::Shutdown);
+                }
+                if let Some(cap) = self.inner.cap {
+                    if st.q.len() >= cap {
+                        let me = rt.current();
+                        if !st.send_waiters.contains(&me) {
+                            st.send_waiters.push(me);
+                        }
+                        drop(st);
+                        rt.park();
+                        continue;
+                    }
+                }
+                st.q.push_back(v.take().expect("send loop reuse"));
+                let rw = std::mem::take(&mut st.recv_waiters);
+                let subs = st.subscribers.clone();
+                (rw, subs)
+            };
+            for w in recv_waiters {
+                rt.unpark(w);
+            }
+            self.fan_out(rt, notify_subs);
+            return Ok(());
+        }
+    }
+
+    /// Receive the oldest message, blocking until one is available.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Shutdown`] once the channel is closed *and* drained.
+    pub fn recv(&self, rt: &Runtime) -> Result<T, RuntimeError> {
+        loop {
+            {
+                let mut st = self.inner.st.lock();
+                if let Some(v) = st.q.pop_front() {
+                    let sw = std::mem::take(&mut st.send_waiters);
+                    drop(st);
+                    for w in sw {
+                        rt.unpark(w);
+                    }
+                    return Ok(v);
+                }
+                if st.closed {
+                    return Err(RuntimeError::Shutdown);
+                }
+                let me = rt.current();
+                if !st.recv_waiters.contains(&me) {
+                    st.recv_waiters.push(me);
+                }
+            }
+            rt.park();
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self, rt: &Runtime) -> Option<T> {
+        let mut st = self.inner.st.lock();
+        let v = st.q.pop_front();
+        if v.is_some() {
+            let sw = std::mem::take(&mut st.send_waiters);
+            drop(st);
+            for w in sw {
+                rt.unpark(w);
+            }
+        }
+        v
+    }
+
+    /// Remove and return the first message satisfying `pred`, leaving all
+    /// other messages in order. This is the *acceptance condition* receive
+    /// used by select guards: if no buffered message satisfies the
+    /// condition the guard is simply not eligible.
+    pub fn recv_match(&self, rt: &Runtime, mut pred: impl FnMut(&T) -> bool) -> Option<T> {
+        let mut st = self.inner.st.lock();
+        let idx = st.q.iter().position(|m| pred(m))?;
+        let v = st.q.remove(idx);
+        let sw = std::mem::take(&mut st.send_waiters);
+        drop(st);
+        for w in sw {
+            rt.unpark(w);
+        }
+        v
+    }
+
+    /// Inspect buffered messages without consuming, returning `f`'s answer
+    /// over the queue iterator. Used by guard evaluation to test
+    /// eligibility and compute `pri` values.
+    pub fn peek_with<R>(&self, f: impl FnOnce(&mut dyn Iterator<Item = &T>) -> R) -> R {
+        let st = self.inner.st.lock();
+        let mut it = st.q.iter();
+        f(&mut it)
+    }
+
+    /// Close the channel: future sends fail, receivers drain the buffer
+    /// then fail, subscribed selects are woken.
+    pub fn close(&self, rt: &Runtime) {
+        let (rw, sw, subs) = {
+            let mut st = self.inner.st.lock();
+            st.closed = true;
+            (
+                std::mem::take(&mut st.recv_waiters),
+                std::mem::take(&mut st.send_waiters),
+                st.subscribers.clone(),
+            )
+        };
+        for w in rw.into_iter().chain(sw) {
+            rt.unpark(w);
+        }
+        self.fan_out(rt, subs);
+    }
+
+    /// Subscribe a select's notifier: every send (and close) will bump it.
+    /// Subscribing the same notifier again is a no-op, so a manager's
+    /// select loop may subscribe on every iteration without growth. Dead
+    /// subscribers are pruned lazily.
+    pub fn subscribe(&self, n: &Notifier) {
+        let mut st = self.inner.st.lock();
+        let p = n.inner_ptr();
+        if st.subscribers.iter().any(|w| w.ptr() == p) {
+            return;
+        }
+        st.subscribers.push(n.downgrade());
+    }
+
+    fn fan_out(&self, rt: &Runtime, subs: Vec<WeakNotifier>) {
+        let mut any_dead = false;
+        for s in &subs {
+            if !s.notify(rt) {
+                any_dead = true;
+            }
+        }
+        if any_dead {
+            let mut st = self.inner.st.lock();
+            st.subscribers.retain(|w| w.is_alive());
+        }
+    }
+
+    /// Directional split: a send-only and a receive-only handle.
+    pub fn split(&self) -> (SendHalf<T>, RecvHalf<T>) {
+        (
+            SendHalf { chan: self.clone() },
+            RecvHalf { chan: self.clone() },
+        )
+    }
+}
+
+/// Send-only handle to a [`Chan`] (the paper requires each endpoint use a
+/// channel in one direction only).
+#[derive(Debug, Clone)]
+pub struct SendHalf<T> {
+    chan: Chan<T>,
+}
+
+impl<T: Send + 'static> SendHalf<T> {
+    /// See [`Chan::send`].
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Shutdown`] if the channel is closed.
+    pub fn send(&self, rt: &Runtime, v: T) -> Result<(), RuntimeError> {
+        self.chan.send(rt, v)
+    }
+}
+
+/// Receive-only handle to a [`Chan`].
+#[derive(Debug, Clone)]
+pub struct RecvHalf<T> {
+    chan: Chan<T>,
+}
+
+impl<T: Send + 'static> RecvHalf<T> {
+    /// See [`Chan::recv`].
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Shutdown`] once the channel is closed and drained.
+    pub fn recv(&self, rt: &Runtime) -> Result<T, RuntimeError> {
+        self.chan.recv(rt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::SimRuntime;
+    use crate::process::Spawn;
+
+    #[test]
+    fn fifo_order_preserved() {
+        let rt = Runtime::threaded();
+        let c = Chan::unbounded("c");
+        for i in 0..10 {
+            c.send(&rt, i).unwrap();
+        }
+        for i in 0..10 {
+            assert_eq!(c.recv(&rt).unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn recv_blocks_until_send_sim() {
+        let sim = SimRuntime::new();
+        let v = sim
+            .run(|rt| {
+                let c: Chan<&'static str> = Chan::unbounded("c");
+                let c2 = c.clone();
+                let rt2 = rt.clone();
+                rt.spawn_with(Spawn::new("sender"), move || {
+                    rt2.sleep(100);
+                    c2.send(&rt2, "hello").unwrap();
+                });
+                c.recv(rt).unwrap()
+            })
+            .unwrap();
+        assert_eq!(v, "hello");
+    }
+
+    #[test]
+    fn bounded_send_blocks_when_full() {
+        let sim = SimRuntime::new();
+        let got = sim
+            .run(|rt| {
+                let c = Chan::bounded("c", 2);
+                let c2 = c.clone();
+                let rt2 = rt.clone();
+                let h = rt.spawn_with(Spawn::new("sender"), move || {
+                    for i in 0..4 {
+                        c2.send(&rt2, i).unwrap();
+                    }
+                    "done"
+                });
+                rt.yield_now(); // sender fills the buffer and blocks at 2
+                assert_eq!(c.len(), 2);
+                let mut out = Vec::new();
+                for _ in 0..4 {
+                    out.push(c.recv(rt).unwrap());
+                }
+                h.join().unwrap();
+                out
+            })
+            .unwrap();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be > 0")]
+    fn zero_capacity_rejected() {
+        let _ = Chan::<i32>::bounded("bad", 0);
+    }
+
+    #[test]
+    fn recv_match_skips_non_matching() {
+        let rt = Runtime::threaded();
+        let c = Chan::unbounded("c");
+        for i in 1..=5 {
+            c.send(&rt, i).unwrap();
+        }
+        // Take the first even message.
+        assert_eq!(c.recv_match(&rt, |m| m % 2 == 0), Some(2));
+        // Remaining order intact.
+        let rest: Vec<i32> = std::iter::from_fn(|| c.try_recv(&rt)).collect();
+        assert_eq!(rest, vec![1, 3, 4, 5]);
+    }
+
+    #[test]
+    fn recv_match_none_when_no_match() {
+        let rt = Runtime::threaded();
+        let c = Chan::unbounded("c");
+        c.send(&rt, 1).unwrap();
+        assert_eq!(c.recv_match(&rt, |m| *m > 10), None);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn close_fails_sends_and_drains_receives() {
+        let rt = Runtime::threaded();
+        let c = Chan::unbounded("c");
+        c.send(&rt, 1).unwrap();
+        c.close(&rt);
+        assert!(c.is_closed());
+        assert_eq!(c.send(&rt, 2), Err(RuntimeError::Shutdown));
+        assert_eq!(c.recv(&rt).unwrap(), 1); // drain
+        assert_eq!(c.recv(&rt), Err(RuntimeError::Shutdown));
+    }
+
+    #[test]
+    fn subscriber_notified_on_send() {
+        let rt = Runtime::threaded();
+        let c = Chan::unbounded("c");
+        let n = Notifier::new();
+        c.subscribe(&n);
+        let e0 = n.epoch();
+        c.send(&rt, 5).unwrap();
+        assert!(n.epoch() > e0);
+    }
+
+    #[test]
+    fn channels_are_first_class_values() {
+        // A channel of channels, as the paper allows (§2.1.2).
+        let sim = SimRuntime::new();
+        let v = sim
+            .run(|rt| {
+                let meta: Chan<Chan<i32>> = Chan::unbounded("meta");
+                let meta2 = meta.clone();
+                let rt2 = rt.clone();
+                rt.spawn_with(Spawn::new("replier"), move || {
+                    let reply = meta2.recv(&rt2).unwrap();
+                    reply.send(&rt2, 7).unwrap();
+                });
+                let reply: Chan<i32> = Chan::unbounded("reply");
+                meta.send(rt, reply.clone()).unwrap();
+                reply.recv(rt).unwrap()
+            })
+            .unwrap();
+        assert_eq!(v, 7);
+    }
+
+    #[test]
+    fn peek_with_observes_without_consuming() {
+        let rt = Runtime::threaded();
+        let c = Chan::unbounded("c");
+        c.send(&rt, 3).unwrap();
+        c.send(&rt, 9).unwrap();
+        let max = c.peek_with(|it| it.copied().max());
+        assert_eq!(max, Some(9));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn split_halves_work() {
+        let rt = Runtime::threaded();
+        let c = Chan::unbounded("c");
+        let (tx, rx) = c.split();
+        tx.send(&rt, 1).unwrap();
+        assert_eq!(rx.recv(&rt).unwrap(), 1);
+    }
+
+    #[test]
+    fn threaded_multi_producer_stress() {
+        let rt = Runtime::threaded();
+        let c = Chan::unbounded("c");
+        let n_producers = 4;
+        let per = 250;
+        let mut hs = Vec::new();
+        for p in 0..n_producers {
+            let c2 = c.clone();
+            let rt2 = rt.clone();
+            hs.push(rt.spawn(move || {
+                for i in 0..per {
+                    c2.send(&rt2, p * per + i).unwrap();
+                }
+            }));
+        }
+        let mut got = Vec::new();
+        for _ in 0..n_producers * per {
+            got.push(c.recv(&rt).unwrap());
+        }
+        for h in hs {
+            h.join().unwrap();
+        }
+        got.sort_unstable();
+        let want: Vec<i32> = (0..n_producers * per).collect();
+        assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,95 @@
+//! Runtime error types.
+
+use std::fmt;
+
+/// Errors produced by the runtime itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// A simulated run reached a state where the main process had not
+    /// finished, no process was runnable, and no virtual timer was pending:
+    /// every live process is parked waiting for an event that can never
+    /// arrive. The names of the parked processes are reported.
+    Deadlock {
+        /// Debug names of the processes that were parked at detection time.
+        parked: Vec<String>,
+    },
+    /// The runtime is shutting down; blocking operations refuse to block.
+    Shutdown,
+    /// A joined process panicked.
+    ProcPanicked {
+        /// Debug name of the panicked process.
+        name: String,
+    },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Deadlock { parked } => {
+                write!(f, "deadlock: all live processes parked: [{}]", parked.join(", "))
+            }
+            RuntimeError::Shutdown => write!(f, "runtime is shut down"),
+            RuntimeError::ProcPanicked { name } => {
+                write!(f, "process `{name}` panicked")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// Unwind payload used to abort parked daemon processes at shutdown.
+///
+/// When a runtime shuts down, every parked process is woken and its pending
+/// `park`/`sleep` call unwinds with this payload, so the daemon's stack
+/// unwinds and its thread exits. User code should not catch it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Aborted;
+
+impl fmt::Display for Aborted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "process aborted by runtime shutdown")
+    }
+}
+
+/// Install (once per process) a panic-hook wrapper that silences the
+/// intentional [`Aborted`] unwinds used to stop daemon processes at
+/// shutdown, delegating every other panic to the previous hook.
+pub(crate) fn silence_abort_panics() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().is::<Aborted>() {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = RuntimeError::Deadlock {
+            parked: vec!["a".into(), "b".into()],
+        };
+        assert_eq!(e.to_string(), "deadlock: all live processes parked: [a, b]");
+        assert_eq!(RuntimeError::Shutdown.to_string(), "runtime is shut down");
+        assert_eq!(
+            RuntimeError::ProcPanicked { name: "w".into() }.to_string(),
+            "process `w` panicked"
+        );
+        assert_eq!(Aborted.to_string(), "process aborted by runtime shutdown");
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<RuntimeError>();
+    }
+}

@@ -1,0 +1,243 @@
+//! Executors: the threaded runtime and the deterministic simulation runtime.
+//!
+//! The paper assumes objects live in a single address space with light
+//! weight processes and a high-priority manager (paper §3, citing Mach
+//! tasks/threads). We provide two interchangeable executors behind the
+//! [`Runtime`] handle:
+//!
+//! * [`Runtime::threaded`] — each process is an OS thread; real
+//!   parallelism; priorities are advisory (the OS schedules).
+//! * [`SimRuntime`] — deterministic cooperative simulation: exactly one
+//!   process runs at a time, scheduling points are explicit
+//!   (`park`/`unpark`/`yield_now`/`sleep`), priorities are honoured
+//!   strictly (smallest value first), time is virtual, and **deadlock is
+//!   detected** (all live processes parked with no pending timer).
+
+mod sim;
+mod thread;
+
+pub use sim::{SchedPolicy, SimRuntime};
+
+use std::cell::RefCell;
+use std::sync::Arc;
+
+use crate::error::RuntimeError;
+use crate::process::{ProcId, Spawn};
+
+/// Number of virtual ticks per simulated millisecond. One tick is one
+/// microsecond: the threaded executor maps `sleep(t)` to a real sleep of
+/// `t` microseconds, the simulation executor advances its virtual clock.
+pub const TICKS_PER_MS: u64 = 1_000;
+
+pub(crate) trait ExecutorCore: Send + Sync {
+    fn spawn(&self, self_arc: &Arc<dyn ExecutorCore>, opts: Spawn, f: Box<dyn FnOnce() + Send>)
+        -> ProcId;
+    fn current(&self, self_arc: &Arc<dyn ExecutorCore>) -> ProcId;
+    fn park(&self, self_arc: &Arc<dyn ExecutorCore>);
+    fn unpark(&self, id: ProcId);
+    fn yield_now(&self, self_arc: &Arc<dyn ExecutorCore>);
+    fn sleep(&self, self_arc: &Arc<dyn ExecutorCore>, ticks: u64);
+    fn now(&self) -> u64;
+    fn join(&self, self_arc: &Arc<dyn ExecutorCore>, id: ProcId) -> Result<(), RuntimeError>;
+    fn shutdown(&self);
+    fn is_sim(&self) -> bool;
+    fn proc_name(&self, id: ProcId) -> Option<String>;
+}
+
+thread_local! {
+    /// Which process the current OS thread is, per executor instance
+    /// (keyed by the executor's address). A thread can in principle touch
+    /// several runtimes (e.g. a test driving two threaded runtimes).
+    pub(crate) static CURRENT: RefCell<Vec<(usize, ProcId)>> = const { RefCell::new(Vec::new()) };
+}
+
+pub(crate) fn current_for(core_addr: usize) -> Option<ProcId> {
+    CURRENT.with(|c| {
+        c.borrow()
+            .iter()
+            .rev()
+            .find(|(a, _)| *a == core_addr)
+            .map(|(_, id)| *id)
+    })
+}
+
+pub(crate) fn set_current(core_addr: usize, id: ProcId) {
+    CURRENT.with(|c| c.borrow_mut().push((core_addr, id)));
+}
+
+pub(crate) fn clear_current(core_addr: usize, id: ProcId) {
+    CURRENT.with(|c| {
+        let mut v = c.borrow_mut();
+        if let Some(pos) = v.iter().rposition(|(a, p)| *a == core_addr && *p == id) {
+            v.remove(pos);
+        }
+    });
+}
+
+/// Handle to a runtime. Cloning is cheap (an `Arc`); all clones refer to
+/// the same executor.
+///
+/// # Examples
+///
+/// ```
+/// use alps_runtime::{Runtime, Spawn};
+///
+/// let rt = Runtime::threaded();
+/// let h = rt.spawn_with(Spawn::new("greeter"), || 2 + 2);
+/// assert_eq!(h.join().unwrap(), 4);
+/// rt.shutdown();
+/// ```
+#[derive(Clone)]
+pub struct Runtime {
+    pub(crate) core: Arc<dyn ExecutorCore>,
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime")
+            .field("kind", &if self.is_sim() { "sim" } else { "threaded" })
+            .finish()
+    }
+}
+
+impl Runtime {
+    /// Create a threaded runtime: every spawned process is an OS thread.
+    pub fn threaded() -> Runtime {
+        Runtime {
+            core: Arc::new(thread::ThreadCore::new()),
+        }
+    }
+
+    /// Spawn a process with default options (name `"proc"`, normal
+    /// priority, non-daemon). Returns a handle whose
+    /// [`join`](ProcHandle::join) yields the closure's result.
+    pub fn spawn<R, F>(&self, f: F) -> ProcHandle<R>
+    where
+        R: Send + 'static,
+        F: FnOnce() -> R + Send + 'static,
+    {
+        self.spawn_with(Spawn::default(), f)
+    }
+
+    /// Spawn a process with explicit [`Spawn`] options.
+    pub fn spawn_with<R, F>(&self, opts: Spawn, f: F) -> ProcHandle<R>
+    where
+        R: Send + 'static,
+        F: FnOnce() -> R + Send + 'static,
+    {
+        let result: Arc<parking_lot::Mutex<Option<R>>> = Arc::new(parking_lot::Mutex::new(None));
+        let slot = Arc::clone(&result);
+        let id = self.core.spawn(
+            &self.core,
+            opts,
+            Box::new(move || {
+                let r = f();
+                *slot.lock() = Some(r);
+            }),
+        );
+        ProcHandle {
+            rt: self.clone(),
+            id,
+            result,
+        }
+    }
+
+    /// Identity of the calling process.
+    ///
+    /// # Panics
+    ///
+    /// In a simulation runtime, panics when called from a thread that is
+    /// not a simulated process (foreign threads would break determinism).
+    /// The threaded runtime lazily registers foreign threads instead.
+    pub fn current(&self) -> ProcId {
+        self.core.current(&self.core)
+    }
+
+    /// Block the calling process until some other process calls
+    /// [`unpark`](Runtime::unpark) for it. Like [`std::thread::park`], a
+    /// token (permit) is buffered: an `unpark` that precedes the `park`
+    /// makes the `park` return immediately. Spurious returns are possible;
+    /// always re-check the waited-for condition in a loop.
+    pub fn park(&self) {
+        self.core.park(&self.core);
+    }
+
+    /// Make a pending or future [`park`](Runtime::park) of `id` return.
+    /// Unknown or exited ids are ignored.
+    pub fn unpark(&self, id: ProcId) {
+        self.core.unpark(id);
+    }
+
+    /// Yield the CPU. In the simulation executor this is a scheduling
+    /// point: the highest-priority runnable process (possibly the caller)
+    /// runs next. In the threaded executor it is [`std::thread::yield_now`].
+    pub fn yield_now(&self) {
+        self.core.yield_now(&self.core);
+    }
+
+    /// Sleep for `ticks` virtual microseconds (simulation: advances the
+    /// virtual clock without wall-clock delay; threaded: real sleep).
+    /// `sleep(0)` returns immediately without a scheduling point.
+    pub fn sleep(&self, ticks: u64) {
+        if ticks == 0 {
+            return;
+        }
+        self.core.sleep(&self.core, ticks);
+    }
+
+    /// Current time in ticks (virtual in simulation, wall-clock
+    /// microseconds since runtime creation otherwise).
+    pub fn now(&self) -> u64 {
+        self.core.now()
+    }
+
+    /// Whether this is a deterministic simulation runtime.
+    pub fn is_sim(&self) -> bool {
+        self.core.is_sim()
+    }
+
+    /// Debug name of a live process, if known.
+    pub fn proc_name(&self, id: ProcId) -> Option<String> {
+        self.core.proc_name(id)
+    }
+
+    /// Abort all processes: parked processes wake and unwind with
+    /// [`Aborted`](crate::Aborted). Blocking operations after shutdown
+    /// unwind immediately. Used as a backstop; orderly teardown (e.g.
+    /// closing an ALPS object) should not rely on it.
+    pub fn shutdown(&self) {
+        self.core.shutdown();
+    }
+}
+
+/// Handle to a spawned process; join to retrieve the closure's result.
+#[derive(Debug)]
+pub struct ProcHandle<R> {
+    rt: Runtime,
+    id: ProcId,
+    result: Arc<parking_lot::Mutex<Option<R>>>,
+}
+
+impl<R: Send + 'static> ProcHandle<R> {
+    /// The process id.
+    pub fn id(&self) -> ProcId {
+        self.id
+    }
+
+    /// Wait for the process to finish and return its result.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::ProcPanicked`] if the process panicked (including
+    /// shutdown aborts).
+    pub fn join(self) -> Result<R, RuntimeError> {
+        self.rt.core.join(&self.rt.core, self.id)?;
+        let r = self.result.lock().take();
+        r.ok_or(RuntimeError::ProcPanicked {
+            name: self
+                .rt
+                .proc_name(self.id)
+                .unwrap_or_else(|| "unknown".to_string()),
+        })
+    }
+}

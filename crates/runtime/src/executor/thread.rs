@@ -1,0 +1,313 @@
+//! Threaded executor: one OS thread per process.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use super::{clear_current, current_for, set_current, ExecutorCore};
+use crate::error::{Aborted, RuntimeError};
+use crate::process::{ProcId, Spawn};
+
+#[derive(Debug)]
+struct SlotSt {
+    permit: bool,
+    done: bool,
+    panicked: bool,
+    aborted: bool,
+}
+
+#[derive(Debug)]
+struct ProcSlot {
+    name: String,
+    foreign: bool,
+    st: Mutex<SlotSt>,
+    cv: Condvar,
+    done_cv: Condvar,
+}
+
+impl ProcSlot {
+    fn new(name: String, foreign: bool) -> Arc<ProcSlot> {
+        Arc::new(ProcSlot {
+            name,
+            foreign,
+            st: Mutex::new(SlotSt {
+                permit: false,
+                done: false,
+                panicked: false,
+                aborted: false,
+            }),
+            cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        })
+    }
+}
+
+pub(crate) struct ThreadCore {
+    procs: Arc<Mutex<HashMap<ProcId, Arc<ProcSlot>>>>,
+    next_id: AtomicU64,
+    epoch0: Instant,
+    shutdown: AtomicBool,
+}
+
+impl ThreadCore {
+    pub(crate) fn new() -> ThreadCore {
+        crate::error::silence_abort_panics();
+        ThreadCore {
+            procs: Arc::new(Mutex::new(HashMap::new())),
+            next_id: AtomicU64::new(1),
+            epoch0: Instant::now(),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    fn alloc_id(&self) -> ProcId {
+        ProcId(self.next_id.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Slot of the calling thread, registering foreign threads lazily.
+    fn my_slot(&self, self_arc: &Arc<dyn ExecutorCore>) -> (ProcId, Arc<ProcSlot>) {
+        let addr = Arc::as_ptr(self_arc) as *const () as usize;
+        if let Some(id) = current_for(addr) {
+            let slot = self.procs.lock().get(&id).cloned();
+            if let Some(slot) = slot {
+                return (id, slot);
+            }
+        }
+        // Foreign (or stale) thread: register a fresh slot.
+        let id = self.alloc_id();
+        let slot = ProcSlot::new(format!("foreign-{}", id.as_u64()), true);
+        self.procs.lock().insert(id, Arc::clone(&slot));
+        set_current(addr, id);
+        (id, slot)
+    }
+}
+
+impl ExecutorCore for ThreadCore {
+    fn spawn(
+        &self,
+        self_arc: &Arc<dyn ExecutorCore>,
+        opts: Spawn,
+        f: Box<dyn FnOnce() + Send>,
+    ) -> ProcId {
+        let id = self.alloc_id();
+        let slot = ProcSlot::new(opts.name.clone(), false);
+        self.procs.lock().insert(id, Arc::clone(&slot));
+        let addr = Arc::as_ptr(self_arc) as *const () as usize;
+        std::thread::Builder::new()
+            .name(format!("{}#{}", opts.name, id.as_u64()))
+            .spawn(move || {
+                set_current(addr, id);
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+                let panicked = match &outcome {
+                    Ok(()) => false,
+                    Err(payload) => !payload.is::<Aborted>(),
+                };
+                clear_current(addr, id);
+                {
+                    let mut st = slot.st.lock();
+                    st.done = true;
+                    st.panicked = panicked;
+                    slot.done_cv.notify_all();
+                }
+                // The entry stays in the registry so join() can still read
+                // the panic status; join() prunes it. Detached processes
+                // leave a small tombstone until the runtime is dropped.
+            })
+            .expect("failed to spawn OS thread");
+        id
+    }
+
+    fn current(&self, self_arc: &Arc<dyn ExecutorCore>) -> ProcId {
+        self.my_slot(self_arc).0
+    }
+
+    fn park(&self, self_arc: &Arc<dyn ExecutorCore>) {
+        let (_, slot) = self.my_slot(self_arc);
+        let mut st = slot.st.lock();
+        if st.aborted && !slot.foreign {
+            drop(st);
+            std::panic::panic_any(Aborted);
+        }
+        if st.permit {
+            st.permit = false;
+            return;
+        }
+        slot.cv.wait(&mut st);
+        if st.aborted && !slot.foreign {
+            drop(st);
+            std::panic::panic_any(Aborted);
+        }
+        // Either a real unpark (consume the permit) or a spurious/aborted
+        // wake; callers loop on their condition either way.
+        st.permit = false;
+    }
+
+    fn unpark(&self, id: ProcId) {
+        let slot = self.procs.lock().get(&id).cloned();
+        if let Some(slot) = slot {
+            let mut st = slot.st.lock();
+            st.permit = true;
+            slot.cv.notify_all();
+        }
+    }
+
+    fn yield_now(&self, _self_arc: &Arc<dyn ExecutorCore>) {
+        std::thread::yield_now();
+    }
+
+    fn sleep(&self, _self_arc: &Arc<dyn ExecutorCore>, ticks: u64) {
+        if self.shutdown.load(Ordering::SeqCst) {
+            std::panic::panic_any(Aborted);
+        }
+        std::thread::sleep(Duration::from_micros(ticks));
+    }
+
+    fn now(&self) -> u64 {
+        self.epoch0.elapsed().as_micros() as u64
+    }
+
+    fn join(&self, _self_arc: &Arc<dyn ExecutorCore>, id: ProcId) -> Result<(), RuntimeError> {
+        let slot = self.procs.lock().get(&id).cloned();
+        let Some(slot) = slot else {
+            // Already exited and removed; assume clean (panicked handles
+            // hold the slot Arc through ProcHandle::result anyway).
+            return Ok(());
+        };
+        let mut st = slot.st.lock();
+        while !st.done {
+            slot.done_cv.wait(&mut st);
+        }
+        drop(st);
+        self.procs.lock().remove(&id);
+        let st = slot.st.lock();
+        if st.panicked {
+            Err(RuntimeError::ProcPanicked {
+                name: slot.name.clone(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let slots: Vec<Arc<ProcSlot>> = self.procs.lock().values().cloned().collect();
+        for slot in slots {
+            let mut st = slot.st.lock();
+            st.aborted = true;
+            st.permit = true;
+            slot.cv.notify_all();
+        }
+    }
+
+    fn is_sim(&self) -> bool {
+        false
+    }
+
+    fn proc_name(&self, id: ProcId) -> Option<String> {
+        self.procs.lock().get(&id).map(|s| s.name.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::process::Priority;
+    use crate::{Runtime, Spawn};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn spawn_and_join_returns_value() {
+        let rt = Runtime::threaded();
+        let h = rt.spawn(|| 7);
+        assert_eq!(h.join().unwrap(), 7);
+    }
+
+    #[test]
+    fn join_reports_panic() {
+        let rt = Runtime::threaded();
+        let h = rt.spawn_with(Spawn::new("boom"), || {
+            if true {
+                panic!("bang");
+            }
+        });
+        let err = h.join().unwrap_err();
+        assert_eq!(err.to_string(), "process `boom` panicked");
+    }
+
+    #[test]
+    fn unpark_before_park_buffers_permit() {
+        let rt = Runtime::threaded();
+        let rt2 = rt.clone();
+        let h = rt.spawn(move || {
+            let me = rt2.current();
+            rt2.unpark(me); // self-permit
+            rt2.park(); // must not block
+            42
+        });
+        assert_eq!(h.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn park_blocks_until_unpark() {
+        let rt = Runtime::threaded();
+        let flag = Arc::new(AtomicUsize::new(0));
+        let (rt2, flag2) = (rt.clone(), Arc::clone(&flag));
+        let h = rt.spawn(move || {
+            flag2.store(1, Ordering::SeqCst);
+            rt2.park();
+            flag2.store(2, Ordering::SeqCst);
+        });
+        let id = h.id();
+        while flag.load(Ordering::SeqCst) == 0 {
+            std::thread::yield_now();
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        assert_eq!(flag.load(Ordering::SeqCst), 1);
+        rt.unpark(id);
+        h.join().unwrap();
+        assert_eq!(flag.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn foreign_thread_can_park_and_be_unparked() {
+        let rt = Runtime::threaded();
+        let me = rt.current(); // registers the test thread
+        let rt2 = rt.clone();
+        let h = rt.spawn(move || {
+            rt2.unpark(me);
+        });
+        rt.park();
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn now_is_monotonic_and_sleep_advances_it() {
+        let rt = Runtime::threaded();
+        let t0 = rt.now();
+        rt.sleep(2_000);
+        let t1 = rt.now();
+        assert!(t1 >= t0 + 1_000, "t0={t0} t1={t1}");
+    }
+
+    #[test]
+    fn priorities_are_advisory_metadata() {
+        let rt = Runtime::threaded();
+        let h = rt.spawn_with(Spawn::new("m").prio(Priority::MANAGER).daemon(true), || 1);
+        assert_eq!(h.join().unwrap(), 1);
+    }
+
+    #[test]
+    fn proc_name_resolves_while_alive() {
+        let rt = Runtime::threaded();
+        let rt2 = rt.clone();
+        let h = rt.spawn_with(Spawn::new("worker"), move || {
+            let me = rt2.current();
+            rt2.proc_name(me)
+        });
+        assert_eq!(h.join().unwrap().as_deref(), Some("worker"));
+    }
+}

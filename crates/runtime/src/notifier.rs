@@ -1,0 +1,243 @@
+//! Epoch-based event notification.
+//!
+//! A [`Notifier`] is the wakeup primitive the object/manager layer builds
+//! its `select` on: a manager snapshots the epoch, evaluates its guards,
+//! and — if none is eligible — waits for the epoch to change. Any event
+//! source (an arriving entry call, a terminating entry procedure, a
+//! channel send) bumps the epoch and unparks the waiters. Spurious wakeups
+//! are benign because waiters always re-evaluate their condition.
+
+use std::sync::{Arc, Weak};
+
+use parking_lot::Mutex;
+
+use crate::executor::Runtime;
+use crate::process::ProcId;
+
+#[derive(Debug)]
+pub(crate) struct NotifierInner {
+    st: Mutex<NState>,
+}
+
+#[derive(Debug)]
+struct NState {
+    epoch: u64,
+    waiters: Vec<ProcId>,
+}
+
+/// A broadcast wakeup channel with an epoch counter.
+///
+/// # Examples
+///
+/// ```
+/// use alps_runtime::{Notifier, Runtime};
+///
+/// let rt = Runtime::threaded();
+/// let n = Notifier::new();
+/// let seen = n.epoch();
+/// n.notify(&rt);
+/// assert!(n.epoch() > seen);
+/// rt.shutdown();
+/// ```
+#[derive(Debug, Clone)]
+pub struct Notifier {
+    inner: Arc<NotifierInner>,
+}
+
+impl Default for Notifier {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Notifier {
+    /// New notifier at epoch 0 with no waiters.
+    pub fn new() -> Notifier {
+        Notifier {
+            inner: Arc::new(NotifierInner {
+                st: Mutex::new(NState {
+                    epoch: 0,
+                    waiters: Vec::new(),
+                }),
+            }),
+        }
+    }
+
+    /// Current epoch. Snapshot this *before* evaluating the condition you
+    /// are about to wait on.
+    pub fn epoch(&self) -> u64 {
+        self.inner.st.lock().epoch
+    }
+
+    /// Bump the epoch and unpark all registered waiters.
+    pub fn notify(&self, rt: &Runtime) {
+        let waiters = {
+            let mut st = self.inner.st.lock();
+            st.epoch += 1;
+            std::mem::take(&mut st.waiters)
+        };
+        for w in waiters {
+            rt.unpark(w);
+        }
+    }
+
+    /// Park the calling process until the epoch differs from `seen`.
+    /// Returns immediately if it already does. May return spuriously;
+    /// callers re-check their condition in a loop.
+    pub fn wait_past(&self, rt: &Runtime, seen: u64) {
+        let me = rt.current();
+        loop {
+            {
+                let mut st = self.inner.st.lock();
+                if st.epoch != seen {
+                    return;
+                }
+                if !st.waiters.contains(&me) {
+                    st.waiters.push(me);
+                }
+            }
+            rt.park();
+            // A spurious permit may have woken us; re-check the epoch.
+            if self.inner.st.lock().epoch != seen {
+                return;
+            }
+        }
+    }
+
+    pub(crate) fn downgrade(&self) -> WeakNotifier {
+        WeakNotifier {
+            inner: Arc::downgrade(&self.inner),
+        }
+    }
+
+    /// Pointer identity, used to deduplicate subscriptions.
+    pub(crate) fn inner_ptr(&self) -> usize {
+        Arc::as_ptr(&self.inner) as *const () as usize
+    }
+}
+
+/// A weak handle used by event sources (channels) to signal subscribed
+/// selects without keeping them alive.
+#[derive(Debug, Clone)]
+pub(crate) struct WeakNotifier {
+    inner: Weak<NotifierInner>,
+}
+
+impl WeakNotifier {
+    /// Notify if the notifier is still alive; returns false when dead (the
+    /// subscriber entry can be pruned).
+    pub(crate) fn notify(&self, rt: &Runtime) -> bool {
+        match self.inner.upgrade() {
+            Some(inner) => {
+                let waiters = {
+                    let mut st = inner.st.lock();
+                    st.epoch += 1;
+                    std::mem::take(&mut st.waiters)
+                };
+                for w in waiters {
+                    rt.unpark(w);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Whether the underlying notifier is still alive.
+    pub(crate) fn is_alive(&self) -> bool {
+        self.inner.strong_count() > 0
+    }
+
+    /// Pointer identity of the underlying notifier.
+    pub(crate) fn ptr(&self) -> usize {
+        self.inner.as_ptr() as *const () as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::SimRuntime;
+    use crate::process::Spawn;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn epoch_starts_at_zero_and_increments() {
+        let rt = Runtime::threaded();
+        let n = Notifier::new();
+        assert_eq!(n.epoch(), 0);
+        n.notify(&rt);
+        n.notify(&rt);
+        assert_eq!(n.epoch(), 2);
+    }
+
+    #[test]
+    fn wait_past_returns_immediately_on_stale_epoch() {
+        let rt = Runtime::threaded();
+        let n = Notifier::new();
+        n.notify(&rt);
+        n.wait_past(&rt, 0); // epoch is 1, returns at once
+    }
+
+    #[test]
+    fn wait_past_blocks_until_notify_sim() {
+        let sim = SimRuntime::new();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let hits2 = Arc::clone(&hits);
+        sim.run(move |rt| {
+            let n = Notifier::new();
+            let n2 = n.clone();
+            let rt2 = rt.clone();
+            let h = rt.spawn_with(Spawn::new("waiter"), move || {
+                let seen = n2.epoch();
+                n2.wait_past(&rt2, seen);
+                hits2.store(1, Ordering::SeqCst);
+            });
+            rt.yield_now(); // waiter runs and parks
+            n.notify(rt);
+            h.join().unwrap();
+        })
+        .unwrap();
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn weak_notifier_reports_liveness() {
+        let rt = Runtime::threaded();
+        let n = Notifier::new();
+        let w = n.downgrade();
+        assert!(w.notify(&rt));
+        drop(n);
+        assert!(!w.notify(&rt));
+    }
+
+    #[test]
+    fn notify_wakes_multiple_waiters() {
+        let sim = SimRuntime::new();
+        let count = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&count);
+        sim.run(move |rt| {
+            let n = Notifier::new();
+            let mut hs = Vec::new();
+            for i in 0..3 {
+                let n2 = n.clone();
+                let rt2 = rt.clone();
+                let c2 = Arc::clone(&c);
+                hs.push(rt.spawn_with(Spawn::new(format!("w{i}")), move || {
+                    let seen = n2.epoch();
+                    n2.wait_past(&rt2, seen);
+                    c2.fetch_add(1, Ordering::SeqCst);
+                }));
+            }
+            rt.yield_now();
+            rt.yield_now();
+            rt.yield_now();
+            n.notify(rt);
+            for h in hs {
+                h.join().unwrap();
+            }
+        })
+        .unwrap();
+        assert_eq!(count.load(Ordering::SeqCst), 3);
+    }
+}

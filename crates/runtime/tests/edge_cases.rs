@@ -1,0 +1,208 @@
+//! Edge cases of the runtime primitives across both executors.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use alps_runtime::{par_for, Chan, Notifier, Runtime, RuntimeError, SimRuntime, Spawn};
+
+#[test]
+fn close_wakes_blocked_senders_on_bounded_chan() {
+    let sim = SimRuntime::new();
+    let got = sim
+        .run(|rt| {
+            let c = Chan::bounded("c", 1);
+            c.send(rt, 1).unwrap();
+            let (c2, rt2) = (c.clone(), rt.clone());
+            let h = rt.spawn_with(Spawn::new("sender"), move || {
+                // Blocks (buffer full) until close, then errors.
+                c2.send(&rt2, 2)
+            });
+            rt.yield_now(); // sender blocks
+            c.close(rt);
+            h.join().unwrap()
+        })
+        .unwrap();
+    assert_eq!(got, Err(RuntimeError::Shutdown));
+}
+
+#[test]
+fn close_wakes_blocked_receivers() {
+    let sim = SimRuntime::new();
+    let got = sim
+        .run(|rt| {
+            let c: Chan<i32> = Chan::unbounded("c");
+            let (c2, rt2) = (c.clone(), rt.clone());
+            let h = rt.spawn_with(Spawn::new("receiver"), move || c2.recv(&rt2));
+            rt.yield_now(); // receiver blocks
+            c.close(rt);
+            h.join().unwrap()
+        })
+        .unwrap();
+    assert_eq!(got, Err(RuntimeError::Shutdown));
+}
+
+#[test]
+fn unpark_of_dead_process_is_ignored() {
+    let rt = Runtime::threaded();
+    let h = rt.spawn(|| 1);
+    let id = h.id();
+    h.join().unwrap();
+    rt.unpark(id); // must not panic or revive anything
+    rt.shutdown();
+}
+
+#[test]
+fn zero_tick_sleep_is_not_a_scheduling_point() {
+    let sim = SimRuntime::new();
+    let order = sim
+        .run(|rt| {
+            let log = Arc::new(parking_lot::Mutex::new(Vec::new()));
+            let (rt2, log2) = (rt.clone(), Arc::clone(&log));
+            let h = rt.spawn_with(Spawn::new("a"), move || {
+                log2.lock().push("a-before");
+                rt2.sleep(0); // no-op: must not yield to main
+                log2.lock().push("a-after");
+            });
+            rt.yield_now();
+            log.lock().push("main");
+            h.join().unwrap();
+            let v = log.lock().clone();
+            v
+        })
+        .unwrap();
+    assert_eq!(order, vec!["a-before", "a-after", "main"]);
+}
+
+#[test]
+fn nested_par_for_in_sim() {
+    let sim = SimRuntime::new();
+    let total: i64 = sim
+        .run(|rt| {
+            let rt2 = rt.clone();
+            let outer = par_for(rt, 1, 3, move |i| {
+                // Each branch spawns its own inner family.
+                par_for(&rt2, 1, 2, move |j| i * 10 + j).unwrap().iter().sum::<i64>()
+            })
+            .unwrap();
+            outer.iter().sum()
+        })
+        .unwrap();
+    // (11+12) + (21+22) + (31+32) = 129
+    assert_eq!(total, 129);
+}
+
+#[test]
+fn many_simultaneous_timers_fire_in_order() {
+    let sim = SimRuntime::new();
+    let stamps = sim
+        .run(|rt| {
+            let log = Arc::new(parking_lot::Mutex::new(Vec::new()));
+            let mut hs = Vec::new();
+            for i in 0..20u64 {
+                let (rt2, log2) = (rt.clone(), Arc::clone(&log));
+                hs.push(rt.spawn_with(Spawn::new(format!("t{i}")), move || {
+                    rt2.sleep(1000 - i * 37);
+                    log2.lock().push(rt2.now());
+                }));
+            }
+            for h in hs {
+                h.join().unwrap();
+            }
+            let v = log.lock().clone();
+            v
+        })
+        .unwrap();
+    let mut sorted = stamps.clone();
+    sorted.sort_unstable();
+    assert_eq!(stamps, sorted, "timer wakeups out of order");
+}
+
+#[test]
+fn notifier_epoch_survives_heavy_contention_threaded() {
+    let rt = Runtime::threaded();
+    let n = Notifier::new();
+    let woken = Arc::new(AtomicUsize::new(0));
+    let mut hs = Vec::new();
+    for i in 0..4 {
+        let (n2, rt2, w2) = (n.clone(), rt.clone(), Arc::clone(&woken));
+        hs.push(rt.spawn_with(Spawn::new(format!("w{i}")), move || {
+            for _ in 0..50 {
+                let seen = n2.epoch();
+                // Notify may already have happened; wait_past must not
+                // hang either way.
+                n2.wait_past(&rt2, seen.wrapping_sub(1));
+                w2.fetch_add(1, Ordering::Relaxed);
+            }
+        }));
+    }
+    let (n3, rt3) = (n.clone(), rt.clone());
+    let noisy = rt.spawn_with(Spawn::new("noise"), move || {
+        for _ in 0..500 {
+            n3.notify(&rt3);
+        }
+    });
+    for h in hs {
+        h.join().unwrap();
+    }
+    noisy.join().unwrap();
+    assert_eq!(woken.load(Ordering::Relaxed), 200);
+    rt.shutdown();
+}
+
+#[test]
+fn sim_detects_deadlock_among_multiple_processes() {
+    // Two processes each waiting for the other's unpark.
+    let sim = SimRuntime::new();
+    let err = sim
+        .run(|rt| {
+            let rt2 = rt.clone();
+            let a = rt.spawn_with(Spawn::new("a"), move || {
+                rt2.park();
+            });
+            let rt3 = rt.clone();
+            let _b = rt.spawn_with(Spawn::new("b"), move || {
+                rt3.park();
+            });
+            a.join().unwrap();
+        })
+        .unwrap_err();
+    match err {
+        RuntimeError::Deadlock { parked } => {
+            assert!(parked.iter().any(|p| p == "a"), "{parked:?}");
+            assert!(parked.iter().any(|p| p == "b"), "{parked:?}");
+            assert!(parked.iter().any(|p| p == "main"), "{parked:?}");
+        }
+        other => panic!("expected deadlock, got {other}"),
+    }
+}
+
+#[test]
+fn chan_subscribe_is_idempotent() {
+    let rt = Runtime::threaded();
+    let c: Chan<i32> = Chan::unbounded("c");
+    let n = Notifier::new();
+    for _ in 0..100 {
+        c.subscribe(&n); // must not grow the subscriber list
+    }
+    let e0 = n.epoch();
+    c.send(&rt, 1).unwrap();
+    // Exactly one bump per send, regardless of repeated subscription.
+    assert_eq!(n.epoch(), e0 + 1);
+    rt.shutdown();
+}
+
+#[test]
+fn virtual_clock_does_not_advance_for_daemons_after_main() {
+    let sim = SimRuntime::new();
+    let end = sim
+        .run(|rt| {
+            let rt2 = rt.clone();
+            rt.spawn_with(Spawn::new("d").daemon(true), move || {
+                rt2.sleep(1_000_000_000); // would be a gigasecond
+            });
+            rt.sleep(10);
+            rt.now()
+        })
+        .unwrap();
+    assert_eq!(end, 10, "daemon timers must not hold the run open");
+}

@@ -1,0 +1,166 @@
+//! Conditional critical regions (Brinch Hansen / Hoare) — the paper's §1
+//! names CCRs alongside semaphores as the mechanisms ALPS deliberately
+//! avoids for intra-object scheduling. Provided as a baseline.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Arc;
+
+use alps_runtime::{ProcId, Runtime};
+use parking_lot::Mutex;
+
+struct RegionSt<T> {
+    busy: bool,
+    data: T,
+    waiters: VecDeque<ProcId>,
+}
+
+/// A shared variable accessible only inside `region … when B do S`
+/// blocks: [`Region::await_then`] blocks until the predicate holds, then
+/// runs the body atomically.
+///
+/// # Examples
+///
+/// ```
+/// use alps_runtime::Runtime;
+/// use alps_sync::Region;
+///
+/// let rt = Runtime::threaded();
+/// let r = Region::new(5i32);
+/// let doubled = r.await_then(&rt, |v| *v > 0, |v| {
+///     *v *= 2;
+///     *v
+/// });
+/// assert_eq!(doubled, 10);
+/// rt.shutdown();
+/// ```
+pub struct Region<T> {
+    st: Arc<Mutex<RegionSt<T>>>,
+}
+
+impl<T> Clone for Region<T> {
+    fn clone(&self) -> Self {
+        Region {
+            st: Arc::clone(&self.st),
+        }
+    }
+}
+
+impl<T> fmt::Debug for Region<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let st = self.st.lock();
+        f.debug_struct("Region")
+            .field("busy", &st.busy)
+            .field("waiters", &st.waiters.len())
+            .finish()
+    }
+}
+
+impl<T: Send> Region<T> {
+    /// New region protecting `data`.
+    pub fn new(data: T) -> Region<T> {
+        Region {
+            st: Arc::new(Mutex::new(RegionSt {
+                busy: false,
+                data,
+                waiters: VecDeque::new(),
+            })),
+        }
+    }
+
+    /// `region v when pred(v) do body(v)`: wait until the region is free
+    /// *and* the predicate holds, then run the body atomically. Waiters
+    /// are re-evaluated whenever a body completes (the state may have
+    /// changed).
+    pub fn await_then<R>(
+        &self,
+        rt: &Runtime,
+        pred: impl Fn(&T) -> bool,
+        body: impl FnOnce(&mut T) -> R,
+    ) -> R {
+        loop {
+            {
+                let mut st = self.st.lock();
+                if !st.busy && pred(&st.data) {
+                    st.busy = true;
+                    let out = body(&mut st.data);
+                    st.busy = false;
+                    let ws: Vec<ProcId> = st.waiters.drain(..).collect();
+                    drop(st);
+                    for w in ws {
+                        rt.unpark(w);
+                    }
+                    return out;
+                }
+                let me = rt.current();
+                if !st.waiters.contains(&me) {
+                    st.waiters.push_back(me);
+                }
+            }
+            rt.park();
+        }
+    }
+
+    /// Unconditional critical region (predicate `true`).
+    pub fn with<R>(&self, rt: &Runtime, body: impl FnOnce(&mut T) -> R) -> R {
+        self.await_then(rt, |_| true, body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alps_runtime::{SimRuntime, Spawn};
+
+    #[test]
+    fn unconditional_region_runs() {
+        let rt = Runtime::threaded();
+        let r = Region::new(0);
+        r.with(&rt, |v| *v += 1);
+        assert_eq!(r.with(&rt, |v| *v), 1);
+    }
+
+    #[test]
+    fn conditional_region_waits_for_predicate() {
+        let sim = SimRuntime::new();
+        let got = sim
+            .run(|rt| {
+                let r = Region::new(0i64);
+                let (r2, rt2) = (r.clone(), rt.clone());
+                let h = rt.spawn_with(Spawn::new("consumer"), move || {
+                    r2.await_then(&rt2, |v| *v > 0, |v| *v)
+                });
+                rt.yield_now(); // consumer blocks: predicate false
+                r.with(rt, |v| *v = 9);
+                h.join().unwrap()
+            })
+            .unwrap();
+        assert_eq!(got, 9);
+    }
+
+    #[test]
+    fn bounded_buffer_with_ccr() {
+        let sim = SimRuntime::new();
+        let out = sim
+            .run(|rt| {
+                let r = Region::new(std::collections::VecDeque::<i64>::new());
+                let cap = 2usize;
+                let (r2, rt2) = (r.clone(), rt.clone());
+                let producer = rt.spawn_with(Spawn::new("producer"), move || {
+                    for i in 0..8 {
+                        r2.await_then(&rt2, |q| q.len() < cap, |q| q.push_back(i));
+                    }
+                });
+                let mut out = Vec::new();
+                for _ in 0..8 {
+                    out.push(r.await_then(rt, |q| !q.is_empty(), |q| {
+                        q.pop_front().expect("predicate guaranteed")
+                    }));
+                }
+                producer.join().unwrap();
+                out
+            })
+            .unwrap();
+        assert_eq!(out, (0..8).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,331 @@
+//! Monitors with condition variables (Hoare [1], Brinch Hansen [2] —
+//! the paper's reference points for what the manager generalizes).
+//!
+//! Mesa-style signalling: `signal` moves one waiter back to the entry
+//! competition; waiters re-check their predicate in a loop. The paper's
+//! critique (§1) is that monitor-based scheduling "gets scattered across
+//! the various procedures of the object"; the E1/E2 benchmarks use this
+//! implementation as the baseline the manager is compared against.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Arc;
+
+use alps_runtime::{ProcId, Runtime};
+use parking_lot::{Mutex, MutexGuard};
+
+struct MonSt {
+    locked: bool,
+    entry_q: VecDeque<ProcId>,
+    cond_qs: Vec<VecDeque<ProcId>>,
+}
+
+struct MonInner<T> {
+    st: Mutex<MonSt>,
+    data: Mutex<T>,
+}
+
+/// Index of a condition variable inside a [`Monitor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cond(pub usize);
+
+/// A monitor protecting a value `T`, with `n` named condition queues.
+///
+/// # Examples
+///
+/// A one-slot buffer:
+///
+/// ```
+/// use alps_runtime::{Runtime, Spawn};
+/// use alps_sync::{Cond, Monitor};
+///
+/// const EMPTY: Cond = Cond(0);
+/// const FULL: Cond = Cond(1);
+///
+/// let rt = Runtime::threaded();
+/// let m = Monitor::new(2, None::<i32>);
+/// let (m2, rt2) = (m.clone(), rt.clone());
+/// let h = rt.spawn_with(Spawn::new("producer"), move || {
+///     let mut g = m2.enter(&rt2);
+///     while g.data().is_some() {
+///         g.wait(EMPTY);
+///     }
+///     *g.data() = Some(42);
+///     g.signal(FULL);
+/// });
+/// let mut g = m.enter(&rt);
+/// while g.data().is_none() {
+///     g.wait(FULL);
+/// }
+/// let v = g.data().take().unwrap();
+/// g.signal(EMPTY);
+/// drop(g);
+/// h.join().unwrap();
+/// assert_eq!(v, 42);
+/// rt.shutdown();
+/// ```
+pub struct Monitor<T> {
+    inner: Arc<MonInner<T>>,
+}
+
+impl<T> Clone for Monitor<T> {
+    fn clone(&self) -> Self {
+        Monitor {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> fmt::Debug for Monitor<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let st = self.inner.st.lock();
+        f.debug_struct("Monitor")
+            .field("locked", &st.locked)
+            .field("entry_waiters", &st.entry_q.len())
+            .field("conditions", &st.cond_qs.len())
+            .finish()
+    }
+}
+
+impl<T: Send> Monitor<T> {
+    /// New monitor with `n_conditions` condition queues around `data`.
+    pub fn new(n_conditions: usize, data: T) -> Monitor<T> {
+        Monitor {
+            inner: Arc::new(MonInner {
+                st: Mutex::new(MonSt {
+                    locked: false,
+                    entry_q: VecDeque::new(),
+                    cond_qs: (0..n_conditions).map(|_| VecDeque::new()).collect(),
+                }),
+                data: Mutex::new(data),
+            }),
+        }
+    }
+
+    /// Enter the monitor, blocking while another process is inside.
+    pub fn enter<'m>(&'m self, rt: &'m Runtime) -> MonitorGuard<'m, T> {
+        self.lock_monitor(rt);
+        MonitorGuard { mon: self, rt }
+    }
+
+    fn lock_monitor(&self, rt: &Runtime) {
+        loop {
+            {
+                let mut st = self.inner.st.lock();
+                if !st.locked {
+                    st.locked = true;
+                    return;
+                }
+                let me = rt.current();
+                if !st.entry_q.contains(&me) {
+                    st.entry_q.push_back(me);
+                }
+            }
+            rt.park();
+        }
+    }
+
+    fn unlock_monitor(&self, rt: &Runtime) {
+        let next = {
+            let mut st = self.inner.st.lock();
+            debug_assert!(st.locked, "unlock of an unlocked monitor");
+            st.locked = false;
+            st.entry_q.pop_front()
+        };
+        if let Some(w) = next {
+            rt.unpark(w);
+        }
+    }
+}
+
+/// Possession of a [`Monitor`]: access the data, wait on and signal
+/// conditions. Dropping the guard leaves the monitor.
+pub struct MonitorGuard<'m, T: Send> {
+    mon: &'m Monitor<T>,
+    rt: &'m Runtime,
+}
+
+impl<T: Send> fmt::Debug for MonitorGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MonitorGuard")
+    }
+}
+
+impl<T: Send> MonitorGuard<'_, T> {
+    /// The protected data. The inner lock is uncontended (possession of
+    /// the monitor guarantees exclusion); it exists to keep the API safe.
+    pub fn data(&mut self) -> MutexGuard<'_, T> {
+        self.mon.inner.data.lock()
+    }
+
+    /// Wait on condition `c`: leave the monitor, park until signalled,
+    /// re-enter. Mesa semantics — re-check your predicate in a loop.
+    pub fn wait(&mut self, c: Cond) {
+        {
+            let mut st = self.mon.inner.st.lock();
+            let me = self.rt.current();
+            st.cond_qs[c.0].push_back(me);
+        }
+        self.mon.unlock_monitor(self.rt);
+        loop {
+            self.rt.park();
+            // Only proceed once we are no longer queued on the condition
+            // (i.e. a signal removed us — spurious permits re-park).
+            let queued = {
+                let st = self.mon.inner.st.lock();
+                st.cond_qs[c.0].contains(&self.rt.current())
+            };
+            if !queued {
+                break;
+            }
+        }
+        self.mon.lock_monitor(self.rt);
+    }
+
+    /// Wake the first waiter of condition `c` (no-op when none).
+    pub fn signal(&mut self, c: Cond) {
+        let w = self.mon.inner.st.lock().cond_qs[c.0].pop_front();
+        if let Some(w) = w {
+            self.rt.unpark(w);
+        }
+    }
+
+    /// Wake all waiters of condition `c`.
+    pub fn signal_all(&mut self, c: Cond) {
+        let ws: Vec<ProcId> = self.mon.inner.st.lock().cond_qs[c.0].drain(..).collect();
+        for w in ws {
+            self.rt.unpark(w);
+        }
+    }
+}
+
+impl<T: Send> Drop for MonitorGuard<'_, T> {
+    fn drop(&mut self) {
+        self.mon.unlock_monitor(self.rt);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alps_runtime::{SimRuntime, Spawn};
+    use std::collections::VecDeque as Q;
+
+    const NOT_FULL: Cond = Cond(0);
+    const NOT_EMPTY: Cond = Cond(1);
+
+    #[test]
+    fn bounded_buffer_on_monitor_sim() {
+        let sim = SimRuntime::new();
+        let got = sim
+            .run(|rt| {
+                let m = Monitor::new(2, Q::<i64>::new());
+                let cap = 2usize;
+                let (m2, rt2) = (m.clone(), rt.clone());
+                let producer = rt.spawn_with(Spawn::new("producer"), move || {
+                    for i in 0..10i64 {
+                        let mut g = m2.enter(&rt2);
+                        while g.data().len() >= cap {
+                            g.wait(NOT_FULL);
+                        }
+                        g.data().push_back(i);
+                        g.signal(NOT_EMPTY);
+                    }
+                });
+                let mut out = Vec::new();
+                for _ in 0..10 {
+                    let mut g = m.enter(rt);
+                    while g.data().is_empty() {
+                        g.wait(NOT_EMPTY);
+                    }
+                    let v = g.data().pop_front().unwrap();
+                    g.signal(NOT_FULL);
+                    drop(g);
+                    out.push(v);
+                }
+                producer.join().unwrap();
+                out
+            })
+            .unwrap();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn mutual_exclusion_is_enforced() {
+        let sim = SimRuntime::new();
+        let clean = sim
+            .run(|rt| {
+                let m = Monitor::new(0, (0u32, true));
+                let mut hs = Vec::new();
+                for i in 0..3 {
+                    let (m2, rt2) = (m.clone(), rt.clone());
+                    hs.push(rt.spawn_with(Spawn::new(format!("w{i}")), move || {
+                        for _ in 0..50 {
+                            let mut g = m2.enter(&rt2);
+                            {
+                                let mut d = g.data();
+                                assert!(d.1, "two processes inside the monitor");
+                                d.1 = false;
+                            }
+                            rt2.yield_now(); // try to break exclusion
+                            {
+                                let mut d = g.data();
+                                d.1 = true;
+                                d.0 += 1;
+                            }
+                        }
+                    }));
+                }
+                for h in hs {
+                    h.join().unwrap();
+                }
+                let g = m.inner.data.lock();
+                g.0
+            })
+            .unwrap();
+        assert_eq!(clean, 150);
+    }
+
+    #[test]
+    fn signal_all_wakes_every_waiter() {
+        let sim = SimRuntime::new();
+        let n = sim
+            .run(|rt| {
+                let m = Monitor::new(1, 0usize);
+                let mut hs = Vec::new();
+                for i in 0..4 {
+                    let (m2, rt2) = (m.clone(), rt.clone());
+                    hs.push(rt.spawn_with(Spawn::new(format!("w{i}")), move || {
+                        let mut g = m2.enter(&rt2);
+                        while *g.data() == 0 {
+                            g.wait(Cond(0));
+                        }
+                    }));
+                }
+                for _ in 0..10 {
+                    rt.yield_now(); // all four wait
+                }
+                let mut g = m.enter(rt);
+                *g.data() = 1;
+                g.signal_all(Cond(0));
+                drop(g);
+                let mut done = 0;
+                for h in hs {
+                    h.join().unwrap();
+                    done += 1;
+                }
+                done
+            })
+            .unwrap();
+        assert_eq!(n, 4);
+    }
+
+    #[test]
+    fn signal_with_no_waiters_is_noop() {
+        let rt = Runtime::threaded();
+        let m = Monitor::new(1, ());
+        let mut g = m.enter(&rt);
+        g.signal(Cond(0));
+        g.signal_all(Cond(0));
+    }
+}

@@ -1,0 +1,631 @@
+//! Path expressions (Campbell & Habermann [4,5]) — the third abstraction
+//! the paper positions the manager against: "the idea of separating the
+//! scheduling from the procedures that are scheduled was first used in
+//! path expressions".
+//!
+//! A path expression declares the permissible execution orderings of a
+//! resource's operations:
+//!
+//! ```text
+//! path deposit ; remove end          -- remove #k needs deposit #k done
+//! path 1:(deposit ; remove) end      -- strict alternation (1-slot buffer)
+//! path 4:(deposit ; remove) end      -- 4-slot bounded buffer
+//! path 1:(10:(read), write) end      -- classic readers-writers:
+//!                                       readers share (≤10), writers exclusive
+//! ```
+//!
+//! Grammar (selection `,` binds loosest, sequence `;` tighter, then
+//! `n:(...)` restriction and parentheses):
+//!
+//! ```text
+//! path  := "path" expr "end"
+//! expr  := seq ("," seq)*
+//! seq   := term (";" term)*
+//! term  := NUMBER ":" "(" expr ")" | "(" expr ")" | IDENT
+//! ```
+//!
+//! The compiler follows the classic open-path translation: each
+//! sequence link and each restriction becomes a counting semaphore; an
+//! operation's prologue/epilogue acquire/release them in order.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use alps_runtime::Runtime;
+
+use crate::semaphore::Semaphore;
+
+/// AST of a path expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PathExpr {
+    /// A named operation.
+    Op(String),
+    /// `e1 ; e2 ; …` — the k-th start of `e(i+1)` requires k completions
+    /// of `e(i)`.
+    Seq(Vec<PathExpr>),
+    /// `e1 , e2 , …` — alternatives, mutually unconstrained.
+    Sel(Vec<PathExpr>),
+    /// `n:(e)` — at most `n` concurrent activations of `e`.
+    Limit(u64, Box<PathExpr>),
+}
+
+/// Parse error for path expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePathError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset of the error.
+    pub at: usize,
+}
+
+impl fmt::Display for ParsePathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "path parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParsePathError {}
+
+struct Parser<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Self {
+        Parser { src, pos: 0 }
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParsePathError {
+        ParsePathError {
+            message: message.into(),
+            at: self.pos,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.src[self.pos..].starts_with(|c: char| c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.src[self.pos..].chars().next()
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += c.len_utf8();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn keyword(&mut self, kw: &str) -> bool {
+        self.skip_ws();
+        let rest = &self.src[self.pos..];
+        if rest.starts_with(kw) {
+            let after = rest[kw.len()..].chars().next();
+            if after.map(|c| !c.is_alphanumeric() && c != '_').unwrap_or(true) {
+                self.pos += kw.len();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn ident(&mut self) -> Option<String> {
+        self.skip_ws();
+        let rest = &self.src[self.pos..];
+        let mut end = 0;
+        for (i, c) in rest.char_indices() {
+            if (i == 0 && c.is_alphabetic()) || (i > 0 && (c.is_alphanumeric() || c == '_')) {
+                end = i + c.len_utf8();
+            } else {
+                break;
+            }
+        }
+        if end == 0 {
+            None
+        } else {
+            self.pos += end;
+            Some(rest[..end].to_string())
+        }
+    }
+
+    fn number(&mut self) -> Option<u64> {
+        self.skip_ws();
+        let rest = &self.src[self.pos..];
+        let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+        if digits.is_empty() {
+            None
+        } else {
+            self.pos += digits.len();
+            digits.parse().ok()
+        }
+    }
+
+    fn parse_path(&mut self) -> Result<PathExpr, ParsePathError> {
+        if !self.keyword("path") {
+            return Err(self.error("expected `path`"));
+        }
+        let e = self.parse_expr()?;
+        if !self.keyword("end") {
+            return Err(self.error("expected `end`"));
+        }
+        self.skip_ws();
+        if self.pos != self.src.len() {
+            return Err(self.error("trailing input after `end`"));
+        }
+        Ok(e)
+    }
+
+    fn parse_expr(&mut self) -> Result<PathExpr, ParsePathError> {
+        let mut alts = vec![self.parse_seq()?];
+        while self.eat(',') {
+            alts.push(self.parse_seq()?);
+        }
+        Ok(if alts.len() == 1 {
+            alts.pop().expect("non-empty")
+        } else {
+            PathExpr::Sel(alts)
+        })
+    }
+
+    fn parse_seq(&mut self) -> Result<PathExpr, ParsePathError> {
+        let mut items = vec![self.parse_term()?];
+        while self.eat(';') {
+            items.push(self.parse_term()?);
+        }
+        Ok(if items.len() == 1 {
+            items.pop().expect("non-empty")
+        } else {
+            PathExpr::Seq(items)
+        })
+    }
+
+    fn parse_term(&mut self) -> Result<PathExpr, ParsePathError> {
+        if let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                let n = self.number().ok_or_else(|| self.error("bad number"))?;
+                if n == 0 {
+                    return Err(self.error("restriction bound must be positive"));
+                }
+                if !self.eat(':') {
+                    return Err(self.error("expected `:` after bound"));
+                }
+                if !self.eat('(') {
+                    return Err(self.error("expected `(` after `n:`"));
+                }
+                let e = self.parse_expr()?;
+                if !self.eat(')') {
+                    return Err(self.error("expected `)`"));
+                }
+                return Ok(PathExpr::Limit(n, Box::new(e)));
+            }
+            if c == '(' {
+                self.eat('(');
+                let e = self.parse_expr()?;
+                if !self.eat(')') {
+                    return Err(self.error("expected `)`"));
+                }
+                return Ok(e);
+            }
+        }
+        // `end` must not be swallowed as an identifier.
+        let save = self.pos;
+        match self.ident() {
+            Some(id) if id != "end" && id != "path" => Ok(PathExpr::Op(id)),
+            _ => {
+                self.pos = save;
+                Err(self.error("expected operation name, `(` or `n:(`"))
+            }
+        }
+    }
+}
+
+impl std::str::FromStr for PathExpr {
+    type Err = ParsePathError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Parser::new(s).parse_path()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SemOp {
+    P(usize),
+    V(usize),
+}
+
+#[derive(Debug, Default, Clone)]
+struct OpHooks {
+    prologue: Vec<SemOp>,
+    epilogue: Vec<SemOp>,
+}
+
+/// A compiled path expression: call [`enter`](PathController::enter)
+/// before an operation and [`exit`](PathController::exit) after it, and
+/// the declared ordering/concurrency constraints are enforced.
+///
+/// # Examples
+///
+/// ```
+/// use alps_runtime::Runtime;
+/// use alps_sync::PathController;
+///
+/// let rt = Runtime::threaded();
+/// let pc = PathController::compile("path deposit ; remove end").unwrap();
+/// pc.enter(&rt, "deposit").unwrap();
+/// pc.exit(&rt, "deposit").unwrap();
+/// // remove may only run after a deposit completed:
+/// pc.enter(&rt, "remove").unwrap();
+/// pc.exit(&rt, "remove").unwrap();
+/// rt.shutdown();
+/// ```
+pub struct PathController {
+    hooks: HashMap<String, OpHooks>,
+    sems: Vec<Arc<Semaphore>>,
+    expr: PathExpr,
+}
+
+impl fmt::Debug for PathController {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PathController")
+            .field("expr", &self.expr)
+            .field("operations", &self.hooks.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+/// Error using a [`PathController`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PathError {
+    /// The operation name is not part of the path expression.
+    UnknownOp(String),
+    /// An operation name occurs more than once (unsupported).
+    DuplicateOp(String),
+}
+
+impl fmt::Display for PathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PathError::UnknownOp(op) => write!(f, "operation `{op}` not in path expression"),
+            PathError::DuplicateOp(op) => {
+                write!(f, "operation `{op}` occurs more than once in the path expression")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PathError {}
+
+impl PathController {
+    /// Parse and compile a path expression.
+    ///
+    /// # Errors
+    ///
+    /// Parse errors, or [`PathError::DuplicateOp`] if an operation name
+    /// occurs twice (occurrence alternatives are not supported).
+    pub fn compile(src: &str) -> Result<PathController, Box<dyn std::error::Error + Send + Sync>> {
+        let expr: PathExpr = src.parse()?;
+        Self::from_expr(expr).map_err(|e| Box::new(e) as _)
+    }
+
+    /// Compile an already-parsed expression.
+    ///
+    /// # Errors
+    ///
+    /// [`PathError::DuplicateOp`] if an operation name occurs twice.
+    pub fn from_expr(expr: PathExpr) -> Result<PathController, PathError> {
+        let mut ctl = PathController {
+            hooks: HashMap::new(),
+            sems: Vec::new(),
+            expr: expr.clone(),
+        };
+        ctl.assign(&expr, Vec::new(), Vec::new())?;
+        Ok(ctl)
+    }
+
+    fn new_sem(&mut self, init: u64) -> usize {
+        self.sems.push(Arc::new(Semaphore::new(init)));
+        self.sems.len() - 1
+    }
+
+    fn assign(
+        &mut self,
+        e: &PathExpr,
+        pre: Vec<SemOp>,
+        post: Vec<SemOp>,
+    ) -> Result<(), PathError> {
+        match e {
+            PathExpr::Op(name) => {
+                if self.hooks.contains_key(name) {
+                    return Err(PathError::DuplicateOp(name.clone()));
+                }
+                self.hooks.insert(
+                    name.clone(),
+                    OpHooks {
+                        prologue: pre,
+                        epilogue: post,
+                    },
+                );
+                Ok(())
+            }
+            PathExpr::Sel(alts) => {
+                for a in alts {
+                    self.assign(a, pre.clone(), post.clone())?;
+                }
+                Ok(())
+            }
+            PathExpr::Seq(items) => {
+                // Classic open-path translation: a link semaphore (init 0)
+                // between consecutive items; the k-th start of item i+1
+                // requires k completions of item i. The enclosing prologue
+                // applies only to the first item, the enclosing epilogue
+                // only to the last — so `n:(a;b)` bounds in-flight
+                // *traversals* of the whole sequence.
+                let n = items.len();
+                let links: Vec<usize> = (0..n - 1).map(|_| self.new_sem(0)).collect();
+                for (i, item) in items.iter().enumerate() {
+                    let p = if i == 0 {
+                        pre.clone()
+                    } else {
+                        vec![SemOp::P(links[i - 1])]
+                    };
+                    let q = if i == n - 1 {
+                        post.clone()
+                    } else {
+                        vec![SemOp::V(links[i])]
+                    };
+                    self.assign(item, p, q)?;
+                }
+                Ok(())
+            }
+            PathExpr::Limit(bound, inner) => {
+                let s = self.new_sem(*bound);
+                let mut p = vec![SemOp::P(s)];
+                p.extend(pre.iter().copied());
+                let mut q = post.clone();
+                q.push(SemOp::V(s));
+                self.assign(inner, p, q)?;
+                Ok(())
+            }
+        }
+    }
+
+    /// All operation names in the expression.
+    pub fn operations(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.hooks.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Block until the path expression permits `op` to start.
+    ///
+    /// # Errors
+    ///
+    /// [`PathError::UnknownOp`] for a name not in the expression.
+    pub fn enter(&self, rt: &Runtime, op: &str) -> Result<(), PathError> {
+        let hooks = self
+            .hooks
+            .get(op)
+            .ok_or_else(|| PathError::UnknownOp(op.to_string()))?;
+        for semop in &hooks.prologue {
+            match semop {
+                SemOp::P(i) => self.sems[*i].acquire(rt),
+                SemOp::V(i) => self.sems[*i].release(rt),
+            }
+        }
+        Ok(())
+    }
+
+    /// Record completion of `op`, releasing whatever it unblocks.
+    ///
+    /// # Errors
+    ///
+    /// [`PathError::UnknownOp`] for a name not in the expression.
+    pub fn exit(&self, rt: &Runtime, op: &str) -> Result<(), PathError> {
+        let hooks = self
+            .hooks
+            .get(op)
+            .ok_or_else(|| PathError::UnknownOp(op.to_string()))?;
+        for semop in &hooks.epilogue {
+            match semop {
+                SemOp::P(i) => self.sems[*i].acquire(rt),
+                SemOp::V(i) => self.sems[*i].release(rt),
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alps_runtime::{SimRuntime, Spawn};
+    use std::sync::atomic::{AtomicI64, AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn parser_builds_expected_ast() {
+        let e: PathExpr = "path 1:(10:(read), write) end".parse().unwrap();
+        assert_eq!(
+            e,
+            PathExpr::Limit(
+                1,
+                Box::new(PathExpr::Sel(vec![
+                    PathExpr::Limit(10, Box::new(PathExpr::Op("read".into()))),
+                    PathExpr::Op("write".into()),
+                ]))
+            )
+        );
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!("path end".parse::<PathExpr>().is_err());
+        assert!("deposit".parse::<PathExpr>().is_err());
+        assert!("path a ; end".parse::<PathExpr>().is_err());
+        assert!("path 0:(a) end".parse::<PathExpr>().is_err());
+        assert!("path a end extra".parse::<PathExpr>().is_err());
+    }
+
+    #[test]
+    fn duplicate_ops_rejected() {
+        let e: PathExpr = "path a ; a end".parse().unwrap();
+        assert!(matches!(
+            PathController::from_expr(e),
+            Err(PathError::DuplicateOp(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_op_rejected() {
+        let rt = Runtime::threaded();
+        let pc = PathController::compile("path a end").unwrap();
+        assert!(matches!(
+            pc.enter(&rt, "zzz"),
+            Err(PathError::UnknownOp(_))
+        ));
+        rt.shutdown();
+    }
+    use alps_runtime::Runtime;
+
+    #[test]
+    fn sequence_enforces_alternation() {
+        // path deposit ; remove end — remove #k needs deposit #k done.
+        let sim = SimRuntime::new();
+        let trace = sim
+            .run(|rt| {
+                let pc =
+                    Arc::new(PathController::compile("path 1:(deposit ; remove) end").unwrap());
+                let log = Arc::new(parking_lot::Mutex::new(Vec::new()));
+                let mut hs = Vec::new();
+                // A remover that starts first must wait for the depositor.
+                let (pc2, rt2, log2) = (Arc::clone(&pc), rt.clone(), Arc::clone(&log));
+                hs.push(rt.spawn_with(Spawn::new("remover"), move || {
+                    for _ in 0..3 {
+                        pc2.enter(&rt2, "remove").unwrap();
+                        log2.lock().push("remove");
+                        pc2.exit(&rt2, "remove").unwrap();
+                    }
+                }));
+                let (pc3, rt3, log3) = (Arc::clone(&pc), rt.clone(), Arc::clone(&log));
+                hs.push(rt.spawn_with(Spawn::new("depositor"), move || {
+                    for _ in 0..3 {
+                        pc3.enter(&rt3, "deposit").unwrap();
+                        log3.lock().push("deposit");
+                        pc3.exit(&rt3, "deposit").unwrap();
+                    }
+                }));
+                for h in hs {
+                    h.join().unwrap();
+                }
+                let v = log.lock().clone();
+                v
+            })
+            .unwrap();
+        assert_eq!(
+            trace,
+            vec!["deposit", "remove", "deposit", "remove", "deposit", "remove"]
+        );
+    }
+
+    #[test]
+    fn limit_bounds_concurrency() {
+        let sim = SimRuntime::new();
+        let peak = sim
+            .run(|rt| {
+                let pc = Arc::new(PathController::compile("path 2:(work) end").unwrap());
+                let active = Arc::new(AtomicUsize::new(0));
+                let peak = Arc::new(AtomicUsize::new(0));
+                let mut hs = Vec::new();
+                for i in 0..5 {
+                    let (pc2, rt2) = (Arc::clone(&pc), rt.clone());
+                    let (a2, p2) = (Arc::clone(&active), Arc::clone(&peak));
+                    hs.push(rt.spawn_with(Spawn::new(format!("w{i}")), move || {
+                        pc2.enter(&rt2, "work").unwrap();
+                        let n = a2.fetch_add(1, Ordering::SeqCst) + 1;
+                        p2.fetch_max(n, Ordering::SeqCst);
+                        rt2.sleep(50);
+                        a2.fetch_sub(1, Ordering::SeqCst);
+                        pc2.exit(&rt2, "work").unwrap();
+                    }));
+                }
+                for h in hs {
+                    h.join().unwrap();
+                }
+                peak.load(Ordering::SeqCst)
+            })
+            .unwrap();
+        assert!(peak <= 2, "limit violated: {peak}");
+        assert!(peak >= 2, "never reached the bound: {peak}");
+    }
+
+    #[test]
+    fn readers_writers_path_invariant() {
+        // path 1:(3:(read), write) end — readers share (≤3), writers
+        // exclusive.
+        let sim = SimRuntime::new();
+        let bad = sim
+            .run(|rt| {
+                let pc =
+                    Arc::new(PathController::compile("path 1:(3:(read), write) end").unwrap());
+                let readers = Arc::new(AtomicI64::new(0));
+                let writers = Arc::new(AtomicI64::new(0));
+                let bad = Arc::new(AtomicUsize::new(0));
+                let mut hs = Vec::new();
+                for i in 0..4 {
+                    let (pc2, rt2) = (Arc::clone(&pc), rt.clone());
+                    let (r2, w2, b2) =
+                        (Arc::clone(&readers), Arc::clone(&writers), Arc::clone(&bad));
+                    hs.push(rt.spawn_with(Spawn::new(format!("r{i}")), move || {
+                        for _ in 0..4 {
+                            pc2.enter(&rt2, "read").unwrap();
+                            r2.fetch_add(1, Ordering::SeqCst);
+                            if w2.load(Ordering::SeqCst) > 0 {
+                                b2.fetch_add(1, Ordering::SeqCst);
+                            }
+                            rt2.sleep(7);
+                            r2.fetch_sub(1, Ordering::SeqCst);
+                            pc2.exit(&rt2, "read").unwrap();
+                        }
+                    }));
+                }
+                for i in 0..2 {
+                    let (pc2, rt2) = (Arc::clone(&pc), rt.clone());
+                    let (r2, w2, b2) =
+                        (Arc::clone(&readers), Arc::clone(&writers), Arc::clone(&bad));
+                    hs.push(rt.spawn_with(Spawn::new(format!("w{i}")), move || {
+                        for _ in 0..4 {
+                            pc2.enter(&rt2, "write").unwrap();
+                            if r2.load(Ordering::SeqCst) > 0
+                                || w2.fetch_add(1, Ordering::SeqCst) > 0
+                            {
+                                b2.fetch_add(1, Ordering::SeqCst);
+                            }
+                            rt2.sleep(5);
+                            w2.fetch_sub(1, Ordering::SeqCst);
+                            pc2.exit(&rt2, "write").unwrap();
+                        }
+                    }));
+                }
+                for h in hs {
+                    h.join().unwrap();
+                }
+                bad.load(Ordering::SeqCst)
+            })
+            .unwrap();
+        assert_eq!(bad, 0);
+    }
+
+    #[test]
+    fn operations_listed() {
+        let pc = PathController::compile("path a ; b , c end").unwrap();
+        assert_eq!(pc.operations(), vec!["a", "b", "c"]);
+    }
+}

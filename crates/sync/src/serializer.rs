@@ -1,0 +1,399 @@
+//! Serializers (Hewitt & Atkinson [3]) — the second abstraction the paper
+//! says the manager generalizes: "the manager can be programmed to allow
+//! multiple users to access the resource simultaneously — a facility
+//! sought in the design of the serializer mechanism".
+//!
+//! A serializer is a monitor-like capsule whose *possession* is released
+//! while the protected body runs: processes `enqueue` on named queues
+//! until a guarantee holds, then `join a crowd` and execute the resource
+//! body outside possession, so compatible operations overlap.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Arc;
+
+use alps_runtime::{ProcId, Runtime};
+use parking_lot::Mutex;
+
+/// Index of a FIFO queue inside a [`Serializer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Queue(pub usize);
+
+/// Index of a crowd (a counted set of concurrent occupants).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Crowd(pub usize);
+
+struct Waiter {
+    id: ProcId,
+    turn: bool,
+}
+
+struct SerSt {
+    possessed: bool,
+    entry_q: VecDeque<ProcId>,
+    queues: Vec<VecDeque<Waiter>>,
+    crowds: Vec<usize>,
+}
+
+/// Read-only view of the serializer state for guarantee predicates.
+#[derive(Debug, Clone)]
+pub struct SerView {
+    /// Occupancy of each crowd.
+    pub crowds: Vec<usize>,
+    /// Length of each queue.
+    pub queue_lens: Vec<usize>,
+}
+
+/// A serializer with `q` queues and `c` crowds.
+///
+/// # Examples
+///
+/// Readers–writers: readers join a crowd many-at-a-time, writers require
+/// an empty reader crowd.
+///
+/// ```
+/// use alps_runtime::Runtime;
+/// use alps_sync::{Crowd, Queue, Serializer};
+///
+/// let rt = Runtime::threaded();
+/// let s = Serializer::new(2, 2);
+/// const READ_Q: Queue = Queue(0);
+/// const READERS: Crowd = Crowd(0);
+/// const WRITERS: Crowd = Crowd(1);
+///
+/// let out = s.run(
+///     &rt,
+///     READ_Q,
+///     |view| view.crowds[WRITERS.0] == 0, // guarantee: no writer active
+///     READERS,
+///     || 21 * 2, // resource body, runs outside possession
+/// );
+/// assert_eq!(out, 42);
+/// rt.shutdown();
+/// ```
+#[derive(Clone)]
+pub struct Serializer {
+    st: Arc<Mutex<SerSt>>,
+}
+
+impl fmt::Debug for Serializer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let st = self.st.lock();
+        f.debug_struct("Serializer")
+            .field("possessed", &st.possessed)
+            .field("crowds", &st.crowds)
+            .finish()
+    }
+}
+
+impl Serializer {
+    /// New serializer with `queues` queues and `crowds` crowds.
+    pub fn new(queues: usize, crowds: usize) -> Serializer {
+        Serializer {
+            st: Arc::new(Mutex::new(SerSt {
+                possessed: false,
+                entry_q: VecDeque::new(),
+                queues: (0..queues).map(|_| VecDeque::new()).collect(),
+                crowds: vec![0; crowds],
+            })),
+        }
+    }
+
+    /// The full serializer protocol: gain possession, enqueue on `q`
+    /// until `guarantee` holds at the head of the queue, join `crowd`,
+    /// release possession, run `body`, regain possession, leave the
+    /// crowd, release.
+    pub fn run<R>(
+        &self,
+        rt: &Runtime,
+        q: Queue,
+        guarantee: impl Fn(&SerView) -> bool,
+        crowd: Crowd,
+        body: impl FnOnce() -> R,
+    ) -> R {
+        self.gain(rt);
+        self.enqueue_until(rt, q, &guarantee);
+        {
+            let mut st = self.st.lock();
+            st.crowds[crowd.0] += 1;
+        }
+        self.release_and_pulse(rt, true);
+        let out = body();
+        self.gain(rt);
+        {
+            let mut st = self.st.lock();
+            st.crowds[crowd.0] -= 1;
+        }
+        self.release_and_pulse(rt, true);
+        out
+    }
+
+    /// Current crowd occupancies and queue lengths.
+    pub fn view(&self) -> SerView {
+        let st = self.st.lock();
+        SerView {
+            crowds: st.crowds.clone(),
+            queue_lens: st.queues.iter().map(|q| q.len()).collect(),
+        }
+    }
+
+    fn gain(&self, rt: &Runtime) {
+        loop {
+            {
+                let mut st = self.st.lock();
+                if !st.possessed {
+                    st.possessed = true;
+                    return;
+                }
+                let me = rt.current();
+                if !st.entry_q.contains(&me) {
+                    st.entry_q.push_back(me);
+                }
+            }
+            rt.park();
+        }
+    }
+
+    /// Release possession and wake the next entrant. When `state_changed`
+    /// (a crowd was joined or left, or a waiter dequeued), also give every
+    /// queue head a *turn* to re-check its guarantee. Releases that change
+    /// nothing must not re-grant turns, or a waiter whose guarantee fails
+    /// would spin hot — under virtual time that livelock freezes the clock
+    /// (the crowd it waits on never gets to leave).
+    fn release_and_pulse(&self, rt: &Runtime, state_changed: bool) {
+        let mut to_wake: Vec<ProcId> = Vec::new();
+        {
+            let mut st = self.st.lock();
+            debug_assert!(st.possessed);
+            st.possessed = false;
+            if state_changed {
+                for q in &mut st.queues {
+                    if let Some(head) = q.front_mut() {
+                        head.turn = true;
+                        to_wake.push(head.id);
+                    }
+                }
+            }
+            if let Some(next) = st.entry_q.pop_front() {
+                to_wake.push(next);
+            }
+        }
+        for w in to_wake {
+            rt.unpark(w);
+        }
+    }
+
+    /// Wait (inside possession) until this process heads queue `q` and
+    /// the guarantee holds; returns still in possession.
+    fn enqueue_until(&self, rt: &Runtime, q: Queue, guarantee: &impl Fn(&SerView) -> bool) {
+        // Fast path: queue empty and guarantee holds now.
+        {
+            let st = self.st.lock();
+            let view = SerView {
+                crowds: st.crowds.clone(),
+                queue_lens: st.queues.iter().map(|qq| qq.len()).collect(),
+            };
+            if st.queues[q.0].is_empty() && guarantee(&view) {
+                return;
+            }
+        }
+        // Slow path: enqueue, release possession, wait for our turn with
+        // a holding guarantee.
+        {
+            let mut st = self.st.lock();
+            let me = rt.current();
+            // A fresh head starts with a turn: the guarantee may already
+            // hold (the fast path only handles the empty-queue case).
+            let turn = st.queues[q.0].is_empty();
+            st.queues[q.0].push_back(Waiter { id: me, turn });
+        }
+        self.release_and_pulse(rt, false);
+        loop {
+            let me = rt.current();
+            // Were we given a turn? (Checked before parking so the turn
+            // granted at enqueue time — covering a state change that
+            // raced the fast path — is not lost.)
+            let has_turn = {
+                let st = self.st.lock();
+                st.queues[q.0]
+                    .front()
+                    .map(|w| w.id == me && w.turn)
+                    .unwrap_or(false)
+            };
+            if !has_turn {
+                rt.park();
+                continue;
+            }
+            self.gain(rt);
+            let granted = {
+                let mut st = self.st.lock();
+                let view = SerView {
+                    crowds: st.crowds.clone(),
+                    queue_lens: st.queues.iter().map(|qq| qq.len()).collect(),
+                };
+                let head_is_me = st.queues[q.0]
+                    .front()
+                    .map(|w| w.id == me)
+                    .unwrap_or(false);
+                if head_is_me && guarantee(&view) {
+                    st.queues[q.0].pop_front();
+                    true
+                } else {
+                    if let Some(h) = st.queues[q.0].front_mut() {
+                        if h.id == me {
+                            h.turn = false;
+                        }
+                    }
+                    false
+                }
+            };
+            if granted {
+                // We left the queue: successors' guarantees may now hold.
+                // Keep possession but hand out turns.
+                let mut to_wake: Vec<ProcId> = Vec::new();
+                {
+                    let mut st = self.st.lock();
+                    for qq in &mut st.queues {
+                        if let Some(head) = qq.front_mut() {
+                            head.turn = true;
+                            to_wake.push(head.id);
+                        }
+                    }
+                }
+                for w in to_wake {
+                    rt.unpark(w);
+                }
+                return; // still in possession
+            }
+            self.release_and_pulse(rt, false);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alps_runtime::{SimRuntime, Spawn};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    const Q_READ: Queue = Queue(0);
+    const Q_WRITE: Queue = Queue(1);
+    const READERS: Crowd = Crowd(0);
+    const WRITERS: Crowd = Crowd(1);
+
+    #[test]
+    fn body_runs_outside_possession_so_crowds_overlap() {
+        let sim = SimRuntime::new();
+        let max_overlap = sim
+            .run(|rt| {
+                let s = Serializer::new(2, 2);
+                let active = Arc::new(AtomicUsize::new(0));
+                let peak = Arc::new(AtomicUsize::new(0));
+                let mut hs = Vec::new();
+                for i in 0..4 {
+                    let (s2, rt2) = (s.clone(), rt.clone());
+                    let (a2, p2) = (Arc::clone(&active), Arc::clone(&peak));
+                    hs.push(rt.spawn_with(Spawn::new(format!("r{i}")), move || {
+                        s2.run(
+                            &rt2,
+                            Q_READ,
+                            |v| v.crowds[WRITERS.0] == 0,
+                            READERS,
+                            || {
+                                let n = a2.fetch_add(1, Ordering::SeqCst) + 1;
+                                p2.fetch_max(n, Ordering::SeqCst);
+                                rt2.sleep(100);
+                                a2.fetch_sub(1, Ordering::SeqCst);
+                            },
+                        );
+                    }));
+                }
+                for h in hs {
+                    h.join().unwrap();
+                }
+                peak.load(Ordering::SeqCst)
+            })
+            .unwrap();
+        assert!(max_overlap >= 2, "readers never overlapped: {max_overlap}");
+    }
+
+    #[test]
+    fn writers_exclude_readers_and_writers() {
+        let sim = SimRuntime::new();
+        let violations = sim
+            .run(|rt| {
+                let s = Serializer::new(2, 2);
+                let readers = Arc::new(AtomicUsize::new(0));
+                let writers = Arc::new(AtomicUsize::new(0));
+                let bad = Arc::new(AtomicUsize::new(0));
+                let mut hs = Vec::new();
+                for i in 0..3 {
+                    let (s2, rt2) = (s.clone(), rt.clone());
+                    let (r2, w2, b2) = (
+                        Arc::clone(&readers),
+                        Arc::clone(&writers),
+                        Arc::clone(&bad),
+                    );
+                    hs.push(rt.spawn_with(Spawn::new(format!("r{i}")), move || {
+                        for _ in 0..5 {
+                            s2.run(
+                                &rt2,
+                                Q_READ,
+                                |v| v.crowds[WRITERS.0] == 0,
+                                READERS,
+                                || {
+                                    r2.fetch_add(1, Ordering::SeqCst);
+                                    if w2.load(Ordering::SeqCst) > 0 {
+                                        b2.fetch_add(1, Ordering::SeqCst);
+                                    }
+                                    rt2.sleep(10);
+                                    r2.fetch_sub(1, Ordering::SeqCst);
+                                },
+                            );
+                        }
+                    }));
+                }
+                for i in 0..2 {
+                    let (s2, rt2) = (s.clone(), rt.clone());
+                    let (r2, w2, b2) = (
+                        Arc::clone(&readers),
+                        Arc::clone(&writers),
+                        Arc::clone(&bad),
+                    );
+                    hs.push(rt.spawn_with(Spawn::new(format!("w{i}")), move || {
+                        for _ in 0..5 {
+                            s2.run(
+                                &rt2,
+                                Q_WRITE,
+                                |v| v.crowds[READERS.0] == 0 && v.crowds[WRITERS.0] == 0,
+                                WRITERS,
+                                || {
+                                    if r2.load(Ordering::SeqCst) > 0
+                                        || w2.fetch_add(1, Ordering::SeqCst) > 0
+                                    {
+                                        b2.fetch_add(1, Ordering::SeqCst);
+                                    }
+                                    rt2.sleep(10);
+                                    w2.fetch_sub(1, Ordering::SeqCst);
+                                },
+                            );
+                        }
+                    }));
+                }
+                for h in hs {
+                    h.join().unwrap();
+                }
+                bad.load(Ordering::SeqCst)
+            })
+            .unwrap();
+        assert_eq!(violations, 0);
+    }
+
+    #[test]
+    fn view_reports_state() {
+        let s = Serializer::new(1, 1);
+        let v = s.view();
+        assert_eq!(v.crowds, vec![0]);
+        assert_eq!(v.queue_lens, vec![0]);
+    }
+}

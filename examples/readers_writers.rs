@@ -1,0 +1,79 @@
+//! The readers–writers database of paper §2.5.1, driven on the
+//! deterministic simulator, with the safety invariants checked from the
+//! event log and all four implementations (ALPS manager, monitor,
+//! serializer, path expression) compared on the same workload.
+//!
+//! Run with: `cargo run --example readers_writers`
+
+use std::sync::Arc;
+
+use alps::paper::readers_writers::{
+    check_rw_invariants, AlpsRw, MonitorRw, PathRw, RwConfig, RwDatabase, RwEvent, SerializerRw,
+};
+use alps::runtime::metrics::EventLog;
+use alps::runtime::{SimRuntime, Spawn};
+
+fn drive(which: &'static str, readers: usize, writers: usize, ops: usize) -> (u64, usize) {
+    let cfg = RwConfig {
+        read_max: 4,
+        read_cost: 100,
+        write_cost: 300,
+    };
+    let read_max = cfg.read_max;
+    let log: Arc<EventLog<RwEvent>> = Arc::new(EventLog::new());
+    let log2 = Arc::clone(&log);
+    let sim = SimRuntime::new();
+    let elapsed = sim
+        .run(move |rt| {
+            let db: Arc<dyn RwDatabase> = match which {
+                "alps" => Arc::new(AlpsRw::spawn(rt, cfg.clone(), Some(Arc::clone(&log2))).unwrap()),
+                "monitor" => Arc::new(MonitorRw::new(cfg.clone(), Some(Arc::clone(&log2)))),
+                "serializer" => Arc::new(SerializerRw::new(cfg.clone(), Some(Arc::clone(&log2)))),
+                "path" => Arc::new(PathRw::new(cfg.clone(), Some(Arc::clone(&log2)))),
+                _ => unreachable!(),
+            };
+            let t0 = rt.now();
+            let mut hs = Vec::new();
+            for i in 0..readers {
+                let (db2, rt2) = (Arc::clone(&db), rt.clone());
+                hs.push(rt.spawn_with(Spawn::new(format!("reader{i}")), move || {
+                    for _ in 0..ops {
+                        db2.read(&rt2);
+                    }
+                }));
+            }
+            for i in 0..writers {
+                let (db2, rt2) = (Arc::clone(&db), rt.clone());
+                hs.push(rt.spawn_with(Spawn::new(format!("writer{i}")), move || {
+                    for _ in 0..ops {
+                        db2.write(&rt2);
+                    }
+                }));
+            }
+            for h in hs {
+                h.join().unwrap();
+            }
+            rt.now() - t0
+        })
+        .expect("no deadlock");
+    let events = log.snapshot();
+    let peak = check_rw_invariants(&events, read_max);
+    (elapsed, peak)
+}
+
+fn main() {
+    println!("readers-writers, 6 readers x 20 reads + 2 writers x 20 writes");
+    println!("(virtual time; smaller is better; peak = max concurrent readers)");
+    println!();
+    println!("{:<16} {:>14} {:>6}", "implementation", "virtual ticks", "peak");
+    for which in ["alps", "monitor", "serializer", "path"] {
+        let (elapsed, peak) = drive(which, 6, 2, 20);
+        println!("{which:<16} {elapsed:>14} {peak:>6}");
+    }
+    println!();
+    println!("Safety invariants (no reader/writer overlap, ReadMax bound)");
+    println!("verified from the event log for every implementation.");
+    println!("Note the path-expression row: basic open path expressions");
+    println!("serialize readers (peak 1) — the expressiveness gap the");
+    println!("ALPS manager closes.");
+}

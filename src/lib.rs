@@ -1,0 +1,7 @@
+//! Facade crate re-exporting the ALPS reproduction workspace.
+
+pub use alps_core as core;
+pub use alps_lang as lang;
+pub use alps_paper as paper;
+pub use alps_runtime as runtime;
+pub use alps_sync as sync;

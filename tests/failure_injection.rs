@@ -1,0 +1,180 @@
+//! Failure injection: panicking bodies, protocol-violating managers,
+//! shutdown races — the object must stay consistent or fail loudly, never
+//! hang or corrupt.
+
+use std::sync::Arc;
+
+use alps::core::{vals, AlpsError, EntryDef, Guard, ObjectBuilder, Selected, Ty, Value};
+use alps::runtime::{Runtime, SimRuntime, Spawn};
+
+#[test]
+fn panicking_bodies_do_not_poison_the_object() {
+    let sim = SimRuntime::new();
+    sim.run(|rt| {
+        let obj = ObjectBuilder::new("Flaky")
+            .entry(
+                EntryDef::new("Work")
+                    .params([Ty::Int])
+                    .results([Ty::Int])
+                    .array(2)
+                    .intercepted()
+                    .body(|_ctx, args| {
+                        let v = args[0].as_int()?;
+                        assert!(v % 3 != 0, "injected failure on multiples of 3");
+                        Ok(vec![Value::Int(v)])
+                    }),
+            )
+            .manager(|mgr| loop {
+                let sel = mgr.select(vec![Guard::accept("Work"), Guard::await_done("Work")])?;
+                match sel {
+                    Selected::Accepted { call, .. } => mgr.start_as_is(call)?,
+                    Selected::Ready { done, .. } => mgr.finish_as_is(done)?,
+                    _ => unreachable!(),
+                }
+            })
+            .spawn(rt)
+            .unwrap();
+        let mut failures = 0;
+        let mut successes = 0;
+        for i in 1..=12i64 {
+            match obj.call("Work", vals![i]) {
+                Ok(r) => {
+                    assert_eq!(r[0].as_int().unwrap(), i);
+                    successes += 1;
+                }
+                Err(AlpsError::BodyFailed { .. }) => failures += 1,
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        }
+        assert_eq!(failures, 4); // 3, 6, 9, 12
+        assert_eq!(successes, 8);
+        assert_eq!(obj.stats().body_failures(), 4);
+        assert!(!obj.is_closed(), "object survived the failures");
+    })
+    .unwrap();
+}
+
+#[test]
+fn manager_crash_fails_callers_with_object_closed() {
+    let sim = SimRuntime::new();
+    sim.run(|rt| {
+        let obj = ObjectBuilder::new("BadMgr")
+            .entry(EntryDef::new("P").intercepted().body(|_ctx, _| Ok(vec![])))
+            .manager(|mgr| {
+                let _first = mgr.accept("P")?;
+                // Manager "crashes" with an application error after
+                // accepting (and leaks the token — a protocol violation).
+                Err(AlpsError::Custom("manager bug".into()))
+            })
+            .spawn(rt)
+            .unwrap();
+        let err = obj.call("P", vals![]).unwrap_err();
+        // Either the protocol violation (token drop) or the shutdown
+        // races first; both are loud and typed.
+        assert!(
+            matches!(
+                err,
+                AlpsError::ProtocolViolation { .. } | AlpsError::ObjectClosed { .. }
+            ),
+            "unexpected: {err}"
+        );
+        // Manager error recorded.
+        let me = obj.manager_error().expect("manager error captured");
+        assert_eq!(me.to_string(), "manager bug");
+        // Later calls fail fast.
+        let err = obj.call("P", vals![]).unwrap_err();
+        assert!(matches!(err, AlpsError::ObjectClosed { .. }));
+    })
+    .unwrap();
+}
+
+#[test]
+fn shutdown_racing_concurrent_callers_threaded() {
+    // Many threads call while another shuts the object down; every call
+    // must either succeed or fail with ObjectClosed — never hang.
+    let rt = Runtime::threaded();
+    let obj = ObjectBuilder::new("Racy")
+        .entry(
+            EntryDef::new("Echo")
+                .params([Ty::Int])
+                .results([Ty::Int])
+                .array(4)
+                .intercepted()
+                .body(|_ctx, args| Ok(vec![args[0].clone()])),
+        )
+        .manager(|mgr| loop {
+            let sel = mgr.select(vec![Guard::accept("Echo"), Guard::await_done("Echo")])?;
+            match sel {
+                Selected::Accepted { call, .. } => mgr.start_as_is(call)?,
+                Selected::Ready { done, .. } => mgr.finish_as_is(done)?,
+                _ => unreachable!(),
+            }
+        })
+        .spawn(&rt)
+        .unwrap();
+    let mut hs = Vec::new();
+    for t in 0..8 {
+        let obj2 = obj.clone();
+        hs.push(rt.spawn_with(Spawn::new(format!("caller{t}")), move || {
+            let mut ok = 0u32;
+            let mut closed = 0u32;
+            for i in 0..200i64 {
+                match obj2.call("Echo", vals![i]) {
+                    Ok(r) => {
+                        assert_eq!(r[0].as_int().unwrap(), i);
+                        ok += 1;
+                    }
+                    Err(AlpsError::ObjectClosed { .. }) => closed += 1,
+                    Err(other) => panic!("unexpected: {other}"),
+                }
+            }
+            (ok, closed)
+        }));
+    }
+    std::thread::sleep(std::time::Duration::from_millis(5));
+    obj.shutdown();
+    let mut total_ok = 0;
+    let mut total_closed = 0;
+    for h in hs {
+        let (ok, closed) = h.join().unwrap();
+        total_ok += ok;
+        total_closed += closed;
+    }
+    assert_eq!(total_ok + total_closed, 8 * 200);
+    rt.shutdown();
+}
+
+#[test]
+fn interpreter_surfaces_body_failures() {
+    use alps::lang::{check, parse, run_checked, Output};
+    let src = r#"
+        object F defines
+          proc Boom() returns (int);
+        end F;
+        object F implements
+          proc Boom() returns (int);
+          var xs: list(int);
+          begin
+            return (get(xs, 99))   { out of bounds: injected failure }
+          end Boom;
+          manager
+            intercepts Boom;
+            begin
+              loop
+                accept Boom => execute Boom
+              end loop
+            end;
+        end F;
+        main var v: int; begin
+          v := F.Boom()
+        end
+    "#;
+    let checked = Arc::new(check(parse(src).unwrap()).unwrap());
+    let (out, _) = Output::buffer();
+    let sim = SimRuntime::new();
+    let err = sim
+        .run(move |rt| run_checked(rt, &checked, out).map_err(|e| e.to_string()))
+        .unwrap()
+        .unwrap_err();
+    assert!(err.contains("out of bounds"), "{err}");
+}

@@ -1,0 +1,198 @@
+//! Cross-crate integration: every paper example runs on both executors
+//! through the public API.
+
+use std::sync::Arc;
+
+use alps::core::vals;
+use alps::paper::bounded_buffer::AlpsBuffer;
+use alps::paper::dictionary::{synthetic_store, DictConfig, Dictionary};
+use alps::paper::nested::spawn_cross_calling_pair;
+use alps::paper::parallel_buffer::{ParBufConfig, ParallelBuffer};
+use alps::paper::readers_writers::{check_rw_invariants, AlpsRw, RwConfig, RwDatabase, RwEvent};
+use alps::paper::spooler::{Spooler, SpoolerConfig};
+use alps::runtime::metrics::EventLog;
+use alps::runtime::{Runtime, SimRuntime, Spawn};
+
+#[test]
+fn bounded_buffer_both_executors() {
+    // Simulated.
+    let sim = SimRuntime::new();
+    let got = sim
+        .run(|rt| {
+            let buf = AlpsBuffer::spawn(rt, 3).unwrap();
+            let (b2, rt2) = (buf.clone(), rt.clone());
+            let p = rt.spawn_with(Spawn::new("p"), move || {
+                for i in 0..30 {
+                    b2.deposit(&rt2, i).unwrap();
+                }
+            });
+            let out: Vec<i64> = (0..30).map(|_| buf.remove(rt).unwrap()).collect();
+            p.join().unwrap();
+            out
+        })
+        .unwrap();
+    assert_eq!(got, (0..30).collect::<Vec<_>>());
+    // Threaded.
+    let rt = Runtime::threaded();
+    let buf = AlpsBuffer::spawn(&rt, 3).unwrap();
+    let (b2, rt2) = (buf.clone(), rt.clone());
+    let p = rt.spawn_with(Spawn::new("p"), move || {
+        for i in 0..30 {
+            b2.deposit(&rt2, i).unwrap();
+        }
+    });
+    let got: Vec<i64> = (0..30).map(|_| buf.remove(&rt).unwrap()).collect();
+    p.join().unwrap();
+    assert_eq!(got, (0..30).collect::<Vec<_>>());
+    buf.object().shutdown();
+    rt.shutdown();
+}
+
+#[test]
+fn readers_writers_invariants_on_threads() {
+    let rt = Runtime::threaded();
+    let log: Arc<EventLog<RwEvent>> = Arc::new(EventLog::new());
+    let cfg = RwConfig {
+        read_max: 3,
+        read_cost: 0,
+        write_cost: 0,
+    };
+    let db = Arc::new(AlpsRw::spawn(&rt, cfg, Some(Arc::clone(&log))).unwrap());
+    let mut hs = Vec::new();
+    for i in 0..6 {
+        let (db2, rt2) = (Arc::clone(&db), rt.clone());
+        hs.push(rt.spawn_with(Spawn::new(format!("r{i}")), move || {
+            for _ in 0..20 {
+                db2.read(&rt2);
+            }
+        }));
+    }
+    for i in 0..2 {
+        let (db2, rt2) = (Arc::clone(&db), rt.clone());
+        hs.push(rt.spawn_with(Spawn::new(format!("w{i}")), move || {
+            for _ in 0..10 {
+                db2.write(&rt2);
+            }
+        }));
+    }
+    for h in hs {
+        h.join().unwrap();
+    }
+    let events = log.snapshot();
+    assert_eq!(events.len(), (6 * 20 + 2 * 10) * 2);
+    check_rw_invariants(&events, 3);
+    db.object().shutdown();
+    rt.shutdown();
+}
+
+#[test]
+fn dictionary_combining_saves_executions_threaded() {
+    let rt = Runtime::threaded();
+    let dict = Dictionary::spawn(
+        &rt,
+        DictConfig {
+            search_max: 8,
+            lookup_cost: 3_000, // 3ms real sleep so duplicates overlap
+            combining: true,
+        },
+        synthetic_store(4),
+    )
+    .unwrap();
+    let mut hs = Vec::new();
+    for _ in 0..8 {
+        let d2 = dict.clone();
+        hs.push(rt.spawn(move || d2.search("word-1").unwrap()));
+    }
+    for h in hs {
+        assert_eq!(h.join().unwrap(), "meaning-1");
+    }
+    let stats = dict.object().stats();
+    assert!(
+        stats.starts() < 8,
+        "expected combining to elide work: starts={}",
+        stats.starts()
+    );
+    assert_eq!(stats.starts() + stats.combines(), 8);
+    dict.object().shutdown();
+    rt.shutdown();
+}
+
+#[test]
+fn spooler_and_parallel_buffer_smoke_threaded() {
+    let rt = Runtime::threaded();
+    let sp = Spooler::spawn(
+        &rt,
+        SpoolerConfig {
+            printers: 2,
+            print_max: 4,
+            ticks_per_byte: 0,
+        },
+    )
+    .unwrap();
+    let mut hs = Vec::new();
+    for i in 0..8 {
+        let (sp2, rt2) = (sp.clone(), rt.clone());
+        hs.push(rt.spawn(move || sp2.print(&rt2, "f", 10 + i).unwrap()));
+    }
+    for h in hs {
+        h.join().unwrap();
+    }
+    assert_eq!(sp.printer_stats().jobs.iter().sum::<u64>(), 8);
+    sp.object().shutdown();
+
+    let buf = ParallelBuffer::spawn(
+        &rt,
+        ParBufConfig {
+            slots: 4,
+            producer_max: 2,
+            consumer_max: 2,
+            copy_cost: 0,
+        },
+    )
+    .unwrap();
+    let b2 = buf.clone();
+    let p = rt.spawn(move || {
+        for i in 0..40 {
+            b2.deposit(i).unwrap();
+        }
+    });
+    let mut got: Vec<i64> = (0..40).map(|_| buf.remove().unwrap()).collect();
+    p.join().unwrap();
+    got.sort_unstable();
+    assert_eq!(got, (0..40).collect::<Vec<_>>());
+    buf.object().shutdown();
+    rt.shutdown();
+}
+
+#[test]
+fn nested_calls_complete_threaded() {
+    let rt = Runtime::threaded();
+    let (x, _y) = spawn_cross_calling_pair(&rt).unwrap();
+    let mut hs = Vec::new();
+    for i in 0..6i64 {
+        let x2 = x.clone();
+        hs.push(rt.spawn(move || x2.call("P", vals![i]).unwrap()[0].as_int().unwrap()));
+    }
+    for (i, h) in hs.into_iter().enumerate() {
+        assert_eq!(h.join().unwrap(), (i as i64 + 101) * 2);
+    }
+    x.shutdown();
+    rt.shutdown();
+}
+
+#[test]
+fn facade_reexports_compose() {
+    // The `alps` facade exposes all layers together.
+    let sim = alps::runtime::SimRuntime::new();
+    let v = sim
+        .run(|rt| {
+            let sem = alps::sync::Semaphore::new(1);
+            sem.acquire(rt);
+            sem.release(rt);
+            let buf = alps::paper::bounded_buffer::AlpsBuffer::spawn(rt, 2).unwrap();
+            buf.deposit(rt, 9).unwrap();
+            buf.remove(rt).unwrap()
+        })
+        .unwrap();
+    assert_eq!(v, 9);
+}

@@ -1,0 +1,237 @@
+//! Property-based tests: core invariants must hold across many random —
+//! but reproducible — schedules (the simulator's seeded
+//! `PriorityRandom` policy) and workload shapes.
+
+use std::sync::Arc;
+
+use alps::core::vals;
+use alps::paper::bounded_buffer::AlpsBuffer;
+use alps::paper::readers_writers::{check_rw_invariants, AlpsRw, RwConfig, RwDatabase, RwEvent};
+use alps::runtime::metrics::EventLog;
+use alps::runtime::{Chan, Runtime, SchedPolicy, SimRuntime, Spawn};
+use alps::sync::{PathController, Semaphore};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// FIFO + conservation for the managed buffer under random schedules
+    /// and shapes.
+    #[test]
+    fn buffer_fifo_and_conservation(
+        seed in any::<u64>(),
+        cap in 1usize..6,
+        items in 1i64..60,
+    ) {
+        let sim = SimRuntime::with_policy(SchedPolicy::PriorityRandom(seed));
+        let got = sim
+            .run(move |rt| {
+                let buf = AlpsBuffer::spawn(rt, cap).unwrap();
+                let (b2, rt2) = (buf.clone(), rt.clone());
+                let p = rt.spawn_with(Spawn::new("p"), move || {
+                    for i in 0..items {
+                        b2.deposit(&rt2, i).unwrap();
+                    }
+                });
+                let out: Vec<i64> = (0..items).map(|_| buf.remove(rt).unwrap()).collect();
+                p.join().unwrap();
+                out
+            })
+            .unwrap();
+        prop_assert_eq!(got, (0..items).collect::<Vec<_>>());
+    }
+
+    /// Readers–writers safety invariants hold for every schedule, mix,
+    /// and ReadMax.
+    #[test]
+    fn rw_safety_under_random_schedules(
+        seed in any::<u64>(),
+        read_max in 1usize..5,
+        readers in 1usize..5,
+        writers in 1usize..3,
+    ) {
+        let log: Arc<EventLog<RwEvent>> = Arc::new(EventLog::new());
+        let log2 = Arc::clone(&log);
+        let sim = SimRuntime::with_policy(SchedPolicy::PriorityRandom(seed));
+        sim.run(move |rt| {
+            let cfg = RwConfig {
+                read_max,
+                read_cost: 10,
+                write_cost: 15,
+            };
+            let db = Arc::new(AlpsRw::spawn(rt, cfg, Some(log2)).unwrap());
+            let mut hs = Vec::new();
+            for i in 0..readers {
+                let (db2, rt2) = (Arc::clone(&db), rt.clone());
+                hs.push(rt.spawn_with(Spawn::new(format!("r{i}")), move || {
+                    for _ in 0..5 {
+                        db2.read(&rt2);
+                    }
+                }));
+            }
+            for i in 0..writers {
+                let (db2, rt2) = (Arc::clone(&db), rt.clone());
+                hs.push(rt.spawn_with(Spawn::new(format!("w{i}")), move || {
+                    for _ in 0..5 {
+                        db2.write(&rt2);
+                    }
+                }));
+            }
+            for h in hs {
+                h.join().unwrap();
+            }
+        })
+        .unwrap();
+        let events = log.snapshot();
+        prop_assert_eq!(events.len(), (readers + writers) * 5 * 2);
+        check_rw_invariants(&events, read_max);
+    }
+
+    /// The acceptance-condition receive removes exactly the first match
+    /// and preserves the order of everything else.
+    #[test]
+    fn recv_match_preserves_other_messages(
+        msgs in proptest::collection::vec(-100i64..100, 0..20),
+        threshold in -100i64..100,
+    ) {
+        let rt = Runtime::threaded();
+        let c: Chan<i64> = Chan::unbounded("t");
+        for m in &msgs {
+            c.send(&rt, *m).unwrap();
+        }
+        let got = c.recv_match(&rt, |m| *m >= threshold);
+        let expect_idx = msgs.iter().position(|m| *m >= threshold);
+        prop_assert_eq!(got, expect_idx.map(|i| msgs[i]));
+        let mut rest: Vec<i64> = Vec::new();
+        while let Some(v) = c.try_recv(&rt) {
+            rest.push(v);
+        }
+        let mut want = msgs.clone();
+        if let Some(i) = expect_idx {
+            want.remove(i);
+        }
+        prop_assert_eq!(rest, want);
+        rt.shutdown();
+    }
+
+    /// A compiled `n:(op)` path restriction never admits more than `n`
+    /// concurrent activations, for any schedule.
+    #[test]
+    fn path_limit_holds_under_random_schedules(
+        seed in any::<u64>(),
+        bound in 1u64..5,
+        workers in 1usize..8,
+    ) {
+        let sim = SimRuntime::with_policy(SchedPolicy::PriorityRandom(seed));
+        let peak = sim
+            .run(move |rt| {
+                let pc = Arc::new(
+                    PathController::compile(&format!("path {bound}:(work) end")).unwrap(),
+                );
+                let active = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+                let peak = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+                let mut hs = Vec::new();
+                for i in 0..workers {
+                    let (pc2, rt2) = (Arc::clone(&pc), rt.clone());
+                    let (a2, p2) = (Arc::clone(&active), Arc::clone(&peak));
+                    hs.push(rt.spawn_with(Spawn::new(format!("w{i}")), move || {
+                        pc2.enter(&rt2, "work").unwrap();
+                        let n = a2.fetch_add(1, std::sync::atomic::Ordering::SeqCst) + 1;
+                        p2.fetch_max(n, std::sync::atomic::Ordering::SeqCst);
+                        rt2.sleep(5);
+                        a2.fetch_sub(1, std::sync::atomic::Ordering::SeqCst);
+                        pc2.exit(&rt2, "work").unwrap();
+                    }));
+                }
+                for h in hs {
+                    h.join().unwrap();
+                }
+                peak.load(std::sync::atomic::Ordering::SeqCst)
+            })
+            .unwrap();
+        prop_assert!(peak as u64 <= bound, "peak {peak} exceeded bound {bound}");
+    }
+
+    /// Semaphore conservation: permits out never exceed permits granted.
+    #[test]
+    fn semaphore_counting_is_conserved(
+        seed in any::<u64>(),
+        permits in 1u64..4,
+        workers in 1usize..6,
+    ) {
+        let sim = SimRuntime::with_policy(SchedPolicy::PriorityRandom(seed));
+        let peak = sim
+            .run(move |rt| {
+                let s = Semaphore::new(permits);
+                let active = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+                let peak = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+                let mut hs = Vec::new();
+                for i in 0..workers {
+                    let (s2, rt2) = (s.clone(), rt.clone());
+                    let (a2, p2) = (Arc::clone(&active), Arc::clone(&peak));
+                    hs.push(rt.spawn_with(Spawn::new(format!("w{i}")), move || {
+                        for _ in 0..3 {
+                            s2.acquire(&rt2);
+                            let n = a2.fetch_add(1, std::sync::atomic::Ordering::SeqCst) + 1;
+                            p2.fetch_max(n, std::sync::atomic::Ordering::SeqCst);
+                            rt2.yield_now();
+                            a2.fetch_sub(1, std::sync::atomic::Ordering::SeqCst);
+                            s2.release(&rt2);
+                        }
+                    }));
+                }
+                for h in hs {
+                    h.join().unwrap();
+                }
+                peak.load(std::sync::atomic::Ordering::SeqCst)
+            })
+            .unwrap();
+        prop_assert!(peak as u64 <= permits);
+    }
+
+    /// The ALPS lexer/parser never panic on arbitrary input — they
+    /// return structured errors.
+    #[test]
+    fn parser_total_on_arbitrary_input(src in "\\PC*") {
+        let _ = alps::lang::parse(&src);
+    }
+
+    /// Same-seed simulated runs of the buffer produce identical stats —
+    /// the determinism guarantee the whole experiment suite rests on.
+    #[test]
+    fn determinism_same_seed_same_trace(seed in any::<u64>()) {
+        fn trace(seed: u64) -> (u64, u64, u64) {
+            let sim = SimRuntime::with_policy(SchedPolicy::PriorityRandom(seed));
+            sim.run(|rt| {
+                let buf = AlpsBuffer::spawn(rt, 2).unwrap();
+                let (b2, rt2) = (buf.clone(), rt.clone());
+                let p = rt.spawn_with(Spawn::new("p"), move || {
+                    for i in 0..10 {
+                        b2.deposit(&rt2, i).unwrap();
+                    }
+                });
+                for _ in 0..10 {
+                    buf.remove(rt).unwrap();
+                }
+                p.join().unwrap();
+                let s = buf.object().stats();
+                (s.calls(), s.accepts(), s.call_latency().percentile(99.0))
+            })
+            .unwrap()
+        }
+        prop_assert_eq!(trace(seed), trace(seed));
+    }
+}
+
+#[test]
+fn call_with_wrong_types_never_reaches_bodies() {
+    // Deterministic negative-path check outside proptest.
+    let sim = SimRuntime::new();
+    sim.run(|rt| {
+        let buf = AlpsBuffer::spawn(rt, 2).unwrap();
+        let err = buf.object().call("Deposit", vals!["nope"]).unwrap_err();
+        assert!(err.to_string().contains("type"), "{err}");
+        assert_eq!(buf.object().stats().starts(), 0);
+    })
+    .unwrap();
+}
