@@ -1,10 +1,12 @@
 //! Micro-costs of the call protocol (threaded runtime, wall clock):
 //! a full accept/start/await/finish round trip, the combining path, and
-//! the non-intercepted (implicit-start) path.
+//! the non-intercepted (implicit-start) path — each in two flavors:
+//! the resolving `call(&str, Vec<Value>)` API and the interned
+//! `call_id(EntryId, argv![...])` fast path.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use alps_core::{vals, EntryDef, Guard, ObjectBuilder, ObjectHandle, Selected, Ty, Value};
+use alps_core::{argv, vals, EntryDef, Guard, ObjectBuilder, ObjectHandle, Selected, Ty, Value};
 use alps_runtime::Runtime;
 
 fn managed_echo(rt: &Runtime) -> ObjectHandle {
@@ -93,6 +95,46 @@ fn bench(c: &mut Criterion) {
         g.bench_function("combining_no_body", |b| {
             b.iter(|| {
                 let r = obj.call("Echo", vals![7i64]).unwrap();
+                assert_eq!(r[0], Value::Int(7));
+            })
+        });
+        obj.shutdown();
+        rt.shutdown();
+    }
+    // Interned fast path: resolve once, then call by id with inline args.
+    {
+        let rt = Runtime::threaded();
+        let obj = managed_echo(&rt);
+        let id = obj.entry_id("Echo").unwrap();
+        g.bench_function("managed_execute_call_id", |b| {
+            b.iter(|| {
+                let r = obj.call_id(id, argv![7i64]).unwrap();
+                assert_eq!(r[0], Value::Int(7));
+            })
+        });
+        obj.shutdown();
+        rt.shutdown();
+    }
+    {
+        let rt = Runtime::threaded();
+        let obj = implicit_echo(&rt);
+        let id = obj.entry_id("Echo").unwrap();
+        g.bench_function("implicit_start_call_id", |b| {
+            b.iter(|| {
+                let r = obj.call_id(id, argv![7i64]).unwrap();
+                assert_eq!(r[0], Value::Int(7));
+            })
+        });
+        obj.shutdown();
+        rt.shutdown();
+    }
+    {
+        let rt = Runtime::threaded();
+        let obj = combining_echo(&rt);
+        let id = obj.entry_id("Echo").unwrap();
+        g.bench_function("combining_call_id", |b| {
+            b.iter(|| {
+                let r = obj.call_id(id, argv![7i64]).unwrap();
                 assert_eq!(r[0], Value::Int(7));
             })
         });

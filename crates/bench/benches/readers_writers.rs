@@ -5,9 +5,7 @@ use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use alps_paper::readers_writers::{
-    AlpsRw, MonitorRw, PathRw, RwConfig, RwDatabase, SerializerRw,
-};
+use alps_paper::readers_writers::{AlpsRw, MonitorRw, PathRw, RwConfig, RwDatabase, SerializerRw};
 use alps_runtime::{Runtime, Spawn};
 
 fn drive(db: Arc<dyn RwDatabase>, rt: &Runtime) {
@@ -60,7 +58,9 @@ fn bench(c: &mut Criterion) {
     {
         let rt = Runtime::threaded();
         let db: Arc<dyn RwDatabase> = Arc::new(PathRw::new(cfg, None));
-        g.bench_function("path_expression", |b| b.iter(|| drive(Arc::clone(&db), &rt)));
+        g.bench_function("path_expression", |b| {
+            b.iter(|| drive(Arc::clone(&db), &rt))
+        });
         rt.shutdown();
     }
     g.finish();

@@ -1,9 +1,14 @@
-//! Regenerate the EXPERIMENTS.md tables.
+//! Regenerate the EXPERIMENTS.md tables, or (with `bench-json`) emit
+//! machine-readable call-protocol throughput numbers.
 
 use alps_bench::experiments;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "bench-json") {
+        bench_json::run();
+        return;
+    }
     if args.is_empty() || args.iter().any(|a| a == "all") {
         for r in experiments::all() {
             r.print();
@@ -14,9 +19,237 @@ fn main() {
         match experiments::by_id(a) {
             Some(r) => r.print(),
             None => {
-                eprintln!("unknown experiment `{a}` (use e1..e10 or all)");
+                eprintln!("unknown experiment `{a}` (use e1..e10, all, or bench-json)");
                 std::process::exit(1);
             }
         }
+    }
+}
+
+/// `experiments bench-json` — time the call-protocol scenarios from
+/// `benches/call_protocol.rs` (both the resolving `call(&str)` API and the
+/// interned `call_id` fast path) plus the bounded-buffer transfer from
+/// `benches/bounded_buffer.rs`, and write `BENCH_call_protocol.json`.
+mod bench_json {
+    use std::time::Instant;
+
+    use alps_core::{argv, vals, EntryDef, Guard, ObjectBuilder, ObjectHandle, Selected, Ty};
+    use alps_paper::bounded_buffer::AlpsBuffer;
+    use alps_runtime::{Runtime, Spawn};
+
+    struct Sample {
+        name: &'static str,
+        ns_per_op: f64,
+        ops_per_sec: f64,
+    }
+
+    /// Best-of-`reps` wall-clock timing of `iters` runs of `f`.
+    fn measure<F: FnMut()>(iters: u64, reps: u32, mut f: F) -> f64 {
+        for _ in 0..iters / 4 {
+            f(); // warm up
+        }
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            let ns = t0.elapsed().as_nanos() as f64 / iters as f64;
+            if ns < best {
+                best = ns;
+            }
+        }
+        best
+    }
+
+    fn sample(name: &'static str, iters: u64, f: impl FnMut()) -> Sample {
+        let ns = measure(iters, 5, f);
+        println!("  {name}: {ns:.0} ns/op ({:.0} ops/s)", 1e9 / ns);
+        Sample {
+            name,
+            ns_per_op: ns,
+            ops_per_sec: 1e9 / ns,
+        }
+    }
+
+    fn managed_echo(rt: &Runtime) -> ObjectHandle {
+        ObjectBuilder::new("Echo")
+            .entry(
+                EntryDef::new("Echo")
+                    .params([Ty::Int])
+                    .results([Ty::Int])
+                    .intercepted()
+                    .body(|_ctx, args| Ok(argv![args[0].clone()])),
+            )
+            .manager(|mgr| loop {
+                let acc = mgr.accept("Echo")?;
+                mgr.execute(acc)?;
+            })
+            .spawn(rt)
+            .unwrap()
+    }
+
+    fn implicit_echo(rt: &Runtime) -> ObjectHandle {
+        ObjectBuilder::new("Plain")
+            .entry(
+                EntryDef::new("Echo")
+                    .params([Ty::Int])
+                    .results([Ty::Int])
+                    .body(|_ctx, args| Ok(argv![args[0].clone()])),
+            )
+            .spawn(rt)
+            .unwrap()
+    }
+
+    fn combining_echo(rt: &Runtime) -> ObjectHandle {
+        ObjectBuilder::new("Combine")
+            .entry(
+                EntryDef::new("Echo")
+                    .params([Ty::Int])
+                    .results([Ty::Int])
+                    .intercept_params(1)
+                    .intercept_results(1)
+                    .body(|_ctx, args| Ok(argv![args[0].clone()])),
+            )
+            .manager(|mgr| loop {
+                match mgr.select(vec![Guard::accept("Echo")])? {
+                    Selected::Accepted { call, .. } => {
+                        let v = call.params()[0].clone();
+                        mgr.finish_accepted(call, vec![v])?;
+                    }
+                    _ => unreachable!(),
+                }
+            })
+            .spawn(rt)
+            .unwrap()
+    }
+
+    pub fn run() {
+        let mut call_protocol = Vec::new();
+
+        println!("call_protocol:");
+        for (label_str, label_id, mk) in [
+            (
+                "managed_execute/call_str",
+                "managed_execute/call_id",
+                managed_echo as fn(&Runtime) -> ObjectHandle,
+            ),
+            (
+                "implicit_start/call_str",
+                "implicit_start/call_id",
+                implicit_echo as fn(&Runtime) -> ObjectHandle,
+            ),
+            (
+                "combining/call_str",
+                "combining/call_id",
+                combining_echo as fn(&Runtime) -> ObjectHandle,
+            ),
+        ] {
+            let iters = if label_str.starts_with("implicit") {
+                200_000
+            } else {
+                20_000
+            };
+            let rt = Runtime::threaded();
+            let obj = mk(&rt);
+            call_protocol.push(sample(label_str, iters, || {
+                obj.call("Echo", vals![7i64]).unwrap();
+            }));
+            let id = obj.entry_id("Echo").unwrap();
+            call_protocol.push(sample(label_id, iters, || {
+                obj.call_id(id, argv![7i64]).unwrap();
+            }));
+            obj.shutdown();
+            rt.shutdown();
+        }
+
+        println!("bounded_buffer:");
+        const BATCH: i64 = 200;
+        let mut bounded = Vec::new();
+        {
+            let rt = Runtime::threaded();
+            let buf = AlpsBuffer::spawn(&rt, 16).unwrap();
+            let mut s = sample("alps_manager/transfer", 50, || {
+                let (b2, rt2) = (buf.clone(), rt.clone());
+                let p = rt.spawn_with(Spawn::new("p"), move || {
+                    for i in 0..BATCH {
+                        b2.deposit(&rt2, i).unwrap();
+                    }
+                });
+                for _ in 0..BATCH {
+                    buf.remove(&rt).unwrap();
+                }
+                p.join().unwrap();
+            });
+            // Per-element numbers are what E1 reports.
+            s.ns_per_op /= BATCH as f64;
+            s.ops_per_sec *= BATCH as f64;
+            bounded.push(s);
+            buf.object().shutdown();
+            rt.shutdown();
+        }
+
+        // Seed baseline (commit b92eaac, the pre-fast-path protocol):
+        // measured on this machine from a worktree of the seed with the
+        // same offline shims grafted in, `cargo bench --bench
+        // call_protocol` / `--bench bounded_buffer`. The seed's combining
+        // path deadlocked under the threaded runtime and could not be
+        // measured.
+        const SEED_MANAGED_NS: f64 = 18_183.0;
+        const SEED_IMPLICIT_NS: f64 = 8_997.3;
+        const SEED_BOUNDED_ELEM_PER_S: f64 = 63_442.0;
+
+        let find = |n: &str| -> f64 {
+            call_protocol
+                .iter()
+                .find(|s| s.name == n)
+                .map(|s| s.ns_per_op)
+                .unwrap()
+        };
+        let sp_managed = find("managed_execute/call_str") / find("managed_execute/call_id");
+        let sp_implicit = find("implicit_start/call_str") / find("implicit_start/call_id");
+        let sp_combining = find("combining/call_str") / find("combining/call_id");
+        let seed_sp_managed = SEED_MANAGED_NS / find("managed_execute/call_id");
+        let seed_sp_implicit = SEED_IMPLICIT_NS / find("implicit_start/call_id");
+        let seed_sp_bounded = bounded[0].ops_per_sec / SEED_BOUNDED_ELEM_PER_S;
+
+        let mut json = String::from("{\n  \"bench\": \"call_protocol\",\n");
+        json.push_str(
+            "  \"unit\": {\"ns_per_op\": \"nanoseconds per call\", \"ops_per_sec\": \"calls per second\"},\n",
+        );
+        for (group, samples) in [
+            ("call_protocol", &call_protocol),
+            ("bounded_buffer", &bounded),
+        ] {
+            json.push_str(&format!("  \"{group}\": {{\n"));
+            for (i, s) in samples.iter().enumerate() {
+                json.push_str(&format!(
+                    "    \"{}\": {{\"ns_per_op\": {:.1}, \"ops_per_sec\": {:.0}}}{}\n",
+                    s.name,
+                    s.ns_per_op,
+                    s.ops_per_sec,
+                    if i + 1 == samples.len() { "" } else { "," }
+                ));
+            }
+            json.push_str("  },\n");
+        }
+        json.push_str(&format!(
+            "  \"speedup_call_id_over_call_str\": {{\"managed_execute\": {sp_managed:.2}, \"implicit_start\": {sp_implicit:.2}, \"combining\": {sp_combining:.2}}},\n"
+        ));
+        json.push_str(&format!(
+            "  \"seed_baseline\": {{\"note\": \"commit b92eaac, pre-fast-path call(&str) protocol, same machine/shims; seed combining deadlocked and was unmeasurable\", \"managed_execute_ns\": {SEED_MANAGED_NS:.1}, \"implicit_start_ns\": {SEED_IMPLICIT_NS:.1}, \"bounded_buffer_elem_per_sec\": {SEED_BOUNDED_ELEM_PER_S:.0}}},\n"
+        ));
+        json.push_str(&format!(
+            "  \"speedup_call_id_over_seed_baseline\": {{\"managed_execute\": {seed_sp_managed:.2}, \"implicit_start\": {seed_sp_implicit:.2}, \"bounded_buffer\": {seed_sp_bounded:.2}}}\n}}\n"
+        ));
+
+        std::fs::write("BENCH_call_protocol.json", &json).expect("write BENCH_call_protocol.json");
+        println!(
+            "speedups (call_id vs call_str, same build): managed {sp_managed:.2}x, implicit {sp_implicit:.2}x, combining {sp_combining:.2}x"
+        );
+        println!(
+            "speedups (call_id vs seed baseline): managed {seed_sp_managed:.2}x, implicit {seed_sp_implicit:.2}x, bounded_buffer {seed_sp_bounded:.2}x"
+        );
+        println!("wrote BENCH_call_protocol.json");
     }
 }

@@ -8,9 +8,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use alps_core::{
-    vals, EntryDef, Guard, ObjectBuilder, PoolMode, Selected, Ty,
-};
+use alps_core::{vals, EntryDef, Guard, ObjectBuilder, PoolMode, Selected, Ty};
 use alps_paper::bounded_buffer::{AlpsBuffer, ChanBuffer, MonitorBuffer};
 use alps_paper::dictionary::{synthetic_store, DictConfig, Dictionary};
 use alps_paper::nested::{spawn_cross_calling_pair, NestedMonitors};
@@ -141,7 +139,13 @@ pub fn e1() -> Report {
 // E2 — readers–writers (paper §2.5.1)
 // ---------------------------------------------------------------------
 
-fn run_rw(which: &str, readers: usize, writers: usize, ops: usize, read_max: usize) -> (u64, usize) {
+fn run_rw(
+    which: &str,
+    readers: usize,
+    writers: usize,
+    ops: usize,
+    read_max: usize,
+) -> (u64, usize) {
     let which = which.to_string();
     let log: Arc<EventLog<RwEvent>> = Arc::new(EventLog::new());
     let log2 = Arc::clone(&log);
@@ -192,7 +196,14 @@ pub fn e2() -> Report {
     let mut lines = vec![
         "virtual makespan, 10 clients x 20 ops (read 50, write 100 ticks), ReadMax=4".to_string(),
     ];
-    let mut t = Table::new(&["mix (R/W)", "alps", "monitor", "serializer", "path", "peak readers (alps)"]);
+    let mut t = Table::new(&[
+        "mix (R/W)",
+        "alps",
+        "monitor",
+        "serializer",
+        "path",
+        "peak readers (alps)",
+    ]);
     for (r, w, label) in [(9usize, 1usize, "9/1"), (5, 5, "5/5"), (1, 9, "1/9")] {
         let (alps, peak) = run_rw("alps", r, w, 20, 4);
         let (mono, _) = run_rw("monitor", r, w, 20, 4);
@@ -317,7 +328,13 @@ pub fn e3() -> Report {
 /// utilisation with zero manager bookkeeping.
 pub fn e4() -> Report {
     const JOBS: usize = 32;
-    let mut t = Table::new(&["printers", "makespan", "p50 latency", "p99 latency", "utilisation"]);
+    let mut t = Table::new(&[
+        "printers",
+        "makespan",
+        "p50 latency",
+        "p99 latency",
+        "utilisation",
+    ]);
     for printers in [1usize, 2, 4, 8] {
         let (makespan, p50, p99, util) = sim(move |rt| {
             let sp = Spooler::spawn(
@@ -387,7 +404,12 @@ pub fn e5() -> Report {
     const P: usize = 4;
     const C: usize = 4;
     const PER: i64 = 8;
-    let mut t = Table::new(&["copy cost", "serial (§2.4.1)", "parallel (§2.8.2)", "speedup"]);
+    let mut t = Table::new(&[
+        "copy cost",
+        "serial (§2.4.1)",
+        "parallel (§2.8.2)",
+        "speedup",
+    ]);
     for copy in [0u64, 50, 200, 800] {
         let serial = sim(move |rt| {
             let buf = AlpsBuffer::spawn_with_copy_cost(rt, 8, copy).unwrap();
@@ -451,7 +473,9 @@ pub fn e5() -> Report {
         let speedup = serial as f64 / parallel.max(1) as f64;
         t.row(cells![copy, serial, parallel, format!("{speedup:.2}x")]);
     }
-    let mut lines = vec![format!("{P} producers + {C} consumers, {PER} messages each")];
+    let mut lines = vec![format!(
+        "{P} producers + {C} consumers, {PER} messages each"
+    )];
     lines.extend(t.render());
     lines.push(String::new());
     lines.push(
@@ -557,10 +581,7 @@ pub fn e7() -> Report {
                 )
                 .pool(mode)
                 .manager(|mgr| loop {
-                    let sel = mgr.select(vec![
-                        Guard::accept("Work"),
-                        Guard::await_done("Work"),
-                    ])?;
+                    let sel = mgr.select(vec![Guard::accept("Work"), Guard::await_done("Work")])?;
                     match sel {
                         Selected::Accepted { call, .. } => mgr.start_as_is(call)?,
                         Selected::Ready { done, .. } => mgr.finish_as_is(done)?,
@@ -615,7 +636,11 @@ pub fn e7() -> Report {
 /// E8: running the manager at high priority makes it "more receptive to
 /// entry calls": competitor process turns before each accept.
 pub fn e8() -> Report {
-    let mut t = Table::new(&["competitors", "high-priority manager", "equal-priority manager"]);
+    let mut t = Table::new(&[
+        "competitors",
+        "high-priority manager",
+        "equal-priority manager",
+    ]);
     for k in [0usize, 4, 16] {
         let run = move |mgr_prio: Priority| -> f64 {
             sim(move |rt| {
@@ -667,8 +692,7 @@ pub fn e8() -> Report {
         t.row(cells![k, format!("{high:.1}"), format!("{equal:.1}")]);
     }
     let mut lines = vec![
-        "mean competitor turns between call arrival and manager accept (50 calls)"
-            .to_string(),
+        "mean competitor turns between call arrival and manager accept (50 calls)".to_string(),
     ];
     lines.extend(t.render());
     lines.push(String::new());
@@ -730,7 +754,7 @@ pub fn e9() -> Report {
                         match sel {
                             Selected::Accepted { call, .. } => {
                                 let track = call.params()[1].as_int()?;
-                                let dist = (track - head).abs() as u64;
+                                let dist = (track - head).unsigned_abs();
                                 head = track;
                                 order2.lock().push(track);
                                 mgr.sleep(dist); // seeking takes time

@@ -12,14 +12,17 @@ use std::sync::Arc;
 
 use crate::error::Result;
 use crate::proc_ctx::ProcCtx;
-use crate::value::{Ty, Value};
+use crate::value::{Ty, ValVec};
 
 /// The code of an entry procedure. It receives the full parameter list —
 /// the public parameters (with the intercepted prefix as supplied by the
 /// manager at `start`) followed by any hidden parameters — and returns the
 /// public results followed by any hidden results.
-pub type EntryBody =
-    Arc<dyn Fn(&mut ProcCtx, Vec<Value>) -> Result<Vec<Value>> + Send + Sync + 'static>;
+///
+/// Parameters and results travel as [`ValVec`] so calls of arity ≤ 4 stay
+/// off the heap; [`EntryDef::body`] accepts closures returning either
+/// `Vec<Value>` or `ValVec`.
+pub type EntryBody = Arc<dyn Fn(&mut ProcCtx, ValVec) -> Result<ValVec> + Send + Sync + 'static>;
 
 /// Intercept specification for one entry: the manager receives the first
 /// `params` invocation parameters at `accept` and supplies the first
@@ -168,12 +171,16 @@ impl EntryDef {
         self
     }
 
-    /// Attach the procedure body.
-    pub fn body<F>(mut self, f: F) -> Self
+    /// Attach the procedure body. The closure receives the argument tuple
+    /// as a [`ValVec`] (indexes and iterates like a `Vec<Value>`) and may
+    /// return results as either `Vec<Value>` or `ValVec` — return
+    /// [`crate::argv!`] tuples to keep the body allocation-free.
+    pub fn body<F, R>(mut self, f: F) -> Self
     where
-        F: Fn(&mut ProcCtx, Vec<Value>) -> Result<Vec<Value>> + Send + Sync + 'static,
+        F: Fn(&mut ProcCtx, ValVec) -> Result<R> + Send + Sync + 'static,
+        R: Into<ValVec>,
     {
-        self.body = Some(Arc::new(f));
+        self.body = Some(Arc::new(move |ctx, args| f(ctx, args).map(Into::into)));
         self
     }
 

@@ -78,6 +78,12 @@ pub enum AlpsError {
         /// Human-readable explanation.
         reason: String,
     },
+    /// An [`EntryId`](crate::EntryId) minted by one object was used to
+    /// call a different object.
+    ForeignEntryId {
+        /// Name of the object the id was used on.
+        object: String,
+    },
     /// An underlying runtime error.
     Runtime(RuntimeError),
     /// Application-defined failure raised inside an entry body.
@@ -91,7 +97,10 @@ impl fmt::Display for AlpsError {
                 write!(f, "object `{object}` has no entry `{entry}`")
             }
             AlpsError::LocalEntryCalled { object, entry } => {
-                write!(f, "`{object}.{entry}` is a local procedure, not callable from outside")
+                write!(
+                    f,
+                    "`{object}.{entry}` is a local procedure, not callable from outside"
+                )
             }
             AlpsError::ArityMismatch {
                 what,
@@ -116,6 +125,9 @@ impl fmt::Display for AlpsError {
             }
             AlpsError::ProtocolViolation { reason } => {
                 write!(f, "manager protocol violation: {reason}")
+            }
+            AlpsError::ForeignEntryId { object } => {
+                write!(f, "entry id does not belong to object `{object}`")
             }
             AlpsError::Runtime(e) => write!(f, "runtime error: {e}"),
             AlpsError::Custom(msg) => write!(f, "{msg}"),
@@ -159,7 +171,10 @@ mod tests {
                 AlpsError::ObjectClosed { object: "X".into() },
                 "object `X` is closed",
             ),
-            (AlpsError::SelectFailed, "select failed: every guard is closed"),
+            (
+                AlpsError::SelectFailed,
+                "select failed: every guard is closed",
+            ),
             (AlpsError::Custom("boom".into()), "boom"),
         ];
         for (e, want) in cases {

@@ -19,6 +19,10 @@
 //!   ([`EntryDef::hidden_params`], [`EntryDef::intercept_params`], …).
 //! * **Process pools** ([`PoolMode`]) — per-call, per-slot (1:1), or a
 //!   shared pool of `M ≪ N` workers (paper §3).
+//! * **Fast-path calls** ([`ObjectHandle::entry_id`],
+//!   [`ObjectHandle::call_id`], [`ValVec`]/[`argv!`]) — interned entry
+//!   ids plus inline argument tuples make a steady-state call of arity
+//!   ≤ 4 to a non-intercepted entry allocation-free.
 //!
 //! ## Quickstart: the paper's bounded buffer (§2.4.1)
 //!
@@ -89,9 +93,9 @@ mod value;
 pub use entry::{EntryBody, EntryDef, Intercept};
 pub use error::{AlpsError, Result};
 pub use manager::{AcceptedCall, ManagerCtx, ReadyEntry};
-pub use object::{ManagerBody, ObjectBuilder, ObjectHandle};
+pub use object::{EntryId, ManagerBody, ObjectBuilder, ObjectHandle};
 pub use pool::PoolMode;
 pub use proc_ctx::ProcCtx;
 pub use select::{Guard, GuardView, Selected};
 pub use stats::ObjectStats;
-pub use value::{check_types, ChanValue, Ty, Value};
+pub use value::{check_types, check_types_lazy, ChanValue, Ty, ValVec, Value, INLINE_VALS};

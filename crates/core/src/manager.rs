@@ -10,16 +10,21 @@
 //! `start; await; finish` for exclusive execution. A manager may also
 //! `finish` an accepted call *without* starting it, synthesizing the
 //! results itself — request combining (§2.7).
+//!
+//! Manager commits take only the lock of the entry involved (see
+//! [`EntrySync`](crate::object) internals): intercepted traffic on one
+//! entry never contends with calls to another.
 
 use std::fmt;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use alps_runtime::Runtime;
 
 use crate::error::{AlpsError, Result};
-use crate::object::{ObjState, ObjectInner, Slot};
+use crate::object::{EntryState, ObjectInner, Slot};
 use crate::select::{run_select, Guard, Selected};
-use crate::value::{check_types, ChanValue, Value};
+use crate::value::{check_types_lazy, ChanValue, ValVec, Value};
 
 /// A call the manager has accepted but not yet started or finished.
 ///
@@ -32,7 +37,7 @@ pub struct AcceptedCall {
     pub(crate) obj: Arc<ObjectInner>,
     pub(crate) entry: usize,
     pub(crate) slot: usize,
-    pub(crate) params: Vec<Value>,
+    pub(crate) params: ValVec,
     pub(crate) armed: bool,
 }
 
@@ -41,7 +46,7 @@ impl fmt::Debug for AcceptedCall {
         f.debug_struct("AcceptedCall")
             .field("entry", &self.entry_name())
             .field("slot", &self.slot)
-            .field("params", &self.params)
+            .field("params", &self.params.as_slice())
             .finish()
     }
 }
@@ -59,10 +64,10 @@ impl AcceptedCall {
 
     /// The intercepted parameter prefix received at `accept`.
     pub fn params(&self) -> &[Value] {
-        &self.params
+        self.params.as_slice()
     }
 
-    fn disarm(mut self) -> (Arc<ObjectInner>, usize, usize, Vec<Value>) {
+    fn disarm(mut self) -> (Arc<ObjectInner>, usize, usize, ValVec) {
         self.armed = false;
         (
             Arc::clone(&self.obj),
@@ -79,8 +84,8 @@ impl Drop for AcceptedCall {
             return;
         }
         let obj = Arc::clone(&self.obj);
-        let mut st = obj.state.lock();
-        let s = &mut st.entries[self.entry].slots[self.slot];
+        let mut es = obj.estates[self.entry].st.lock();
+        let s = &mut es.slots[self.slot];
         if let Slot::Accepted { call } = std::mem::replace(s, Slot::Free) {
             obj.complete(
                 &call,
@@ -91,7 +96,7 @@ impl Drop for AcceptedCall {
                     ),
                 }),
             );
-            let dispatch = obj.free_slot_and_pull(&mut st, self.entry, self.slot);
+            let dispatch = obj.free_slot_and_pull(&mut es, self.entry, self.slot);
             debug_assert!(dispatch.is_none(), "intercepted entries never self-start");
         }
     }
@@ -105,8 +110,8 @@ pub struct ReadyEntry {
     pub(crate) obj: Arc<ObjectInner>,
     pub(crate) entry: usize,
     pub(crate) slot: usize,
-    pub(crate) results: Vec<Value>,
-    pub(crate) hidden: Vec<Value>,
+    pub(crate) results: ValVec,
+    pub(crate) hidden: ValVec,
     pub(crate) failure: Option<String>,
     pub(crate) armed: bool,
 }
@@ -116,8 +121,8 @@ impl fmt::Debug for ReadyEntry {
         f.debug_struct("ReadyEntry")
             .field("entry", &self.entry_name())
             .field("slot", &self.slot)
-            .field("results", &self.results)
-            .field("hidden", &self.hidden)
+            .field("results", &self.results.as_slice())
+            .field("hidden", &self.hidden.as_slice())
             .field("failure", &self.failure)
             .finish()
     }
@@ -136,12 +141,12 @@ impl ReadyEntry {
 
     /// The intercepted result prefix received at `await`.
     pub fn results(&self) -> &[Value] {
-        &self.results
+        self.results.as_slice()
     }
 
     /// The hidden results received at `await` (paper §2.8).
     pub fn hidden(&self) -> &[Value] {
-        &self.hidden
+        self.hidden.as_slice()
     }
 
     /// If the body failed, its failure message. `finish` then reports
@@ -150,7 +155,7 @@ impl ReadyEntry {
         self.failure.as_deref()
     }
 
-    fn disarm(mut self) -> (Arc<ObjectInner>, usize, usize, Vec<Value>, Option<String>) {
+    fn disarm(mut self) -> (Arc<ObjectInner>, usize, usize, ValVec, Option<String>) {
         self.armed = false;
         (
             Arc::clone(&self.obj),
@@ -168,8 +173,8 @@ impl Drop for ReadyEntry {
             return;
         }
         let obj = Arc::clone(&self.obj);
-        let mut st = obj.state.lock();
-        let s = &mut st.entries[self.entry].slots[self.slot];
+        let mut es = obj.estates[self.entry].st.lock();
+        let s = &mut es.slots[self.slot];
         if let Slot::Awaited { call, .. } = std::mem::replace(s, Slot::Free) {
             obj.complete(
                 &call,
@@ -180,20 +185,20 @@ impl Drop for ReadyEntry {
                     ),
                 }),
             );
-            let dispatch = obj.free_slot_and_pull(&mut st, self.entry, self.slot);
+            let dispatch = obj.free_slot_and_pull(&mut es, self.entry, self.slot);
             debug_assert!(dispatch.is_none(), "intercepted entries never self-start");
         }
     }
 }
 
-/// Commit an accept under the object lock (select internals).
+/// Commit an accept under the entry lock (select internals).
 pub(crate) fn commit_accept(
     obj: &Arc<ObjectInner>,
-    st: &mut ObjState,
+    es: &mut EntryState,
     entry: usize,
     slot: usize,
 ) -> AcceptedCall {
-    let s = &mut st.entries[entry].slots[slot];
+    let s = &mut es.slots[slot];
     let call = match std::mem::replace(s, Slot::Free) {
         Slot::Attached { call } => call,
         other => {
@@ -201,19 +206,18 @@ pub(crate) fn commit_accept(
             panic!("commit_accept on slot in state `{}`", s.state_name());
         }
     };
+    obj.estates[entry].attached.fetch_sub(1, Ordering::SeqCst);
     let now = obj.rt.now();
-    let attached_at = {
-        let mut t = call.times.lock();
-        t.accept = now;
-        t.attach
-    };
+    let attached_at = call.t_attach.load(Ordering::Relaxed);
     obj.stats.on_accept(now.saturating_sub(attached_at));
     let k = obj.entries[entry]
         .intercept
         .map(|ic| ic.params)
         .unwrap_or(0);
-    let params = call.args[..k].to_vec();
-    st.entries[entry].slots[slot] = Slot::Accepted { call };
+    // Only the intercepted prefix is copied out (paper §2.6); inline —
+    // heap-free — for prefixes of ≤ 4 values.
+    let params = ValVec::from_slice(&call.args[..k]);
+    es.slots[slot] = Slot::Accepted { call };
     AcceptedCall {
         obj: Arc::clone(obj),
         entry,
@@ -223,14 +227,14 @@ pub(crate) fn commit_accept(
     }
 }
 
-/// Commit an await under the object lock (select internals).
+/// Commit an await under the entry lock (select internals).
 pub(crate) fn commit_await(
     obj: &Arc<ObjectInner>,
-    st: &mut ObjState,
+    es: &mut EntryState,
     entry: usize,
     slot: usize,
 ) -> ReadyEntry {
-    let s = &mut st.entries[entry].slots[slot];
+    let s = &mut es.slots[slot];
     let (call, outcome) = match std::mem::replace(s, Slot::Free) {
         Slot::Ready { call, outcome } => (call, outcome),
         other => {
@@ -238,15 +242,16 @@ pub(crate) fn commit_await(
             panic!("commit_await on slot in state `{}`", s.state_name());
         }
     };
+    obj.estates[entry].ready.fetch_sub(1, Ordering::SeqCst);
     let def = &obj.entries[entry];
     let kr = def.intercept.map(|ic| ic.results).unwrap_or(0);
     let pub_len = def.results.len();
     match outcome {
         Ok(full) => {
-            let hidden = full[pub_len..].to_vec();
-            let prefix = full[..kr].to_vec();
-            let remainder = full[kr..pub_len].to_vec();
-            st.entries[entry].slots[slot] = Slot::Awaited { call, remainder };
+            let hidden = ValVec::from_slice(&full[pub_len..]);
+            let prefix = ValVec::from_slice(&full[..kr]);
+            let remainder = ValVec::from_slice(&full[kr..pub_len]);
+            es.slots[slot] = Slot::Awaited { call, remainder };
             ReadyEntry {
                 obj: Arc::clone(obj),
                 entry,
@@ -258,16 +263,16 @@ pub(crate) fn commit_await(
             }
         }
         Err(msg) => {
-            st.entries[entry].slots[slot] = Slot::Awaited {
+            es.slots[slot] = Slot::Awaited {
                 call,
-                remainder: Vec::new(),
+                remainder: ValVec::new(),
             };
             ReadyEntry {
                 obj: Arc::clone(obj),
                 entry,
                 slot,
-                results: Vec::new(),
-                hidden: Vec::new(),
+                results: ValVec::new(),
+                hidden: ValVec::new(),
                 failure: Some(msg),
                 armed: true,
             }
@@ -315,7 +320,8 @@ impl ManagerCtx {
         self.obj.rt.sleep(ticks)
     }
 
-    /// `#P` — pending calls to `entry` (paper §2.5.1).
+    /// `#P` — pending calls to `entry` (paper §2.5.1). Reads an atomic
+    /// index; takes no lock.
     ///
     /// # Errors
     ///
@@ -408,27 +414,30 @@ impl ManagerCtx {
     ///
     /// Type/arity mismatches against the declared prefix and hidden
     /// parameter lists; [`AlpsError::ObjectClosed`].
-    pub fn start(&self, acc: AcceptedCall, prefix: Vec<Value>, hidden: Vec<Value>) -> Result<()> {
+    pub fn start(
+        &self,
+        acc: AcceptedCall,
+        prefix: impl Into<ValVec>,
+        hidden: impl Into<ValVec>,
+    ) -> Result<()> {
+        let prefix: ValVec = prefix.into();
+        let hidden: ValVec = hidden.into();
         let def = &acc.obj.entries[acc.entry];
         let ic = def.intercept.expect("accepted entries are intercepted");
-        check_types(
-            &format!("start {}.{} prefix", acc.obj.name, def.name),
-            &def.params[..ic.params],
-            &prefix,
-        )?;
-        check_types(
-            &format!("start {}.{} hidden", acc.obj.name, def.name),
-            &def.hidden_params,
-            &hidden,
-        )?;
+        check_types_lazy(&def.params[..ic.params], &prefix, || {
+            format!("start {}.{} prefix", acc.obj.name, def.name)
+        })?;
+        check_types_lazy(&def.hidden_params, &hidden, || {
+            format!("start {}.{} hidden", acc.obj.name, def.name)
+        })?;
         if acc.obj.is_closed() {
             let _ = acc.disarm();
             return Err(self.obj.closed_err());
         }
         let (obj, entry, slot, _) = acc.disarm();
         let full = {
-            let mut st = obj.state.lock();
-            let s = &mut st.entries[entry].slots[slot];
+            let mut es = obj.estates[entry].st.lock();
+            let s = &mut es.slots[slot];
             let call = match std::mem::replace(s, Slot::Free) {
                 Slot::Accepted { call } => call,
                 other => {
@@ -439,12 +448,12 @@ impl ManagerCtx {
                     });
                 }
             };
-            call.times.lock().start = obj.rt.now();
+            call.t_start.store(obj.rt.now(), Ordering::Relaxed);
             obj.stats.on_start();
             let mut full = prefix;
             full.extend(call.args[ic.params..].iter().cloned());
             full.extend(hidden);
-            st.entries[entry].slots[slot] = Slot::Started { call };
+            es.slots[slot] = Slot::Started { call };
             full
         };
         obj.dispatch_body(entry, slot, full);
@@ -459,7 +468,7 @@ impl ManagerCtx {
     /// As [`start`](Self::start).
     pub fn start_as_is(&self, acc: AcceptedCall) -> Result<()> {
         let prefix = acc.params.clone();
-        self.start(acc, prefix, Vec::new())
+        self.start(acc, prefix, ValVec::new())
     }
 
     /// `finish P(...)` — endorse termination, forwarding the (possibly
@@ -470,21 +479,20 @@ impl ManagerCtx {
     /// # Errors
     ///
     /// Type/arity mismatches against the intercepted result prefix.
-    pub fn finish(&self, done: ReadyEntry, prefix: Vec<Value>) -> Result<()> {
+    pub fn finish(&self, done: ReadyEntry, prefix: impl Into<ValVec>) -> Result<()> {
+        let prefix: ValVec = prefix.into();
         let def = &done.obj.entries[done.entry];
         let ic = def.intercept.expect("awaited entries are intercepted");
         if done.failure.is_none() {
-            check_types(
-                &format!("finish {}.{} prefix", done.obj.name, def.name),
-                &def.results[..ic.results],
-                &prefix,
-            )?;
+            check_types_lazy(&def.results[..ic.results], &prefix, || {
+                format!("finish {}.{} prefix", done.obj.name, def.name)
+            })?;
         }
         let entry_name = def.name.clone();
         let (obj, entry, slot, _, failure) = done.disarm();
         let dispatch = {
-            let mut st = obj.state.lock();
-            let s = &mut st.entries[entry].slots[slot];
+            let mut es = obj.estates[entry].st.lock();
+            let s = &mut es.slots[slot];
             let (call, remainder) = match std::mem::replace(s, Slot::Free) {
                 Slot::Awaited { call, remainder } => (call, remainder),
                 other => {
@@ -512,7 +520,7 @@ impl ManagerCtx {
                     );
                 }
             }
-            obj.free_slot_and_pull(&mut st, entry, slot)
+            obj.free_slot_and_pull(&mut es, entry, slot)
         };
         debug_assert!(dispatch.is_none(), "intercepted entries never self-start");
         Ok(())
@@ -536,7 +544,8 @@ impl ManagerCtx {
     ///
     /// [`AlpsError::BadCombining`] when parameters were not fully
     /// intercepted; type/arity mismatches against the full result list.
-    pub fn finish_accepted(&self, acc: AcceptedCall, results: Vec<Value>) -> Result<()> {
+    pub fn finish_accepted(&self, acc: AcceptedCall, results: impl Into<ValVec>) -> Result<()> {
+        let results: ValVec = results.into();
         let def = &acc.obj.entries[acc.entry];
         let ic = def.intercept.expect("accepted entries are intercepted");
         if ic.params != def.params.len() {
@@ -550,15 +559,13 @@ impl ManagerCtx {
                 ),
             });
         }
-        check_types(
-            &format!("combine {}.{} results", acc.obj.name, def.name),
-            &def.results,
-            &results,
-        )?;
+        check_types_lazy(&def.results, &results, || {
+            format!("combine {}.{} results", acc.obj.name, def.name)
+        })?;
         let (obj, entry, slot, _) = acc.disarm();
         let dispatch = {
-            let mut st = obj.state.lock();
-            let s = &mut st.entries[entry].slots[slot];
+            let mut es = obj.estates[entry].st.lock();
+            let s = &mut es.slots[slot];
             let call = match std::mem::replace(s, Slot::Free) {
                 Slot::Accepted { call } => call,
                 other => {
@@ -571,7 +578,7 @@ impl ManagerCtx {
             };
             obj.stats.on_combine();
             obj.complete(&call, Ok(results));
-            obj.free_slot_and_pull(&mut st, entry, slot)
+            obj.free_slot_and_pull(&mut es, entry, slot)
         };
         debug_assert!(dispatch.is_none(), "intercepted entries never self-start");
         Ok(())
@@ -588,7 +595,7 @@ impl ManagerCtx {
     /// the body failed (the caller receives the same error).
     pub fn execute(&self, acc: AcceptedCall) -> Result<(Vec<Value>, Vec<Value>)> {
         let prefix = acc.params.clone();
-        self.execute_with(acc, prefix, Vec::new())
+        self.execute_with(acc, prefix, ValVec::new())
     }
 
     /// [`execute`](Self::execute) with explicit intercepted-parameter
@@ -600,25 +607,97 @@ impl ManagerCtx {
     pub fn execute_with(
         &self,
         acc: AcceptedCall,
-        prefix: Vec<Value>,
-        hidden: Vec<Value>,
+        prefix: impl Into<ValVec>,
+        hidden: impl Into<ValVec>,
     ) -> Result<(Vec<Value>, Vec<Value>)> {
-        let entry = acc.entry;
-        let slot = acc.slot;
-        let entry_name = acc.entry_name().to_string();
-        self.start(acc, prefix, hidden)?;
-        let done = self.await_slot(&entry_name, slot)?;
-        debug_assert_eq!(done.entry, entry);
-        let results = done.results.clone();
-        let hidden_out = done.hidden.clone();
-        let failure = done.failure.clone();
-        self.finish_as_is(done)?;
-        match failure {
-            None => Ok((results, hidden_out)),
-            Some(message) => Err(AlpsError::BodyFailed {
-                entry: entry_name,
-                message,
-            }),
+        let prefix: ValVec = prefix.into();
+        let hidden: ValVec = hidden.into();
+        let def = &acc.obj.entries[acc.entry];
+        let ic = def.intercept.expect("accepted entries are intercepted");
+        check_types_lazy(&def.params[..ic.params], &prefix, || {
+            format!("start {}.{} prefix", acc.obj.name, def.name)
+        })?;
+        check_types_lazy(&def.hidden_params, &hidden, || {
+            format!("start {}.{} hidden", acc.obj.name, def.name)
+        })?;
+        if acc.obj.is_closed() {
+            let _ = acc.disarm();
+            return Err(self.obj.closed_err());
         }
+        let kr = ic.results;
+        let pub_len = def.results.len();
+        let (obj, entry, slot, _) = acc.disarm();
+        // `start`: Accepted → Started — but the body runs right here in
+        // the manager's process instead of being handed to the pool. The
+        // manager would block in `await` until the body finished anyway
+        // (monitor-style exclusive execution), so executing it inline is
+        // observationally the same protocol minus a worker wakeup, a
+        // manager park, and a notifier round trip.
+        let full = {
+            let mut es = obj.estates[entry].st.lock();
+            let s = &mut es.slots[slot];
+            let call = match std::mem::replace(s, Slot::Free) {
+                Slot::Accepted { call } => call,
+                other => {
+                    let name = other.state_name();
+                    *s = other;
+                    return Err(AlpsError::ProtocolViolation {
+                        reason: format!("execute on slot in state `{name}`"),
+                    });
+                }
+            };
+            call.t_start.store(obj.rt.now(), Ordering::Relaxed);
+            obj.stats.on_start();
+            let mut full = prefix;
+            full.extend(call.args[ic.params..].iter().cloned());
+            full.extend(hidden);
+            es.slots[slot] = Slot::Started { call };
+            full
+        };
+        let outcome = obj.exec_checked_body(entry, slot, full);
+        let done_at = obj.rt.now();
+        // `await; finish` fused: take the call back out of the slot and
+        // answer the caller directly — no Ready state, no notify.
+        let mut es = obj.estates[entry].st.lock();
+        let s = &mut es.slots[slot];
+        let call = match std::mem::replace(s, Slot::Free) {
+            Slot::Started { call } => call,
+            // Only shutdown can have swept the slot; the caller was
+            // already answered with the shutdown error.
+            other => {
+                *s = other;
+                return Err(obj.closed_err());
+            }
+        };
+        let t_started = call.t_start.load(Ordering::Relaxed);
+        obj.stats.on_service(done_at.saturating_sub(t_started));
+        obj.stats.on_finish();
+        let ret = match outcome {
+            Ok(full_results) => {
+                let ret_prefix = ValVec::from_slice(&full_results[..kr]);
+                let hidden_out = ValVec::from_slice(&full_results[pub_len..]);
+                obj.complete(&call, Ok(ValVec::from_slice(&full_results[..pub_len])));
+                Ok((ret_prefix.into(), hidden_out.into()))
+            }
+            Err(message) => {
+                obj.stats.on_body_failure();
+                let entry_name = obj.entries[entry].name.clone();
+                obj.complete(
+                    &call,
+                    Err(AlpsError::BodyFailed {
+                        entry: entry_name.clone(),
+                        message: message.clone(),
+                    }),
+                );
+                Err(AlpsError::BodyFailed {
+                    entry: entry_name,
+                    message,
+                })
+            }
+        };
+        let dispatch = obj.free_slot_and_pull(&mut es, entry, slot);
+        debug_assert!(dispatch.is_none(), "intercepted entries never self-start");
+        drop(es);
+        ret
     }
 }

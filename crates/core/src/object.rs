@@ -19,10 +19,32 @@
 //! slot frees (`#P` counts both attached-unaccepted and queued calls,
 //! paper §2.5.1). Entries not listed in the manager's intercepts clause
 //! are started implicitly at attach time (paper §2.3).
+//!
+//! # The fast path
+//!
+//! The invocation hot path is engineered so a steady-state call performs
+//! no heap allocation for arity ≤ 4:
+//!
+//! * **[`EntryId`]** — entry names are interned once
+//!   ([`ObjectHandle::entry_id`]); [`ObjectHandle::call_id`] skips the
+//!   string hash lookup of [`ObjectHandle::call`].
+//! * **Inline implicit starts** — a call to a non-intercepted entry that
+//!   finds a free slot runs the body *in the calling process* (the caller
+//!   would block for the result anyway), skipping the pool hand-off and
+//!   two park/unpark round trips. Queued calls still dispatch to the pool
+//!   when a slot frees.
+//! * **[`CallCell`] recycling** — calls that do rendezvous (intercepted
+//!   entries, queued calls) draw their cell from a per-object free list;
+//!   the cell's old `times`/`st` mutex pair is collapsed into atomics plus
+//!   a oneshot result word.
+//! * **Lock-split state** — each entry owns its own slot array, wait
+//!   queue, and lock ([`EntrySync`]), so unrelated entries do not contend;
+//!   `#P` reads an atomic index without locking anything.
 
+use std::cell::UnsafeCell;
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use alps_runtime::{Notifier, Priority, ProcId, Runtime, Spawn};
@@ -31,10 +53,10 @@ use parking_lot::Mutex;
 use crate::entry::EntryDef;
 use crate::error::{AlpsError, Result};
 use crate::manager::ManagerCtx;
-use crate::pool::{Pool, PoolMode};
+use crate::pool::{Job, Pool, PoolMode};
 use crate::proc_ctx::ProcCtx;
 use crate::stats::ObjectStats;
-use crate::value::{check_types, Value};
+use crate::value::{check_types_lazy, Ty, ValVec};
 
 /// The manager process body. It runs once, typically an endless
 /// `loop { mgr.select(...)? ... }`; returning `Ok` ends the manager (the
@@ -42,35 +64,107 @@ use crate::value::{check_types, Value};
 /// [`AlpsError::ObjectClosed`] is the normal exit path at shutdown.
 pub type ManagerBody = Box<dyn FnMut(&mut ManagerCtx) -> Result<()> + Send + 'static>;
 
+/// Interned handle to one entry of one object.
+///
+/// Minted by [`ObjectHandle::entry_id`] — the name is resolved exactly
+/// once — and redeemed by [`ObjectHandle::call_id`], which skips the
+/// per-call string hash lookup. `EntryId` is `Copy` and carries the
+/// object's unique id, so using it on a different object is caught and
+/// reported as [`AlpsError::ForeignEntryId`] rather than silently calling
+/// the wrong entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EntryId {
+    pub(crate) obj: u64,
+    pub(crate) idx: u32,
+}
+
+impl EntryId {
+    /// Index of the entry in its object's entry table.
+    pub fn index(&self) -> usize {
+        self.idx as usize
+    }
+}
+
+/// Process-wide object uid source backing [`EntryId`] validity checks.
+static OBJECT_UID: AtomicU64 = AtomicU64::new(1);
+
+const CALL_WAITING: u32 = 0;
+const CALL_DONE: u32 = 1;
+
+/// One in-flight rendezvous between a caller and the object.
+///
+/// The seed design carried two `Mutex`es per call (`times`, `st`); both
+/// are collapsed here into plain atomics plus a oneshot result cell:
+///
+/// * `state` is the one-word call state (`CALL_WAITING` → `CALL_DONE`).
+/// * `result` is written exactly once, by the single completer that took
+///   the cell out of its slot/queue under the entry lock, *before* the
+///   `Release` store of `CALL_DONE`; the caller reads it only after an
+///   `Acquire` load observes `CALL_DONE`. That handoff is the entire
+///   safety argument for the `unsafe impl Sync`.
+///
+/// Cells are recycled through a per-object free list
+/// ([`ObjectInner::release_cell`]); a cell is only reset when its `Arc` is
+/// unique, so no stale reader can observe the reset.
 pub(crate) struct CallCell {
-    pub(crate) args: Vec<Value>,
+    pub(crate) args: ValVec,
     pub(crate) caller: ProcId,
     pub(crate) t_call: u64,
-    pub(crate) times: Mutex<Times>,
-    pub(crate) st: Mutex<CallSt>,
+    pub(crate) t_attach: AtomicU64,
+    pub(crate) t_start: AtomicU64,
+    state: AtomicU32,
+    result: UnsafeCell<Option<Result<ValVec>>>,
 }
 
-#[derive(Debug, Default, Clone, Copy)]
-pub(crate) struct Times {
-    pub(crate) attach: u64,
-    pub(crate) accept: u64,
-    pub(crate) start: u64,
-}
-
-pub(crate) enum CallSt {
-    Waiting,
-    Done(Result<Vec<Value>>),
-}
+// SAFETY: `result` is written once by the unique completer before the
+// Release store on `state` and read once by the caller after an Acquire
+// load; all other fields are immutable-after-acquire or atomic.
+unsafe impl Sync for CallCell {}
 
 impl CallCell {
-    fn new(args: Vec<Value>, caller: ProcId, t_call: u64) -> Arc<CallCell> {
-        Arc::new(CallCell {
+    fn new(args: ValVec, caller: ProcId, t_call: u64) -> CallCell {
+        CallCell {
             args,
             caller,
             t_call,
-            times: Mutex::new(Times::default()),
-            st: Mutex::new(CallSt::Waiting),
-        })
+            t_attach: AtomicU64::new(0),
+            t_start: AtomicU64::new(0),
+            state: AtomicU32::new(CALL_WAITING),
+            result: UnsafeCell::new(None),
+        }
+    }
+
+    /// Deliver the result. Must be called at most once per call round, by
+    /// the completer that removed this cell from the slot/queue.
+    fn finish(&self, r: Result<ValVec>) {
+        // SAFETY: single completer per round (slot-state ownership); the
+        // caller cannot read until the Release store below.
+        unsafe {
+            *self.result.get() = Some(r);
+        }
+        self.state.store(CALL_DONE, Ordering::Release);
+    }
+
+    /// Caller side: take the result if the call has completed.
+    fn try_take(&self) -> Option<Result<ValVec>> {
+        if self.state.load(Ordering::Acquire) == CALL_DONE {
+            // SAFETY: the completer's writes happen-before this read via
+            // the Acquire load, and only the one caller consumes.
+            unsafe { (*self.result.get()).take() }
+        } else {
+            None
+        }
+    }
+
+    /// Reset for reuse. Requires unique ownership (`Arc::get_mut`).
+    fn reset(&mut self, args: ValVec, caller: ProcId, t_call: u64) {
+        self.args = args;
+        self.caller = caller;
+        self.t_call = t_call;
+        *self.t_attach.get_mut() = 0;
+        *self.t_start.get_mut() = 0;
+        *self.state.get_mut() = CALL_WAITING;
+        *self.result.get_mut() = None;
     }
 }
 
@@ -86,17 +180,22 @@ pub(crate) enum Slot {
     Started {
         call: Arc<CallCell>,
     },
+    /// An implicit call is executing its body inline in the caller's own
+    /// process (the fast path) — there is no parked caller to answer, so
+    /// no cell is needed; the caller discovers shutdown by finding the
+    /// slot no longer in this state.
+    InlineBusy,
     /// Body finished; `outcome` is the full implementation-side result
     /// list (public ++ hidden) or a failure message.
     Ready {
         call: Arc<CallCell>,
-        outcome: std::result::Result<Vec<Value>, String>,
+        outcome: std::result::Result<ValVec, String>,
     },
     /// Manager executed `await`; the non-intercepted public results wait
     /// here for `finish` to release them to the caller.
     Awaited {
         call: Arc<CallCell>,
-        remainder: Vec<Value>,
+        remainder: ValVec,
     },
 }
 
@@ -107,33 +206,70 @@ impl Slot {
             Slot::Attached { .. } => "attached",
             Slot::Accepted { .. } => "accepted",
             Slot::Started { .. } => "started",
+            Slot::InlineBusy => "started",
             Slot::Ready { .. } => "ready",
             Slot::Awaited { .. } => "awaited",
         }
     }
 }
 
+/// Lock-protected per-entry protocol state.
 pub(crate) struct EntryState {
     pub(crate) slots: Vec<Slot>,
     pub(crate) waitq: VecDeque<Arc<CallCell>>,
 }
 
-pub(crate) struct ObjState {
-    pub(crate) entries: Vec<EntryState>,
+/// One entry's synchronization block: its own lock (so unrelated entries
+/// never contend) plus the narrow manager-visible index — atomic counts
+/// that `#P`, guard conditions, and monitoring read without taking any
+/// lock.
+///
+/// Count maintenance (always under `st`):
+/// * `attached`: +1 attach of an intercepted call, −1 accept, 0 at
+///   shutdown;
+/// * `queued`: +1 queue push, −1 queue pull, 0 at shutdown;
+/// * `ready`: +1 body completion of an intercepted call, −1 await, 0 at
+///   shutdown.
+pub(crate) struct EntrySync {
+    pub(crate) st: Mutex<EntryState>,
+    pub(crate) attached: AtomicUsize,
+    pub(crate) queued: AtomicUsize,
+    pub(crate) ready: AtomicUsize,
+}
+
+impl EntrySync {
+    fn new(slots: usize) -> EntrySync {
+        EntrySync {
+            st: Mutex::new(EntryState {
+                slots: (0..slots).map(|_| Slot::Free).collect(),
+                waitq: VecDeque::new(),
+            }),
+            attached: AtomicUsize::new(0),
+            queued: AtomicUsize::new(0),
+            ready: AtomicUsize::new(0),
+        }
+    }
 }
 
 pub(crate) struct ObjectInner {
     pub(crate) name: String,
     pub(crate) rt: Runtime,
+    pub(crate) uid: u64,
     pub(crate) entries: Vec<EntryDef>,
     pub(crate) by_name: HashMap<String, usize>,
     pub(crate) slot_base: Vec<usize>,
-    pub(crate) state: Mutex<ObjState>,
+    pub(crate) estates: Vec<EntrySync>,
     pub(crate) notifier: Notifier,
     pub(crate) stats: ObjectStats,
     pub(crate) closed: AtomicBool,
     pub(crate) pool: Pool,
     pub(crate) manager_error: Mutex<Option<AlpsError>>,
+    /// Recycled [`CallCell`]s; bounded by `cell_cap`.
+    cell_pool: Mutex<Vec<Arc<CallCell>>>,
+    cell_cap: usize,
+    /// `EntryDef::full_results()` precomputed per entry so the per-call
+    /// result type check does not allocate.
+    pub(crate) full_results: Vec<Vec<Ty>>,
 }
 
 impl fmt::Debug for ObjectInner {
@@ -167,32 +303,56 @@ impl ObjectInner {
         }
     }
 
+    /// Draw a call cell from the free list, or allocate one.
+    fn acquire_cell(&self, args: ValVec, caller: ProcId, t_call: u64) -> Arc<CallCell> {
+        if let Some(mut arc) = self.cell_pool.lock().pop() {
+            if let Some(cell) = Arc::get_mut(&mut arc) {
+                cell.reset(args, caller, t_call);
+                return arc;
+            }
+            // A stale clone still exists (should not happen — cells are
+            // pooled only when unique); fall through and allocate.
+        }
+        Arc::new(CallCell::new(args, caller, t_call))
+    }
+
+    /// Return a finished cell to the free list if no other clone survives.
+    fn release_cell(&self, call: Arc<CallCell>) {
+        if Arc::strong_count(&call) != 1 {
+            return;
+        }
+        let mut pool = self.cell_pool.lock();
+        if pool.len() < self.cell_cap {
+            pool.push(call);
+        }
+    }
+
     /// Complete a call: deliver the result and unpark the caller.
-    pub(crate) fn complete(&self, call: &Arc<CallCell>, result: Result<Vec<Value>>) {
+    pub(crate) fn complete(&self, call: &Arc<CallCell>, result: Result<ValVec>) {
         if result.is_ok() {
             let now = self.rt.now();
             self.stats.on_complete(now.saturating_sub(call.t_call));
         }
-        *call.st.lock() = CallSt::Done(result);
+        call.finish(result);
         self.rt.unpark(call.caller);
     }
 
     /// Attach a call to a free slot of `entry`, or queue it. Returns an
     /// implicit-start dispatch if the entry is not intercepted.
-    /// Caller must run the returned dispatch *after* releasing the state
+    /// Caller must run the returned dispatch *after* releasing the entry
     /// lock it passed in.
     pub(crate) fn attach_or_queue(
         self: &Arc<Self>,
-        st: &mut ObjState,
+        es: &mut EntryState,
         entry: usize,
         call: Arc<CallCell>,
-    ) -> Option<(usize, Vec<Value>)> {
-        let es = &mut st.entries[entry];
+    ) -> Option<(usize, ValVec)> {
         let free = es.slots.iter().position(|s| matches!(s, Slot::Free));
         match free {
-            Some(i) => self.attach_to_slot(st, entry, i, call),
+            Some(i) => self.attach_to_slot(es, entry, i, call),
             None => {
                 es.waitq.push_back(call);
+                self.estates[entry].queued.fetch_add(1, Ordering::SeqCst);
                 // #P changed; manager `when` conditions may depend on it.
                 self.notifier.notify(&self.rt);
                 None
@@ -203,25 +363,29 @@ impl ObjectInner {
     /// Attach `call` to the known-free slot `i`.
     pub(crate) fn attach_to_slot(
         self: &Arc<Self>,
-        st: &mut ObjState,
+        es: &mut EntryState,
         entry: usize,
         i: usize,
         call: Arc<CallCell>,
-    ) -> Option<(usize, Vec<Value>)> {
+    ) -> Option<(usize, ValVec)> {
         let now = self.rt.now();
-        call.times.lock().attach = now;
+        call.t_attach.store(now, Ordering::Relaxed);
         self.stats.on_attach(now.saturating_sub(call.t_call));
         let def = &self.entries[entry];
         if def.intercept.is_some() {
-            st.entries[entry].slots[i] = Slot::Attached { call };
+            es.slots[i] = Slot::Attached { call };
+            self.estates[entry].attached.fetch_add(1, Ordering::SeqCst);
             self.notifier.notify(&self.rt);
             None
         } else {
             // Implicit start (paper §2.3: calls to procedures not listed
-            // in the intercepts clause are started implicitly).
-            call.times.lock().start = now;
-            let params = call.args.clone();
-            st.entries[entry].slots[i] = Slot::Started { call };
+            // in the intercepts clause are started implicitly). The
+            // intercept prefix is empty, so the body needs the full
+            // argument tuple; copy it out of the shared cell (inline —
+            // heap-free — for arity ≤ 4).
+            call.t_start.store(now, Ordering::Relaxed);
+            let params = ValVec::from_slice(&call.args);
+            es.slots[i] = Slot::Started { call };
             self.stats.on_implicit_start();
             Some((i, params))
         }
@@ -231,59 +395,67 @@ impl ObjectInner {
     /// Returns an implicit-start dispatch to run after unlocking.
     pub(crate) fn free_slot_and_pull(
         self: &Arc<Self>,
-        st: &mut ObjState,
+        es: &mut EntryState,
         entry: usize,
         i: usize,
-    ) -> Option<(usize, Vec<Value>)> {
-        st.entries[entry].slots[i] = Slot::Free;
-        if let Some(next) = st.entries[entry].waitq.pop_front() {
-            self.attach_to_slot(st, entry, i, next)
+    ) -> Option<(usize, ValVec)> {
+        es.slots[i] = Slot::Free;
+        if let Some(next) = es.waitq.pop_front() {
+            self.estates[entry].queued.fetch_sub(1, Ordering::SeqCst);
+            self.attach_to_slot(es, entry, i, next)
         } else {
             None
         }
     }
 
     /// Hand a started slot's execution to the pool.
-    pub(crate) fn dispatch_body(self: &Arc<Self>, entry: usize, slot: usize, params: Vec<Value>) {
-        let weak = Arc::downgrade(self);
+    pub(crate) fn dispatch_body(self: &Arc<Self>, entry: usize, slot: usize, params: ValVec) {
         let key = self.slot_base[entry] + slot;
         self.pool.dispatch(
             key,
-            Box::new(move || {
-                let Some(obj) = weak.upgrade() else {
-                    return;
-                };
-                obj.run_body(entry, slot, params);
-            }),
+            Job::Body {
+                obj: Arc::downgrade(self),
+                entry,
+                slot,
+                params,
+            },
         );
     }
 
     /// Execute the body of `entry` in the current process and report the
     /// outcome to the state machine.
-    pub(crate) fn run_body(self: &Arc<Self>, entry: usize, slot: usize, params: Vec<Value>) {
+    pub(crate) fn run_body(self: &Arc<Self>, entry: usize, slot: usize, params: ValVec) {
+        let outcome = self.exec_checked_body(entry, slot, params);
+        self.body_done(entry, slot, outcome);
+    }
+
+    /// Run the body under `catch_unwind` and type-check its results.
+    pub(crate) fn exec_checked_body(
+        self: &Arc<Self>,
+        entry: usize,
+        slot: usize,
+        params: ValVec,
+    ) -> std::result::Result<ValVec, String> {
         let def = &self.entries[entry];
         let body = def
             .body
-            .clone()
+            .as_ref()
             .expect("validated at build: every entry has a body");
         let mut ctx = ProcCtx::new(Arc::clone(self), entry, slot);
         let outcome =
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut ctx, params)));
-        let outcome = match outcome {
+        match outcome {
             Ok(Ok(results)) => {
-                match check_types(
-                    &format!("results of {}.{}", self.name, def.name),
-                    &def.full_results(),
-                    &results,
-                ) {
+                match check_types_lazy(&self.full_results[entry], &results, || {
+                    format!("results of {}.{}", self.name, def.name)
+                }) {
                     Ok(()) => Ok(results),
                     Err(e) => Err(e.to_string()),
                 }
             }
             Ok(Err(e)) => Err(e.to_string()),
             Err(payload) => Err(panic_message(payload.as_ref())),
-        };
-        self.body_done(entry, slot, outcome);
+        }
     }
 
     /// Record a body's completion: intercepted entries become `Ready` for
@@ -292,12 +464,14 @@ impl ObjectInner {
         self: &Arc<Self>,
         entry: usize,
         slot: usize,
-        outcome: std::result::Result<Vec<Value>, String>,
+        outcome: std::result::Result<ValVec, String>,
     ) {
         let mut dispatch = None;
+        let mut made_ready = false;
         {
-            let mut st = self.state.lock();
-            let s = &mut st.entries[entry].slots[slot];
+            let sync = &self.estates[entry];
+            let mut es = sync.st.lock();
+            let s = &mut es.slots[slot];
             let call = match std::mem::replace(s, Slot::Free) {
                 Slot::Started { call } => call,
                 other => {
@@ -307,15 +481,16 @@ impl ObjectInner {
                 }
             };
             let now = self.rt.now();
-            let started = call.times.lock().start;
+            let started = call.t_start.load(Ordering::Relaxed);
             self.stats.on_service(now.saturating_sub(started));
             let def = &self.entries[entry];
             if def.intercept.is_some() {
                 if outcome.is_err() {
                     self.stats.on_body_failure();
                 }
-                st.entries[entry].slots[slot] = Slot::Ready { call, outcome };
-                self.notifier.notify(&self.rt);
+                es.slots[slot] = Slot::Ready { call, outcome };
+                sync.ready.fetch_add(1, Ordering::SeqCst);
+                made_ready = true;
             } else {
                 match outcome {
                     Ok(results) => self.complete(&call, Ok(results)),
@@ -330,8 +505,13 @@ impl ObjectInner {
                         );
                     }
                 }
-                dispatch = self.free_slot_and_pull(&mut st, entry, slot);
+                dispatch = self.free_slot_and_pull(&mut es, entry, slot);
             }
+        }
+        if made_ready {
+            // Outside the entry lock: the notifier takes its own lock only
+            // when someone is parked.
+            self.notifier.notify(&self.rt);
         }
         if let Some((i, params)) = dispatch {
             self.dispatch_body(entry, i, params);
@@ -343,9 +523,9 @@ impl ObjectInner {
     pub(crate) fn call_protocol(
         self: &Arc<Self>,
         entry: usize,
-        args: Vec<Value>,
+        args: ValVec,
         external: bool,
-    ) -> Result<Vec<Value>> {
+    ) -> Result<ValVec> {
         let def = &self.entries[entry];
         if external && def.local {
             return Err(AlpsError::LocalEntryCalled {
@@ -353,51 +533,110 @@ impl ObjectInner {
                 entry: def.name.clone(),
             });
         }
-        check_types(
-            &format!("call {}.{}", self.name, def.name),
-            &def.params,
-            &args,
-        )?;
+        check_types_lazy(&def.params, &args, || {
+            format!("call {}.{}", self.name, def.name)
+        })?;
         if self.is_closed() {
             return Err(self.closed_err());
         }
         self.stats.on_call();
-        let call = CallCell::new(args, self.rt.current(), self.rt.now());
+        let t_call = self.rt.now();
+
+        // Fast path: an implicit (non-intercepted) entry with a free slot
+        // runs its body inline in this process — the caller would block
+        // for the result anyway, so this is observationally the same
+        // rendezvous minus the pool hand-off and two park/unpark pairs,
+        // and it touches no heap at all.
+        if def.intercept.is_none() {
+            let claimed = {
+                let mut es = self.estates[entry].st.lock();
+                if self.is_closed() {
+                    return Err(self.closed_err());
+                }
+                match es.slots.iter().position(|s| matches!(s, Slot::Free)) {
+                    Some(i) => {
+                        es.slots[i] = Slot::InlineBusy;
+                        Some(i)
+                    }
+                    None => None,
+                }
+            };
+            if let Some(i) = claimed {
+                return self.run_inline(entry, i, args, t_call);
+            }
+        }
+
+        // Slow path: rendezvous through a (recycled) call cell.
+        let call = self.acquire_cell(args, self.rt.current(), t_call);
         let dispatch = {
-            let mut st = self.state.lock();
+            let mut es = self.estates[entry].st.lock();
             if self.is_closed() {
                 return Err(self.closed_err());
             }
-            self.attach_or_queue(&mut st, entry, Arc::clone(&call))
+            self.attach_or_queue(&mut es, entry, Arc::clone(&call))
         };
         if let Some((i, params)) = dispatch {
             self.dispatch_body(entry, i, params);
         }
         // Wait for the reply.
         loop {
-            {
-                let mut st = call.st.lock();
-                if let CallSt::Done(_) = &*st {
-                    let CallSt::Done(r) = std::mem::replace(&mut *st, CallSt::Waiting) else {
-                        unreachable!()
-                    };
-                    return r;
-                }
+            if let Some(r) = call.try_take() {
+                self.release_cell(call);
+                return r;
             }
             self.rt.park();
         }
     }
 
+    /// Inline implicit execution: the caller claimed `slot`
+    /// (`Slot::InlineBusy`) and runs the body itself.
+    fn run_inline(
+        self: &Arc<Self>,
+        entry: usize,
+        slot: usize,
+        args: ValVec,
+        t_call: u64,
+    ) -> Result<ValVec> {
+        // The slot was free when we got here, so the attach wait is ~0;
+        // reuse `t_call` as the start time instead of reading the clock
+        // again.
+        self.stats.on_attach(0);
+        self.stats.on_implicit_start();
+        let outcome = self.exec_checked_body(entry, slot, args);
+        let done_at = self.rt.now();
+        self.stats.on_service(done_at.saturating_sub(t_call));
+        let dispatch = {
+            let mut es = self.estates[entry].st.lock();
+            match es.slots[slot] {
+                Slot::InlineBusy => self.free_slot_and_pull(&mut es, entry, slot),
+                // Shutdown swept the slot while the body ran; the call
+                // fails like any other in-flight call at shutdown.
+                _ => return Err(self.closed_err()),
+            }
+        };
+        if let Some((i, params)) = dispatch {
+            self.dispatch_body(entry, i, params);
+        }
+        match outcome {
+            Ok(results) => {
+                self.stats.on_complete(done_at.saturating_sub(t_call));
+                Ok(results)
+            }
+            Err(msg) => {
+                self.stats.on_body_failure();
+                Err(AlpsError::BodyFailed {
+                    entry: self.entries[entry].name.clone(),
+                    message: msg,
+                })
+            }
+        }
+    }
+
     /// `#P`: attached-but-unaccepted plus queued calls (paper §2.5.1).
+    /// Reads the per-entry atomic index — no lock.
     pub(crate) fn pending(&self, entry: usize) -> usize {
-        let st = self.state.lock();
-        let es = &st.entries[entry];
-        let attached = es
-            .slots
-            .iter()
-            .filter(|s| matches!(s, Slot::Attached { .. }))
-            .count();
-        attached + es.waitq.len()
+        let s = &self.estates[entry];
+        s.attached.load(Ordering::SeqCst) + s.queued.load(Ordering::SeqCst)
     }
 
     /// Shut the object down: fail all in-flight and queued calls, stop the
@@ -408,21 +647,22 @@ impl ObjectInner {
             return;
         }
         let mut victims: Vec<Arc<CallCell>> = Vec::new();
-        {
-            let mut st = self.state.lock();
-            for es in &mut st.entries {
-                victims.extend(es.waitq.drain(..));
-                for s in &mut es.slots {
-                    match std::mem::replace(s, Slot::Free) {
-                        Slot::Free => {}
-                        Slot::Attached { call }
-                        | Slot::Accepted { call }
-                        | Slot::Started { call }
-                        | Slot::Ready { call, .. }
-                        | Slot::Awaited { call, .. } => victims.push(call),
-                    }
+        for sync in &self.estates {
+            let mut es = sync.st.lock();
+            victims.extend(es.waitq.drain(..));
+            for s in &mut es.slots {
+                match std::mem::replace(s, Slot::Free) {
+                    Slot::Free | Slot::InlineBusy => {}
+                    Slot::Attached { call }
+                    | Slot::Accepted { call }
+                    | Slot::Started { call }
+                    | Slot::Ready { call, .. }
+                    | Slot::Awaited { call, .. } => victims.push(call),
                 }
             }
+            sync.attached.store(0, Ordering::SeqCst);
+            sync.queued.store(0, Ordering::SeqCst);
+            sync.ready.store(0, Ordering::SeqCst);
         }
         for call in victims {
             self.complete(&call, Err(self.closed_err()));
@@ -602,29 +842,29 @@ impl ObjectBuilder {
             slot_base.push(total);
             total += e.array;
         }
-        let state = ObjState {
-            entries: self
-                .entries
-                .iter()
-                .map(|e| EntryState {
-                    slots: (0..e.array).map(|_| Slot::Free).collect(),
-                    waitq: VecDeque::new(),
-                })
-                .collect(),
-        };
+        let estates: Vec<EntrySync> = self
+            .entries
+            .iter()
+            .map(|e| EntrySync::new(e.array))
+            .collect();
+        let full_results: Vec<Vec<Ty>> = self.entries.iter().map(|e| e.full_results()).collect();
         let pool = Pool::new(rt.clone(), self.name.clone(), self.pool, total);
         let inner = Arc::new(ObjectInner {
             name: self.name.clone(),
             rt: rt.clone(),
+            uid: OBJECT_UID.fetch_add(1, Ordering::Relaxed),
             entries: self.entries,
             by_name,
             slot_base,
-            state: Mutex::new(state),
+            estates,
             notifier: Notifier::new(),
             stats: ObjectStats::new(),
             closed: AtomicBool::new(false),
             pool,
             manager_error: Mutex::new(None),
+            cell_pool: Mutex::new(Vec::new()),
+            cell_cap: (total * 2).clamp(8, 256),
+            full_results,
         });
         if let Some(mut body) = self.manager {
             let mgr_inner = Arc::clone(&inner);
@@ -682,9 +922,29 @@ impl ObjectHandle {
         &self.core.inner.name
     }
 
+    /// Intern an entry name, resolving it once to a copyable [`EntryId`]
+    /// for use with [`call_id`](Self::call_id). Resolve ids right after
+    /// [`ObjectBuilder::spawn`] and reuse them for every call.
+    ///
+    /// # Errors
+    ///
+    /// [`AlpsError::UnknownEntry`] for a bad name.
+    pub fn entry_id(&self, entry: &str) -> Result<EntryId> {
+        let inner = &self.core.inner;
+        let idx = inner.entry_idx(entry)?;
+        Ok(EntryId {
+            obj: inner.uid,
+            idx: idx as u32,
+        })
+    }
+
     /// Call an entry procedure and block until it finishes (ALPS
     /// `X.P(params, results)`, paper §2.2). The reply carries the public
     /// results.
+    ///
+    /// This is the resolving wrapper around the fast path: it hashes the
+    /// entry name on every call. Hot callers should intern the name with
+    /// [`entry_id`](Self::entry_id) and use [`call_id`](Self::call_id).
     ///
     /// # Errors
     ///
@@ -696,7 +956,41 @@ impl ObjectHandle {
     pub fn call(&self, entry: &str, args: Vec<Value>) -> Result<Vec<Value>> {
         let inner = &self.core.inner;
         let idx = inner.entry_idx(entry)?;
-        inner.call_protocol(idx, args, true)
+        inner.call_protocol(idx, args.into(), true).map(Vec::from)
+    }
+
+    /// The allocation-light fast path: call an entry through an interned
+    /// [`EntryId`]. Semantically identical to [`call`](Self::call) — same
+    /// protocol, same errors — minus the per-call name resolution, and
+    /// with inline argument/result tuples ([`ValVec`]) so a steady-state
+    /// call of arity ≤ 4 performs no heap allocation.
+    ///
+    /// ```no_run
+    /// # use alps_core::{argv, ObjectBuilder, EntryDef, Ty};
+    /// # use alps_runtime::Runtime;
+    /// # let rt = Runtime::threaded();
+    /// # let obj = ObjectBuilder::new("X")
+    /// #     .entry(EntryDef::new("P").params([Ty::Int]).body(|_, _| Ok(vec![])))
+    /// #     .spawn(&rt).unwrap();
+    /// let p = obj.entry_id("P")?;
+    /// for i in 0..1000i64 {
+    ///     obj.call_id(p, argv![i])?;
+    /// }
+    /// # Ok::<(), alps_core::AlpsError>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// As [`call`](Self::call), plus [`AlpsError::ForeignEntryId`] if the
+    /// id was minted by a different object.
+    pub fn call_id(&self, id: EntryId, args: impl Into<ValVec>) -> Result<ValVec> {
+        let inner = &self.core.inner;
+        if id.obj != inner.uid {
+            return Err(AlpsError::ForeignEntryId {
+                object: inner.name.clone(),
+            });
+        }
+        inner.call_protocol(id.idx as usize, args.into(), true)
     }
 
     /// Call a procedure *as if from inside the object*: local procedures
@@ -711,11 +1005,11 @@ impl ObjectHandle {
     pub fn call_from_inside(&self, entry: &str, args: Vec<Value>) -> Result<Vec<Value>> {
         let inner = &self.core.inner;
         let idx = inner.entry_idx(entry)?;
-        inner.call_protocol(idx, args, false)
+        inner.call_protocol(idx, args.into(), false).map(Vec::from)
     }
 
     /// `#P` for an entry: calls attached-but-unaccepted plus queued
-    /// (paper §2.5.1; Ada `COUNT` / SR `?` analogue).
+    /// (paper §2.5.1; Ada `COUNT` / SR `?` analogue). Lock-free.
     ///
     /// # Errors
     ///
@@ -764,3 +1058,5 @@ impl ObjectHandle {
         self.core.inner.pool.jobs_executed()
     }
 }
+
+use crate::value::Value;

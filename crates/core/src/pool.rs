@@ -18,27 +18,25 @@
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 
 use alps_runtime::metrics::Counter;
 use alps_runtime::{ProcId, Runtime, Spawn};
 use parking_lot::Mutex;
 
+use crate::object::ObjectInner;
+use crate::value::ValVec;
+
 /// How entry executions are mapped onto runtime processes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum PoolMode {
     /// Spawn a fresh process per started call.
     PerCall,
     /// One preallocated worker per procedure-array slot (1:1).
+    #[default]
     PerSlot,
     /// A shared pool of `M` preallocated workers serving all slots.
     Shared(usize),
-}
-
-impl Default for PoolMode {
-    fn default() -> Self {
-        PoolMode::PerSlot
-    }
 }
 
 impl fmt::Display for PoolMode {
@@ -51,7 +49,44 @@ impl fmt::Display for PoolMode {
     }
 }
 
-pub(crate) type Job = Box<dyn FnOnce() + Send>;
+/// Unit of work handed to a pool worker.
+///
+/// `Body` carries an entry execution without boxing a closure — the
+/// fields it needs are plain data, so dispatching a started call does not
+/// allocate. `Task` keeps the pool usable as a generic executor (tests,
+/// ad-hoc jobs).
+pub(crate) enum Job {
+    /// Run `entry`'s body on `slot` with `params`.
+    Body {
+        obj: Weak<ObjectInner>,
+        entry: usize,
+        slot: usize,
+        params: ValVec,
+    },
+    /// Run an arbitrary closure.
+    #[cfg_attr(not(test), allow(dead_code))]
+    Task(Box<dyn FnOnce() + Send>),
+}
+
+impl Job {
+    fn run(self) {
+        match self {
+            Job::Body {
+                obj,
+                entry,
+                slot,
+                params,
+            } => {
+                // A dead upgrade means the object was dropped after
+                // dispatch; its calls were already failed at shutdown.
+                if let Some(o) = obj.upgrade() {
+                    o.run_body(entry, slot, params);
+                }
+            }
+            Job::Task(f) => f(),
+        }
+    }
+}
 
 #[derive(Default)]
 struct SharedQ {
@@ -130,28 +165,29 @@ impl Pool {
         let rt = self.rt.clone();
         let executed = self.executed.clone();
         let name = format!("{}:worker[{key}]", self.name);
-        self.rt.spawn_with(Spawn::new(name).daemon(true), move || loop {
-            let job = {
-                let mut st = sb.st.lock();
-                match st.job.take() {
-                    Some(j) => Some(j),
-                    None => {
-                        if sb.closed.load(Ordering::SeqCst) {
-                            return;
+        self.rt
+            .spawn_with(Spawn::new(name).daemon(true), move || loop {
+                let job = {
+                    let mut st = sb.st.lock();
+                    match st.job.take() {
+                        Some(j) => Some(j),
+                        None => {
+                            if sb.closed.load(Ordering::SeqCst) {
+                                return;
+                            }
+                            st.waiter = Some(rt.current());
+                            None
                         }
-                        st.waiter = Some(rt.current());
-                        None
                     }
+                };
+                match job {
+                    Some(j) => {
+                        executed.incr();
+                        j.run();
+                    }
+                    None => rt.park(),
                 }
-            };
-            match job {
-                Some(j) => {
-                    executed.incr();
-                    j();
-                }
-                None => rt.park(),
-            }
-        });
+            });
     }
 
     fn spawn_shared_worker(&self, i: usize, q: Arc<SharedQ>) {
@@ -159,31 +195,32 @@ impl Pool {
         let rt = self.rt.clone();
         let executed = self.executed.clone();
         let name = format!("{}:pool[{i}]", self.name);
-        self.rt.spawn_with(Spawn::new(name).daemon(true), move || loop {
-            let job = {
-                let mut st = q.q.lock();
-                match st.jobs.pop_front() {
-                    Some(j) => Some(j),
-                    None => {
-                        if q.closed.load(Ordering::SeqCst) {
-                            return;
+        self.rt
+            .spawn_with(Spawn::new(name).daemon(true), move || loop {
+                let job = {
+                    let mut st = q.q.lock();
+                    match st.jobs.pop_front() {
+                        Some(j) => Some(j),
+                        None => {
+                            if q.closed.load(Ordering::SeqCst) {
+                                return;
+                            }
+                            let me = rt.current();
+                            if !st.idle.contains(&me) {
+                                st.idle.push(me);
+                            }
+                            None
                         }
-                        let me = rt.current();
-                        if !st.idle.contains(&me) {
-                            st.idle.push(me);
-                        }
-                        None
                     }
+                };
+                match job {
+                    Some(j) => {
+                        executed.incr();
+                        j.run();
+                    }
+                    None => rt.park(),
                 }
-            };
-            match job {
-                Some(j) => {
-                    executed.incr();
-                    j();
-                }
-                None => rt.park(),
-            }
-        });
+            });
     }
 
     /// Hand a started call's execution to a worker. `slot_key` identifies
@@ -199,7 +236,8 @@ impl Pool {
                 self.spawned.incr();
                 self.executed.incr();
                 let name = format!("{}:call", self.name);
-                self.rt.spawn_with(Spawn::new(name).daemon(true), job);
+                self.rt
+                    .spawn_with(Spawn::new(name).daemon(true), move || job.run());
             }
             PoolMode::PerSlot => {
                 let sb = &self.per_slot[slot_key];
@@ -302,9 +340,9 @@ mod tests {
                     let done = Arc::clone(&done);
                     pool.dispatch(
                         k,
-                        Box::new(move || {
+                        Job::Task(Box::new(move || {
                             done.fetch_add(1, Ordering::SeqCst);
-                        }),
+                        })),
                     );
                 }
                 issued += wave;
@@ -352,7 +390,7 @@ mod tests {
         sim.run(|rt| {
             let pool = Pool::new(rt.clone(), "t".into(), PoolMode::Shared(1), 1);
             pool.shutdown();
-            pool.dispatch(0, Box::new(|| panic!("must not run")));
+            pool.dispatch(0, Job::Task(Box::new(|| panic!("must not run"))));
             rt.yield_now();
         })
         .unwrap();

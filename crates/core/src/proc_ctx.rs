@@ -7,7 +7,7 @@ use alps_runtime::Runtime;
 
 use crate::error::Result;
 use crate::object::ObjectInner;
-use crate::value::{check_types, Value};
+use crate::value::{check_types_lazy, ValVec};
 
 /// Context available inside an entry-procedure body: identity (which
 /// array element the call is attached to, paper §2.5), the runtime (for
@@ -79,27 +79,26 @@ impl ProcCtx {
     ///
     /// [`crate::AlpsError::UnknownEntry`], argument type mismatches, or
     /// whatever the callee fails with.
-    pub fn call_local(&mut self, name: &str, args: Vec<Value>) -> Result<Vec<Value>> {
+    pub fn call_local(&mut self, name: &str, args: impl Into<ValVec>) -> Result<ValVec> {
+        let args: ValVec = args.into();
         let idx = self.obj.entry_idx(name)?;
         let def = &self.obj.entries[idx];
         if def.intercept.is_some() {
             return self.obj.call_protocol(idx, args, false);
         }
         // Inline execution in the calling process.
-        check_types(
-            &format!("call {}.{}", self.obj.name, def.name),
-            &def.params,
-            &args,
-        )?;
+        check_types_lazy(&def.params, &args, || {
+            format!("call {}.{}", self.obj.name, def.name)
+        })?;
         let body = def
             .body
             .clone()
             .expect("validated at build: every entry has a body");
-        let full_results = def.full_results();
-        let what = format!("results of {}.{}", self.obj.name, def.name);
         let mut inner_ctx = ProcCtx::new(Arc::clone(&self.obj), idx, 0);
         let results = body(&mut inner_ctx, args)?;
-        check_types(&what, &full_results, &results)?;
+        check_types_lazy(&self.obj.full_results[idx], &results, || {
+            format!("results of {}.{}", self.obj.name, def.name)
+        })?;
         Ok(results)
     }
 

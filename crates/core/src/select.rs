@@ -21,24 +21,35 @@
 //! guard on a closed, unmatched channel is closed; `accept`/`await`
 //! guards close only when the whole object shuts down. A `select` whose
 //! guards are all closed fails with [`AlpsError::SelectFailed`].
+//!
+//! # Locking
+//!
+//! Object state is split per entry, so a select evaluates each
+//! `accept`/`await` guard under that entry's own lock — and skips the lock
+//! entirely when the entry's atomic attached/ready count says there is
+//! nothing to look at. The chosen candidate is committed under a fresh
+//! acquisition of its entry lock with re-validation; the manager is the
+//! only consumer of attached/ready slots, so the only writer that can
+//! invalidate a candidate in between is shutdown, which the retry loop
+//! turns into [`AlpsError::ObjectClosed`].
 
 use std::fmt;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use crate::error::{AlpsError, Result};
 use crate::manager::{AcceptedCall, ReadyEntry};
-use crate::object::{ObjState, ObjectInner, Slot};
+use crate::object::{ObjectInner, Slot};
 use crate::value::{ChanValue, Value};
 
-/// Read-only view handed to `when`/`pri` closures while the object state
-/// is locked: the candidate's slot index and visible values, plus the
-/// `#P` pending counts the paper allows in acceptance conditions
+/// Read-only view handed to `when`/`pri` closures while a candidate's
+/// entry is locked: the candidate's slot index and visible values, plus
+/// the `#P` pending counts the paper allows in acceptance conditions
 /// (§2.5.1 uses `#Read`/`#Write` inside guards).
 pub struct GuardView<'s> {
     pub(crate) slot: usize,
     pub(crate) values: &'s [Value],
     pub(crate) obj: &'s ObjectInner,
-    pub(crate) st: &'s ObjState,
 }
 
 impl fmt::Debug for GuardView<'_> {
@@ -66,6 +77,8 @@ impl GuardView<'_> {
     }
 
     /// `#entry` — pending-call count usable inside acceptance conditions.
+    /// Reads the entry's atomic index; never takes a lock (safe to call on
+    /// any entry, including the candidate's own).
     ///
     /// # Panics
     ///
@@ -76,13 +89,7 @@ impl GuardView<'_> {
             .obj
             .entry_idx(entry)
             .unwrap_or_else(|e| panic!("GuardView::pending: {e}"));
-        let es = &self.st.entries[idx];
-        let attached = es
-            .slots
-            .iter()
-            .filter(|s| matches!(s, Slot::Attached { .. }))
-            .count();
-        attached + es.waitq.len()
+        self.obj.pending(idx)
     }
 }
 
@@ -267,6 +274,16 @@ struct Candidate {
     action: CandAction,
 }
 
+fn consider(best: &mut Option<Candidate>, c: Candidate) {
+    let better = match best {
+        None => true,
+        Some(b) => (c.pri, c.guard, c.slot) < (b.pri, b.guard, b.slot),
+    };
+    if better {
+        *best = Some(c);
+    }
+}
+
 /// Run one select: block until a guard fires or all guards close.
 pub(crate) fn run_select(obj: &Arc<ObjectInner>, guards: &[Guard<'_>]) -> Result<Selected> {
     if guards.is_empty() {
@@ -293,224 +310,222 @@ pub(crate) fn run_select(obj: &Arc<ObjectInner>, guards: &[Guard<'_>]) -> Result
             }
         }
         let mut all_closed = true;
-        #[allow(unused_assignments)]
-        let mut had_candidate = false;
-        let chosen: Option<Selected> = {
-            let mut st = obj.state.lock();
-            let mut best: Option<Candidate> = None;
-            let consider = |best: &mut Option<Candidate>, c: Candidate| {
-                let better = match best {
-                    None => true,
-                    Some(b) => (c.pri, c.guard, c.slot) < (b.pri, b.guard, b.slot),
-                };
-                if better {
-                    *best = Some(c);
-                }
-            };
-            for (gi, g) in guards.iter().enumerate() {
-                match &g.kind {
-                    GuardKind::Accept { slot, .. } => {
-                        all_closed = false;
-                        let entry = resolved[gi].expect("resolved above");
-                        let k = obj.entries[entry]
-                            .intercept
-                            .map(|ic| ic.params)
-                            .unwrap_or(0);
-                        let nslots = st.entries[entry].slots.len();
-                        for i in 0..nslots {
-                            if slot.is_some() && *slot != Some(i) {
-                                continue;
-                            }
-                            let Slot::Attached { call } = &st.entries[entry].slots[i] else {
-                                continue;
-                            };
-                            let prefix = &call.args[..k];
-                            let view = GuardView {
-                                slot: i,
-                                values: prefix,
-                                obj,
-                                st: &st,
-                            };
-                            if g.when.as_ref().map(|f| f(&view)).unwrap_or(true) {
-                                let pri = g.pri.as_ref().map(|f| f(&view)).unwrap_or(0);
-                                consider(
-                                    &mut best,
-                                    Candidate {
-                                        pri,
-                                        guard: gi,
-                                        slot: i,
-                                        action: CandAction::Accept { entry, slot: i },
-                                    },
-                                );
-                            }
-                        }
+        let mut best: Option<Candidate> = None;
+        for (gi, g) in guards.iter().enumerate() {
+            match &g.kind {
+                GuardKind::Accept { slot, .. } => {
+                    all_closed = false;
+                    let entry = resolved[gi].expect("resolved above");
+                    let sync = &obj.estates[entry];
+                    // Lock-free pre-check: no attached call, nothing to
+                    // evaluate. A call attaching after this load bumps the
+                    // notifier epoch, so `wait_past` below cannot sleep
+                    // through it.
+                    if sync.attached.load(Ordering::SeqCst) == 0 {
+                        continue;
                     }
-                    GuardKind::AwaitDone { slot, .. } => {
-                        all_closed = false;
-                        let entry = resolved[gi].expect("resolved above");
-                        let def = &obj.entries[entry];
-                        let kr = def.intercept.map(|ic| ic.results).unwrap_or(0);
-                        let pub_len = def.results.len();
-                        let nslots = st.entries[entry].slots.len();
-                        for i in 0..nslots {
-                            if slot.is_some() && *slot != Some(i) {
-                                continue;
-                            }
-                            let Slot::Ready { outcome, .. } = &st.entries[entry].slots[i] else {
-                                continue;
-                            };
-                            // Visible values: intercepted result prefix +
-                            // hidden results; a failed body is always
-                            // eligible so the manager can clean up.
-                            let visible: Vec<Value> = match outcome {
-                                Ok(full) => {
-                                    let mut v = full[..kr.min(full.len())].to_vec();
-                                    if full.len() >= pub_len {
-                                        v.extend(full[pub_len..].iter().cloned());
-                                    }
-                                    v
-                                }
-                                Err(_) => Vec::new(),
-                            };
-                            let eligible = match outcome {
-                                Err(_) => true,
-                                Ok(_) => {
-                                    let view = GuardView {
-                                        slot: i,
-                                        values: &visible,
-                                        obj,
-                                        st: &st,
-                                    };
-                                    g.when.as_ref().map(|f| f(&view)).unwrap_or(true)
-                                }
-                            };
-                            if eligible {
-                                let view = GuardView {
-                                    slot: i,
-                                    values: &visible,
-                                    obj,
-                                    st: &st,
-                                };
-                                let pri = g.pri.as_ref().map(|f| f(&view)).unwrap_or(0);
-                                consider(
-                                    &mut best,
-                                    Candidate {
-                                        pri,
-                                        guard: gi,
-                                        slot: i,
-                                        action: CandAction::Await { entry, slot: i },
-                                    },
-                                );
-                            }
+                    let k = obj.entries[entry]
+                        .intercept
+                        .map(|ic| ic.params)
+                        .unwrap_or(0);
+                    let es = sync.st.lock();
+                    for (i, s) in es.slots.iter().enumerate() {
+                        if slot.is_some() && *slot != Some(i) {
+                            continue;
                         }
-                    }
-                    GuardKind::Receive { chan } => {
-                        let found = chan.raw().peek_with(|it| {
-                            for msg in it {
-                                let view = GuardView {
-                                    slot: 0,
-                                    values: msg,
-                                    obj,
-                                    st: &st,
-                                };
-                                if g.when.as_ref().map(|f| f(&view)).unwrap_or(true) {
-                                    let pri = g.pri.as_ref().map(|f| f(&view)).unwrap_or(0);
-                                    return Some(pri);
-                                }
-                            }
-                            None
-                        });
-                        match found {
-                            Some(pri) => {
-                                all_closed = false;
-                                consider(
-                                    &mut best,
-                                    Candidate {
-                                        pri,
-                                        guard: gi,
-                                        slot: 0,
-                                        action: CandAction::Receive,
-                                    },
-                                );
-                            }
-                            None => {
-                                if !chan.is_closed() {
-                                    all_closed = false;
-                                }
-                            }
-                        }
-                    }
-                    GuardKind::When { cond } => {
-                        if *cond {
-                            all_closed = false;
-                            let view = GuardView {
-                                slot: 0,
-                                values: &[],
-                                obj,
-                                st: &st,
-                            };
+                        let Slot::Attached { call } = s else {
+                            continue;
+                        };
+                        let view = GuardView {
+                            slot: i,
+                            values: &call.args[..k],
+                            obj,
+                        };
+                        if g.when.as_ref().map(|f| f(&view)).unwrap_or(true) {
                             let pri = g.pri.as_ref().map(|f| f(&view)).unwrap_or(0);
                             consider(
                                 &mut best,
                                 Candidate {
                                     pri,
                                     guard: gi,
-                                    slot: 0,
-                                    action: CandAction::Cond,
+                                    slot: i,
+                                    action: CandAction::Accept { entry, slot: i },
                                 },
                             );
                         }
                     }
                 }
+                GuardKind::AwaitDone { slot, .. } => {
+                    all_closed = false;
+                    let entry = resolved[gi].expect("resolved above");
+                    let sync = &obj.estates[entry];
+                    if sync.ready.load(Ordering::SeqCst) == 0 {
+                        continue;
+                    }
+                    let def = &obj.entries[entry];
+                    let kr = def.intercept.map(|ic| ic.results).unwrap_or(0);
+                    let pub_len = def.results.len();
+                    let es = sync.st.lock();
+                    for (i, s) in es.slots.iter().enumerate() {
+                        if slot.is_some() && *slot != Some(i) {
+                            continue;
+                        }
+                        let Slot::Ready { outcome, .. } = s else {
+                            continue;
+                        };
+                        // Visible values: intercepted result prefix +
+                        // hidden results; a failed body is always
+                        // eligible so the manager can clean up.
+                        let visible: Vec<Value> = match outcome {
+                            Ok(full) => {
+                                let mut v = full[..kr.min(full.len())].to_vec();
+                                if full.len() >= pub_len {
+                                    v.extend(full[pub_len..].iter().cloned());
+                                }
+                                v
+                            }
+                            Err(_) => Vec::new(),
+                        };
+                        let view = GuardView {
+                            slot: i,
+                            values: &visible,
+                            obj,
+                        };
+                        let eligible = match outcome {
+                            Err(_) => true,
+                            Ok(_) => g.when.as_ref().map(|f| f(&view)).unwrap_or(true),
+                        };
+                        if eligible {
+                            let pri = g.pri.as_ref().map(|f| f(&view)).unwrap_or(0);
+                            consider(
+                                &mut best,
+                                Candidate {
+                                    pri,
+                                    guard: gi,
+                                    slot: i,
+                                    action: CandAction::Await { entry, slot: i },
+                                },
+                            );
+                        }
+                    }
+                }
+                GuardKind::Receive { chan } => {
+                    let found = chan.raw().peek_with(|it| {
+                        for msg in it {
+                            let view = GuardView {
+                                slot: 0,
+                                values: msg,
+                                obj,
+                            };
+                            if g.when.as_ref().map(|f| f(&view)).unwrap_or(true) {
+                                let pri = g.pri.as_ref().map(|f| f(&view)).unwrap_or(0);
+                                return Some(pri);
+                            }
+                        }
+                        None
+                    });
+                    match found {
+                        Some(pri) => {
+                            all_closed = false;
+                            consider(
+                                &mut best,
+                                Candidate {
+                                    pri,
+                                    guard: gi,
+                                    slot: 0,
+                                    action: CandAction::Receive,
+                                },
+                            );
+                        }
+                        None => {
+                            if !chan.is_closed() {
+                                all_closed = false;
+                            }
+                        }
+                    }
+                }
+                GuardKind::When { cond } => {
+                    if *cond {
+                        all_closed = false;
+                        let view = GuardView {
+                            slot: 0,
+                            values: &[],
+                            obj,
+                        };
+                        let pri = g.pri.as_ref().map(|f| f(&view)).unwrap_or(0);
+                        consider(
+                            &mut best,
+                            Candidate {
+                                pri,
+                                guard: gi,
+                                slot: 0,
+                                action: CandAction::Cond,
+                            },
+                        );
+                    }
+                }
             }
-            had_candidate = best.is_some();
-            match best {
-                None => None,
-                Some(c) => match c.action {
-                    CandAction::Accept { entry, slot } => {
-                        let call = crate::manager::commit_accept(obj, &mut st, entry, slot);
+        }
+        let had_candidate = best.is_some();
+        let chosen: Option<Selected> = match best {
+            None => None,
+            Some(c) => match c.action {
+                CandAction::Accept { entry, slot } => {
+                    // Commit under a fresh acquisition of the entry lock.
+                    // The manager is the sole consumer of attached slots,
+                    // so only shutdown can have invalidated the candidate;
+                    // the retry loop then reports ObjectClosed.
+                    let mut es = obj.estates[entry].st.lock();
+                    if matches!(es.slots[slot], Slot::Attached { .. }) {
+                        let call = crate::manager::commit_accept(obj, &mut es, entry, slot);
                         Some(Selected::Accepted {
                             guard: c.guard,
                             call,
                         })
+                    } else {
+                        None
                     }
-                    CandAction::Await { entry, slot } => {
-                        let done = crate::manager::commit_await(obj, &mut st, entry, slot);
+                }
+                CandAction::Await { entry, slot } => {
+                    let mut es = obj.estates[entry].st.lock();
+                    if matches!(es.slots[slot], Slot::Ready { .. }) {
+                        let done = crate::manager::commit_await(obj, &mut es, entry, slot);
                         Some(Selected::Ready {
                             guard: c.guard,
                             done,
                         })
+                    } else {
+                        None
                     }
-                    CandAction::Receive => {
-                        let GuardKind::Receive { chan } = &guards[c.guard].kind else {
-                            unreachable!()
+                }
+                CandAction::Receive => {
+                    let GuardKind::Receive { chan } = &guards[c.guard].kind else {
+                        unreachable!()
+                    };
+                    let g = &guards[c.guard];
+                    let msg = chan.raw().recv_match(&obj.rt, |m| {
+                        let view = GuardView {
+                            slot: 0,
+                            values: m,
+                            obj,
                         };
-                        let g = &guards[c.guard];
-                        let msg = chan.raw().recv_match(&obj.rt, |m| {
-                            let view = GuardView {
-                                slot: 0,
-                                values: m,
-                                obj,
-                                st: &st,
-                            };
-                            g.when.as_ref().map(|f| f(&view)).unwrap_or(true)
-                        });
-                        msg.map(|m| Selected::Received {
-                            guard: c.guard,
-                            msg: m,
-                        })
-                    }
-                    CandAction::Cond => Some(Selected::Cond { guard: c.guard }),
-                },
-            }
+                        g.when.as_ref().map(|f| f(&view)).unwrap_or(true)
+                    });
+                    msg.map(|m| Selected::Received {
+                        guard: c.guard,
+                        msg: m,
+                    })
+                }
+                CandAction::Cond => Some(Selected::Cond { guard: c.guard }),
+            },
         };
         if let Some(sel) = chosen {
             return Ok(sel);
         }
         if had_candidate {
-            // A receive candidate was stolen between evaluation and
-            // commit (possible only with concurrent receivers on the same
-            // channel under the threaded executor); re-evaluate at once.
+            // The candidate vanished between evaluation and commit: a
+            // receive was stolen by a concurrent receiver, or shutdown
+            // swept the slot. Re-evaluate at once.
             continue;
         }
         if all_closed {

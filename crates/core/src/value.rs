@@ -129,9 +129,7 @@ impl Value {
             Value::Float(_) => Ty::Float,
             Value::Str(_) => Ty::Str,
             Value::Chan(c) => Ty::Chan(c.sig().to_vec()),
-            Value::List(xs) => Ty::List(Box::new(
-                xs.first().map(Value::ty).unwrap_or(Ty::Any),
-            )),
+            Value::List(xs) => Ty::List(Box::new(xs.first().map(Value::ty).unwrap_or(Ty::Any))),
         }
     }
 
@@ -309,9 +307,20 @@ macro_rules! vals {
 /// [`AlpsError::ArityMismatch`] or [`AlpsError::TypeMismatch`] naming
 /// `what` and the offending position.
 pub fn check_types(what: &str, sig: &[Ty], vals: &[Value]) -> Result<()> {
+    check_types_lazy(sig, vals, || what.to_string())
+}
+
+/// Like [`check_types`] but the description string is only built on
+/// failure, keeping the success path allocation-free. Hot-path callers
+/// (every entry invocation type-checks its arguments) use this form.
+///
+/// # Errors
+///
+/// Same as [`check_types`].
+pub fn check_types_lazy(sig: &[Ty], vals: &[Value], what: impl FnOnce() -> String) -> Result<()> {
     if sig.len() != vals.len() {
         return Err(AlpsError::ArityMismatch {
-            what: what.to_string(),
+            what: what(),
             expected: sig.len(),
             got: vals.len(),
         });
@@ -319,7 +328,7 @@ pub fn check_types(what: &str, sig: &[Ty], vals: &[Value]) -> Result<()> {
     for (i, (t, v)) in sig.iter().zip(vals).enumerate() {
         if !t.accepts(v) {
             return Err(AlpsError::TypeMismatch {
-                what: what.to_string(),
+                what: what(),
                 index: i,
                 expected: t.clone(),
                 got: v.ty(),
@@ -327,6 +336,258 @@ pub fn check_types(what: &str, sig: &[Ty], vals: &[Value]) -> Result<()> {
         }
     }
     Ok(())
+}
+
+/// Inline capacity of [`ValVec`]: argument/result tuples of this arity or
+/// less live entirely on the stack.
+pub const INLINE_VALS: usize = 4;
+
+/// A small-vector of [`Value`]s used for entry-call arguments and results.
+///
+/// The common entry arity in ALPS programs is ≤ 4, so the fast call path
+/// keeps tuples inline and performs no heap allocation. Longer tuples
+/// spill to an ordinary `Vec`. Dereferences to `[Value]`, so indexing and
+/// iteration work exactly like a `Vec<Value>`.
+///
+/// ```
+/// use alps_core::{argv, ValVec, Value};
+/// let a = argv![1i64, "x"];
+/// assert_eq!(a.len(), 2);
+/// assert_eq!(a[0], Value::Int(1));
+/// let v: Vec<Value> = a.into();
+/// assert_eq!(v.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub enum ValVec {
+    /// Up to [`INLINE_VALS`] values on the stack; unused slots hold
+    /// `Value::Unit`.
+    Inline {
+        /// Inline storage; slots at `len..` are `Value::Unit`.
+        buf: [Value; INLINE_VALS],
+        /// Number of live values in `buf`.
+        len: u8,
+    },
+    /// Spilled storage for longer tuples.
+    Heap(Vec<Value>),
+}
+
+const UNIT: Value = Value::Unit;
+
+impl ValVec {
+    /// An empty, inline tuple.
+    pub const fn new() -> ValVec {
+        ValVec::Inline {
+            buf: [UNIT; INLINE_VALS],
+            len: 0,
+        }
+    }
+
+    /// Append a value, spilling to the heap past [`INLINE_VALS`].
+    pub fn push(&mut self, v: Value) {
+        match self {
+            ValVec::Inline { buf, len } => {
+                let n = *len as usize;
+                if n < INLINE_VALS {
+                    buf[n] = v;
+                    *len += 1;
+                } else {
+                    let mut heap = Vec::with_capacity(INLINE_VALS * 2);
+                    for slot in buf.iter_mut() {
+                        heap.push(std::mem::replace(slot, UNIT));
+                    }
+                    heap.push(v);
+                    *self = ValVec::Heap(heap);
+                }
+            }
+            ValVec::Heap(h) => h.push(v),
+        }
+    }
+
+    /// Clone a slice into a `ValVec`, staying inline when it fits. This is
+    /// what intercept-prefix extraction uses so that taking the first *k*
+    /// arguments of a call costs no allocation for k ≤ 4.
+    pub fn from_slice(s: &[Value]) -> ValVec {
+        if s.len() <= INLINE_VALS {
+            let mut buf = [UNIT; INLINE_VALS];
+            for (slot, v) in buf.iter_mut().zip(s) {
+                *slot = v.clone();
+            }
+            ValVec::Inline {
+                buf,
+                len: s.len() as u8,
+            }
+        } else {
+            ValVec::Heap(s.to_vec())
+        }
+    }
+
+    /// The values as a slice.
+    pub fn as_slice(&self) -> &[Value] {
+        match self {
+            ValVec::Inline { buf, len } => &buf[..*len as usize],
+            ValVec::Heap(h) => h,
+        }
+    }
+
+    /// The values as a mutable slice.
+    pub fn as_mut_slice(&mut self) -> &mut [Value] {
+        match self {
+            ValVec::Inline { buf, len } => &mut buf[..*len as usize],
+            ValVec::Heap(h) => h,
+        }
+    }
+
+    /// Whether this tuple lives entirely on the stack.
+    pub fn is_inline(&self) -> bool {
+        matches!(self, ValVec::Inline { .. })
+    }
+}
+
+impl Default for ValVec {
+    fn default() -> Self {
+        ValVec::new()
+    }
+}
+
+impl std::ops::Deref for ValVec {
+    type Target = [Value];
+    fn deref(&self) -> &[Value] {
+        self.as_slice()
+    }
+}
+
+impl std::ops::DerefMut for ValVec {
+    fn deref_mut(&mut self) -> &mut [Value] {
+        self.as_mut_slice()
+    }
+}
+
+impl PartialEq for ValVec {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<Vec<Value>> for ValVec {
+    fn eq(&self, other: &Vec<Value>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl From<Vec<Value>> for ValVec {
+    fn from(v: Vec<Value>) -> Self {
+        ValVec::Heap(v)
+    }
+}
+
+impl From<ValVec> for Vec<Value> {
+    fn from(v: ValVec) -> Self {
+        match v {
+            ValVec::Heap(h) => h,
+            inline => inline.into_iter().collect(),
+        }
+    }
+}
+
+impl FromIterator<Value> for ValVec {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Self {
+        let mut out = ValVec::new();
+        for v in iter {
+            out.push(v);
+        }
+        out
+    }
+}
+
+impl Extend<Value> for ValVec {
+    fn extend<I: IntoIterator<Item = Value>>(&mut self, iter: I) {
+        for v in iter {
+            self.push(v);
+        }
+    }
+}
+
+impl IntoIterator for ValVec {
+    type Item = Value;
+    type IntoIter = ValVecIntoIter;
+    fn into_iter(self) -> ValVecIntoIter {
+        match self {
+            ValVec::Inline { buf, len } => ValVecIntoIter::Inline { buf, pos: 0, len },
+            ValVec::Heap(h) => ValVecIntoIter::Heap(h.into_iter()),
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a ValVec {
+    type Item = &'a Value;
+    type IntoIter = std::slice::Iter<'a, Value>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+/// Owning iterator over a [`ValVec`].
+#[derive(Debug)]
+pub enum ValVecIntoIter {
+    /// Draining the inline buffer.
+    Inline {
+        /// Remaining values (consumed slots are reset to `Unit`).
+        buf: [Value; INLINE_VALS],
+        /// Next slot to yield.
+        pos: u8,
+        /// Total filled slots.
+        len: u8,
+    },
+    /// Draining spilled storage.
+    Heap(std::vec::IntoIter<Value>),
+}
+
+impl Iterator for ValVecIntoIter {
+    type Item = Value;
+    fn next(&mut self) -> Option<Value> {
+        match self {
+            ValVecIntoIter::Inline { buf, pos, len } => {
+                if pos < len {
+                    let v = std::mem::replace(&mut buf[*pos as usize], UNIT);
+                    *pos += 1;
+                    Some(v)
+                } else {
+                    None
+                }
+            }
+            ValVecIntoIter::Heap(it) => it.next(),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = match self {
+            ValVecIntoIter::Inline { pos, len, .. } => (*len - *pos) as usize,
+            ValVecIntoIter::Heap(it) => it.len(),
+        };
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for ValVecIntoIter {}
+
+/// Build a [`ValVec`] argument tuple from heterogeneous Rust values —
+/// the allocation-free counterpart of [`vals!`] for the `call_id` fast
+/// path (no heap allocation up to arity 4).
+///
+/// ```
+/// use alps_core::{argv, Value};
+/// let args = argv![1i64, "hello", true];
+/// assert_eq!(args.len(), 3);
+/// assert!(args.is_inline());
+/// ```
+#[macro_export]
+macro_rules! argv {
+    () => { $crate::ValVec::new() };
+    ($($v:expr),+ $(,)?) => {{
+        let mut out = $crate::ValVec::new();
+        $( out.push($crate::Value::from($v)); )+
+        out
+    }};
 }
 
 /// A first-class, dynamically typed channel: the representation of ALPS
@@ -468,13 +729,10 @@ mod tests {
     #[test]
     fn accessors_round_trip() {
         assert_eq!(Value::from(5i64).as_int().unwrap(), 5);
-        assert_eq!(Value::from(true).as_bool().unwrap(), true);
+        assert!(Value::from(true).as_bool().unwrap());
         assert_eq!(Value::from(2.5).as_float().unwrap(), 2.5);
         assert_eq!(Value::from("hi").as_str().unwrap(), "hi");
-        assert_eq!(
-            Value::List(vec![Value::Int(1)]).as_list().unwrap().len(),
-            1
-        );
+        assert_eq!(Value::List(vec![Value::Int(1)]).as_list().unwrap().len(), 1);
         assert!(Value::from(5i64).as_bool().is_err());
     }
 
@@ -486,21 +744,32 @@ mod tests {
             Value::List(vec![Value::Int(1), Value::Int(2)]).to_string(),
             "[1, 2]"
         );
-        assert_eq!(Ty::Chan(vec![Ty::Int, Ty::Str]).to_string(), "chan(int, string)");
+        assert_eq!(
+            Ty::Chan(vec![Ty::Int, Ty::Str]).to_string(),
+            "chan(int, string)"
+        );
         assert_eq!(Ty::List(Box::new(Ty::Bool)).to_string(), "list(bool)");
     }
 
     #[test]
     fn check_types_reports_position() {
         let sig = vec![Ty::Int, Ty::Str];
-        let err = check_types("entry P", &sig, &vals![1i64, 2i64]).unwrap_err();
+        let err =
+            check_types("entry P", &sig, &[Value::from(1i64), Value::from(2i64)]).unwrap_err();
         match err {
             AlpsError::TypeMismatch { index, .. } => assert_eq!(index, 1),
             other => panic!("unexpected {other}"),
         }
-        let err = check_types("entry P", &sig, &vals![1i64]).unwrap_err();
-        assert!(matches!(err, AlpsError::ArityMismatch { expected: 2, got: 1, .. }));
-        check_types("entry P", &sig, &vals![1i64, "x"]).unwrap();
+        let err = check_types("entry P", &sig, &[Value::from(1i64)]).unwrap_err();
+        assert!(matches!(
+            err,
+            AlpsError::ArityMismatch {
+                expected: 2,
+                got: 1,
+                ..
+            }
+        ));
+        check_types("entry P", &sig, &[Value::from(1i64), Value::from("x")]).unwrap();
     }
 
     #[test]

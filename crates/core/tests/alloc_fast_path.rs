@@ -1,0 +1,81 @@
+//! Steady-state allocation accounting for the `call_id` fast path.
+//!
+//! The interned-id call path is meant to be allocation-free once warm:
+//! args and results ride in `ValVec` inline storage (arity ≤ 4), implicit
+//! entries execute inline in the caller without a `CallCell`, and managed
+//! entries recycle cells through the per-object pool. This test installs
+//! a counting global allocator and asserts a zero allocation delta across
+//! a burst of warm implicit `call_id` invocations.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use alps_core::{argv, EntryDef, ObjectBuilder, Value};
+use alps_runtime::Runtime;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static COUNTING: AtomicBool = AtomicBool::new(false);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static A: CountingAlloc = CountingAlloc;
+
+#[test]
+fn warm_implicit_call_id_allocates_nothing() {
+    let rt = Runtime::threaded();
+    let obj = ObjectBuilder::new("Plain")
+        .entry(
+            EntryDef::new("Echo")
+                .params([alps_core::Ty::Int])
+                .results([alps_core::Ty::Int])
+                .body(|_ctx, args| Ok(argv![args[0].clone()])),
+        )
+        .spawn(&rt)
+        .unwrap();
+    let id = obj.entry_id("Echo").unwrap();
+
+    // Warm up: first calls may lazily allocate (thread-locals, pool
+    // hand-off structures, stats buckets).
+    for _ in 0..64 {
+        let r = obj.call_id(id, argv![7i64]).unwrap();
+        assert_eq!(r[0], Value::Int(7));
+    }
+
+    ALLOCS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    for _ in 0..1000 {
+        let r = obj.call_id(id, argv![7i64]).unwrap();
+        assert_eq!(r[0], Value::Int(7));
+    }
+    COUNTING.store(false, Ordering::SeqCst);
+    let n = ALLOCS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        n, 0,
+        "warm call_id on an implicit arity-1 entry must not allocate; saw {n} allocations over 1000 calls"
+    );
+
+    obj.shutdown();
+    rt.shutdown();
+}

@@ -174,7 +174,7 @@ fn accept_slot_targets_one_array_element() {
             )
             .manager(move |mgr| {
                 mgr.receive(&gate2)?; // let all three attach
-                // Serve slot 2 first, then 0, then 1.
+                                      // Serve slot 2 first, then 0, then 1.
                 for want in [2usize, 0, 1] {
                     let acc = mgr.accept_slot("P", want)?;
                     assert_eq!(acc.slot(), want);
@@ -224,10 +224,7 @@ fn managers_can_select_on_external_channels() {
             .manager(move |mgr| {
                 let mut mode = "normal".to_string();
                 loop {
-                    let sel = mgr.select(vec![
-                        Guard::receive(&cmd2),
-                        Guard::accept("Get"),
-                    ])?;
+                    let sel = mgr.select(vec![Guard::receive(&cmd2), Guard::accept("Get")])?;
                     match sel {
                         Selected::Received { msg, .. } => {
                             mode = msg[0].as_str()?.to_string();
@@ -244,7 +241,10 @@ fn managers_can_select_on_external_channels() {
             })
             .spawn(rt)
             .unwrap();
-        assert_eq!(obj.call("Get", vals![]).unwrap()[0].as_str().unwrap(), "normal");
+        assert_eq!(
+            obj.call("Get", vals![]).unwrap()[0].as_str().unwrap(),
+            "normal"
+        );
         commands.send(rt, vals!["maintenance"]).unwrap();
         // Give the manager a chance to drain the channel first.
         for _ in 0..5 {

@@ -6,7 +6,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use alps_core::{
-    vals, AlpsError, EntryDef, Guard, ObjectBuilder, PoolMode, Selected, Ty, Value,
+    argv, vals, AlpsError, EntryDef, Guard, ObjectBuilder, PoolMode, Selected, Ty, Value,
 };
 use alps_runtime::{Runtime, SimRuntime, Spawn};
 
@@ -215,14 +215,11 @@ fn combining_answers_without_execution() {
                 .manager(|mgr| {
                     // word -> list of calls waiting for that word's answer
                     use std::collections::HashMap;
-                    let mut waiting: HashMap<String, Vec<alps_core::AcceptedCall>> =
-                        HashMap::new();
+                    let mut waiting: HashMap<String, Vec<alps_core::AcceptedCall>> = HashMap::new();
                     let mut in_flight: HashMap<usize, String> = HashMap::new();
                     loop {
-                        let sel = mgr.select(vec![
-                            Guard::accept("Search"),
-                            Guard::await_done("Search"),
-                        ])?;
+                        let sel =
+                            mgr.select(vec![Guard::accept("Search"), Guard::await_done("Search")])?;
                         match sel {
                             Selected::Accepted { call, .. } => {
                                 let word = call.params()[0].as_str()?.to_string();
@@ -363,8 +360,14 @@ fn mixed_intercepted_and_implicit_entries() {
             })
             .spawn(rt)
             .unwrap();
-        assert_eq!(obj.call("Status", vals![]).unwrap()[0].as_str().unwrap(), "alive");
-        assert_eq!(obj.call("Work", vals![9i64]).unwrap()[0].as_int().unwrap(), 9);
+        assert_eq!(
+            obj.call("Status", vals![]).unwrap()[0].as_str().unwrap(),
+            "alive"
+        );
+        assert_eq!(
+            obj.call("Work", vals![9i64]).unwrap()[0].as_int().unwrap(),
+            9
+        );
         assert_eq!(obj.stats().implicit_starts(), 1);
         assert_eq!(obj.stats().starts(), 1);
     })
@@ -425,12 +428,12 @@ fn body_failure_reaches_caller_through_finish() {
             .entry(
                 EntryDef::new("Boom")
                     .intercepted()
-                    .body(|_ctx, _| Err(AlpsError::Custom("kapow".into()))),
+                    .body(|_ctx, _| Err::<Vec<Value>, _>(AlpsError::Custom("kapow".into()))),
             )
             .entry(
                 EntryDef::new("Panics")
                     .intercepted()
-                    .body(|_ctx, _| panic!("argh")),
+                    .body(|_ctx, _| -> alps_core::Result<Vec<Value>> { panic!("argh") }),
             )
             .manager(|mgr| loop {
                 let sel = mgr.select(vec![
@@ -496,8 +499,7 @@ fn shutdown_fails_waiting_callers() {
                 // Never accept; park until shutdown.
                 loop {
                     mgr.select(vec![Guard::cond(false), Guard::accept("Nonexistent")])
-                        .map(|_| ())
-                        ?;
+                        .map(|_| ())?;
                 }
             });
         // Manager references a nonexistent entry: the select errors, the
@@ -620,20 +622,12 @@ fn hidden_array_allows_parallel_service() {
     let (t_total, n) = sim
         .run(|rt| {
             let obj = ObjectBuilder::new("Par")
-                .entry(
-                    EntryDef::new("Work")
-                        .array(3)
-                        .intercepted()
-                        .body(|ctx, _| {
-                            ctx.sleep(1_000);
-                            Ok(vec![])
-                        }),
-                )
+                .entry(EntryDef::new("Work").array(3).intercepted().body(|ctx, _| {
+                    ctx.sleep(1_000);
+                    Ok(vec![])
+                }))
                 .manager(|mgr| loop {
-                    let sel = mgr.select(vec![
-                        Guard::accept("Work"),
-                        Guard::await_done("Work"),
-                    ])?;
+                    let sel = mgr.select(vec![Guard::accept("Work"), Guard::await_done("Work")])?;
                     match sel {
                         Selected::Accepted { call, .. } => mgr.start_as_is(call)?,
                         Selected::Ready { done, .. } => mgr.finish_as_is(done)?,
@@ -668,15 +662,10 @@ fn serial_execute_takes_sum_of_service_times() {
     let t_total = sim
         .run(|rt| {
             let obj = ObjectBuilder::new("Serial")
-                .entry(
-                    EntryDef::new("Work")
-                        .array(3)
-                        .intercepted()
-                        .body(|ctx, _| {
-                            ctx.sleep(1_000);
-                            Ok(vec![])
-                        }),
-                )
+                .entry(EntryDef::new("Work").array(3).intercepted().body(|ctx, _| {
+                    ctx.sleep(1_000);
+                    Ok(vec![])
+                }))
                 .manager(|mgr| loop {
                     let acc = mgr.accept("Work")?;
                     mgr.execute(acc)?; // exclusive: one at a time
@@ -763,10 +752,8 @@ fn per_call_and_shared_pools_serve_calls() {
                     )
                     .pool(mode)
                     .manager(|mgr| loop {
-                        let sel = mgr.select(vec![
-                            Guard::accept("Echo"),
-                            Guard::await_done("Echo"),
-                        ])?;
+                        let sel =
+                            mgr.select(vec![Guard::accept("Echo"), Guard::await_done("Echo")])?;
                         match sel {
                             Selected::Accepted { call, .. } => mgr.start_as_is(call)?,
                             Selected::Ready { done, .. } => mgr.finish_as_is(done)?,
@@ -775,11 +762,88 @@ fn per_call_and_shared_pools_serve_calls() {
                     })
                     .spawn(rt)
                     .unwrap();
-                (0..8i64).all(|i| {
-                    obj.call("Echo", vals![i]).unwrap()[0].as_int().unwrap() == i
-                })
+                (0..8i64).all(|i| obj.call("Echo", vals![i]).unwrap()[0].as_int().unwrap() == i)
             })
             .unwrap();
         assert!(ok, "pool mode {mode:?} failed");
     }
+}
+
+// ---------------------------------------------------------------------------
+// Interned entry ids (`entry_id` / `call_id` fast path)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn entry_id_resolves_and_unknown_entry_errors() {
+    let rt = Runtime::threaded();
+    let obj = echo_object(&rt);
+    let id = obj.entry_id("Echo").unwrap();
+    assert_eq!(id.index(), 0);
+    match obj.entry_id("Nope") {
+        Err(AlpsError::UnknownEntry { .. }) => {}
+        other => panic!("expected UnknownEntry, got {other:?}"),
+    }
+    obj.shutdown();
+    rt.shutdown();
+}
+
+#[test]
+fn call_id_matches_call_on_managed_and_implicit_entries() {
+    let rt = Runtime::threaded();
+    // Managed (intercepted) entry.
+    let managed = echo_object(&rt);
+    let id = managed.entry_id("Echo").unwrap();
+    for i in 0..4i64 {
+        let by_name = managed.call("Echo", vals![i]).unwrap();
+        let by_id = managed.call_id(id, argv![i]).unwrap();
+        assert_eq!(by_id, by_name);
+    }
+    managed.shutdown();
+    // Implicit (non-intercepted) entry: the id path takes the inline
+    // fast path; results must be identical to the resolving call.
+    let plain = ObjectBuilder::new("Plain")
+        .entry(
+            EntryDef::new("Twice")
+                .params([Ty::Int])
+                .results([Ty::Int])
+                .body(|_ctx, args| Ok(argv![args[0].as_int().unwrap() * 2])),
+        )
+        .spawn(&rt)
+        .unwrap();
+    let tid = plain.entry_id("Twice").unwrap();
+    for i in 0..4i64 {
+        let by_name = plain.call("Twice", vals![i]).unwrap();
+        let by_id = plain.call_id(tid, argv![i]).unwrap();
+        assert_eq!(by_id, by_name);
+        assert_eq!(by_id[0], Value::Int(i * 2));
+    }
+    plain.shutdown();
+    rt.shutdown();
+}
+
+#[test]
+fn foreign_entry_id_is_a_typed_error_not_a_panic() {
+    let rt = Runtime::threaded();
+    let a = echo_object(&rt);
+    let b = ObjectBuilder::new("Other")
+        .entry(
+            EntryDef::new("Echo")
+                .params([Ty::Int])
+                .results([Ty::Int])
+                .body(|_ctx, args| Ok(argv![args[0].clone()])),
+        )
+        .spawn(&rt)
+        .unwrap();
+    // An id minted by `a` must be rejected by `b` even though the entry
+    // index would be in range there.
+    let id = a.entry_id("Echo").unwrap();
+    match b.call_id(id, argv![1i64]) {
+        Err(AlpsError::ForeignEntryId { .. }) => {}
+        other => panic!("expected ForeignEntryId, got {other:?}"),
+    }
+    // And the id keeps working on its own object afterwards.
+    assert_eq!(a.call_id(id, argv![9i64]).unwrap()[0], Value::Int(9));
+    a.shutdown();
+    b.shutdown();
+    rt.shutdown();
 }

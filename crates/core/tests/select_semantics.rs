@@ -177,10 +177,7 @@ fn accept_beats_cond_when_lower_pri() {
                 }
             }
         });
-        assert_eq!(
-            obj.call("P", vals![7i64]).unwrap()[0].as_int().unwrap(),
-            7
-        );
+        assert_eq!(obj.call("P", vals![7i64]).unwrap()[0].as_int().unwrap(), 7);
     })
     .unwrap();
 }
@@ -195,7 +192,11 @@ fn receive_guard_with_acceptance_condition_scans_queue() {
             let out = Arc::new(Mutex::new(Vec::<i64>::new()));
             let out2 = Arc::clone(&out);
             let obj = ObjectBuilder::new("RecvTest")
-                .entry(EntryDef::new("Stop").intercepted().body(|_ctx, _| Ok(vec![])))
+                .entry(
+                    EntryDef::new("Stop")
+                        .intercepted()
+                        .body(|_ctx, _| Ok(vec![])),
+                )
                 .manager(move |mgr| loop {
                     let sel = mgr.select(vec![
                         // Only messages > 10 pass the acceptance condition.
@@ -284,9 +285,7 @@ fn closed_channel_with_matching_message_still_eligible() {
             let obj = ObjectBuilder::new("Drain")
                 .entry(EntryDef::new("P").intercepted().body(|_ctx, _| Ok(vec![])))
                 .manager(move |mgr| {
-                    if let Selected::Received { msg, .. } =
-                        mgr.select(vec![Guard::receive(&c2)])?
-                    {
+                    if let Selected::Received { msg, .. } = mgr.select(vec![Guard::receive(&c2)])? {
                         *out2.lock() = Some(msg[0].as_int()?);
                     }
                     loop {

@@ -178,7 +178,13 @@ fn resolve_object(
                     // Not exported: local procedure. Everything is public
                     // *within* the object; no hidden split applies unless
                     // intercepted with explicit prefixes (treated below).
-                    (impl_params.clone(), impl_results.clone(), vec![], vec![], true)
+                    (
+                        impl_params.clone(),
+                        impl_results.clone(),
+                        vec![],
+                        vec![],
+                        true,
+                    )
                 }
             };
         let local = local || h.local;
@@ -297,7 +303,9 @@ struct Vars {
 
 impl Vars {
     fn new() -> Vars {
-        Vars { frames: vec![HashMap::new()] }
+        Vars {
+            frames: vec![HashMap::new()],
+        }
     }
 
     fn push(&mut self) {
@@ -444,7 +452,10 @@ impl<'c> ScopeChecker<'c> {
                 for (lv, ty) in lvs.iter().zip(tys) {
                     let LValue::Var(name, vpos) = lv;
                     let Some(want) = vars.lookup(name) else {
-                        return Err(LangError::at(*vpos, format!("undeclared variable `{name}`")));
+                        return Err(LangError::at(
+                            *vpos,
+                            format!("undeclared variable `{name}`"),
+                        ));
                     };
                     if *want != ty {
                         return Err(LangError::at(
@@ -663,10 +674,7 @@ impl<'c> ScopeChecker<'c> {
                     if !e.hidden_params.is_empty() {
                         return Err(LangError::at(
                             *pos,
-                            format!(
-                                "`{what} {}` must supply the hidden parameter(s)",
-                                e.name
-                            ),
+                            format!("`{what} {}` must supply the hidden parameter(s)", e.name),
                         ));
                     }
                 } else {
@@ -927,7 +935,9 @@ impl<'c> ScopeChecker<'c> {
                     }
                 }
             }
-            Expr::Call(target, args, pos) => self.call_types(target, args, vars, scope, obj, *pos)?,
+            Expr::Call(target, args, pos) => {
+                self.call_types(target, args, vars, scope, obj, *pos)?
+            }
         })
     }
 
@@ -1276,7 +1286,10 @@ mod tests {
 
     #[test]
     fn builtin_checking() {
-        assert!(check_src(r#"main var xs: list(int); var n: int; begin push(xs, 1); n := len(xs) end"#).is_ok());
+        assert!(check_src(
+            r#"main var xs: list(int); var n: int; begin push(xs, 1); n := len(xs) end"#
+        )
+        .is_ok());
         assert!(check_src(r#"main var xs: list(int); begin push(xs, "s") end"#).is_err());
         assert!(check_src("main begin nonsense(1) end").is_err());
     }

@@ -109,9 +109,7 @@ fn default_value(t: &TypeExpr, name: &str) -> Value {
         TypeExpr::Bool => Value::Bool(false),
         TypeExpr::Float => Value::Float(0.0),
         TypeExpr::Str => Value::str(""),
-        TypeExpr::Chan(sig) => {
-            Value::Chan(ChanValue::new(name, sig.iter().map(conv_ty).collect()))
-        }
+        TypeExpr::Chan(sig) => Value::Chan(ChanValue::new(name, sig.iter().map(conv_ty).collect())),
         TypeExpr::List(_) => Value::List(Vec::new()),
     }
 }
@@ -191,9 +189,7 @@ impl<'v> Interp<'v> {
     }
 
     fn entry_info(&self, name: &str, pos: Pos) -> Result<&EntryInfo, AlpsError> {
-        let info = self
-            .info()
-            .ok_or_else(|| rerr(pos, "no current object"))?;
+        let info = self.info().ok_or_else(|| rerr(pos, "no current object"))?;
         info.entry_idx
             .get(name)
             .map(|i| &info.entries[*i])
@@ -227,7 +223,13 @@ impl<'v> Interp<'v> {
         Err(rerr(pos, format!("variable `{name}` not found")))
     }
 
-    fn write_var(&self, sc: &mut Scope<'_>, name: &str, v: Value, pos: Pos) -> Result<(), AlpsError> {
+    fn write_var(
+        &self,
+        sc: &mut Scope<'_>,
+        name: &str,
+        v: Value,
+        pos: Pos,
+    ) -> Result<(), AlpsError> {
         match &mut sc.frame {
             FrameRef::Mut(m) => {
                 if m.contains_key(name) {
@@ -286,9 +288,7 @@ impl<'v> Interp<'v> {
             Expr::Var(name, pos) => vec![self.read_var(sc, name, *pos)?],
             Expr::Pending(entry, pos) => {
                 let n = match pend {
-                    Pend::Mgr(m) => m
-                        .pending(entry)
-                        .map_err(|e| rerr(*pos, e.to_string()))?,
+                    Pend::Mgr(m) => m.pending(entry).map_err(|e| rerr(*pos, e.to_string()))?,
                     Pend::View(v) => v.pending(entry),
                     Pend::None => {
                         return Err(rerr(*pos, "`#P` outside the manager"));
@@ -609,21 +609,19 @@ impl<'v> Interp<'v> {
                 }
                 self.exec_block(frame, els, mgr)
             }
-            Stmt::While(c, body, _) => {
-                loop {
-                    let cond = {
-                        let mut sc = scope!();
-                        self.eval1(&mut sc, &pend!(), c)?.as_bool()?
-                    };
-                    if !cond {
-                        return Ok(Flow::Normal);
-                    }
-                    match self.exec_block(frame, body, mgr)? {
-                        Flow::Normal => {}
-                        ret => return Ok(ret),
-                    }
+            Stmt::While(c, body, _) => loop {
+                let cond = {
+                    let mut sc = scope!();
+                    self.eval1(&mut sc, &pend!(), c)?.as_bool()?
+                };
+                if !cond {
+                    return Ok(Flow::Normal);
                 }
-            }
+                match self.exec_block(frame, body, mgr)? {
+                    Flow::Normal => {}
+                    ret => return Ok(ret),
+                }
+            },
             Stmt::For(v, lo, hi, body, _) => {
                 let (a, b) = {
                     let mut sc = scope!();
@@ -648,7 +646,10 @@ impl<'v> Interp<'v> {
             Stmt::Send(chan, args, pos) => {
                 let mut sc = scope!();
                 let c = self.eval1(&mut sc, &pend!(), chan)?;
-                let c = c.as_chan().map_err(|_| rerr(*pos, "send on a non-channel"))?.clone();
+                let c = c
+                    .as_chan()
+                    .map_err(|_| rerr(*pos, "send on a non-channel"))?
+                    .clone();
                 let mut vals = Vec::new();
                 for a in args {
                     vals.push(self.eval1(&mut sc, &pend!(), a)?);
@@ -712,8 +713,8 @@ impl<'v> Interp<'v> {
                     let entry = entry.clone();
                     branches.push(Box::new(move || h.call(&entry, vals).map(|_| ())));
                 }
-                let results = alps_runtime::par(&self.vm.rt, branches)
-                    .map_err(AlpsError::Runtime)?;
+                let results =
+                    alps_runtime::par(&self.vm.rt, branches).map_err(AlpsError::Runtime)?;
                 for r in results {
                     r?;
                 }
@@ -750,8 +751,8 @@ impl<'v> Interp<'v> {
                     let entry = entry.clone();
                     branches.push(Box::new(move || h.call(&entry, vals).map(|_| ())));
                 }
-                let results = alps_runtime::par(&self.vm.rt, branches)
-                    .map_err(AlpsError::Runtime)?;
+                let results =
+                    alps_runtime::par(&self.vm.rt, branches).map_err(AlpsError::Runtime)?;
                 for r in results {
                     r?;
                 }
@@ -1005,10 +1006,9 @@ impl<'v> Interp<'v> {
             let bind_names: Vec<String> = match &arm.kind {
                 GuardKind::Accept { binds, .. }
                 | GuardKind::Await { binds, .. }
-                | GuardKind::Receive { binds, .. } => binds
-                    .iter()
-                    .map(|LValue::Var(n, _)| n.clone())
-                    .collect(),
+                | GuardKind::Receive { binds, .. } => {
+                    binds.iter().map(|LValue::Var(n, _)| n.clone()).collect()
+                }
                 GuardKind::Plain => Vec::new(),
             };
             let quant_name = arm.quantifier.as_ref().map(|(n, _, _)| n.clone());

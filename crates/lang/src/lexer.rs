@@ -135,9 +135,7 @@ impl<'a> Lexer<'a> {
                         self.bump();
                     }
                     // A float needs `digit . digit`; `1..2` is Int DotDot.
-                    if self.peek() == Some(b'.')
-                        && matches!(self.peek2(), Some(b'0'..=b'9'))
-                    {
+                    if self.peek() == Some(b'.') && matches!(self.peek2(), Some(b'0'..=b'9')) {
                         self.bump();
                         while matches!(self.peek(), Some(b'0'..=b'9')) {
                             self.bump();
@@ -149,9 +147,9 @@ impl<'a> Lexer<'a> {
                         self.push(Tok::Float(v), pos);
                     } else {
                         let text = &self.src[start..self.pos];
-                        let v: i64 = text
-                            .parse()
-                            .map_err(|_| self.error(format!("integer literal out of range `{text}`")))?;
+                        let v: i64 = text.parse().map_err(|_| {
+                            self.error(format!("integer literal out of range `{text}`"))
+                        })?;
                         self.push(Tok::Int(v), pos);
                     }
                 }

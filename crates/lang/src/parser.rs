@@ -205,7 +205,9 @@ impl Parser {
             // proc P[1..N]
             let lo = match self.bump() {
                 Tok::Int(v) => v,
-                other => return Err(self.error(format!("expected array lower bound, found {other}"))),
+                other => {
+                    return Err(self.error(format!("expected array lower bound, found {other}")))
+                }
             };
             if lo != 1 {
                 return Err(self.error("procedure arrays are written P[1..N]"));
@@ -213,7 +215,9 @@ impl Parser {
             self.expect(Tok::DotDot)?;
             let hi = match self.bump() {
                 Tok::Int(v) => v,
-                other => return Err(self.error(format!("expected array upper bound, found {other}"))),
+                other => {
+                    return Err(self.error(format!("expected array upper bound, found {other}")))
+                }
             };
             if hi < 1 {
                 return Err(self.error("procedure array upper bound must be at least 1"));
@@ -331,7 +335,8 @@ impl Parser {
                     break;
                 }
                 // Heuristic: `name :` directly follows — another group.
-                let looks_like_decl = matches!((self.peek(), self.peek2()), (Tok::Ident(_), Tok::Colon));
+                let looks_like_decl =
+                    matches!((self.peek(), self.peek2()), (Tok::Ident(_), Tok::Colon));
                 if !looks_like_decl {
                     break;
                 }

@@ -117,18 +117,8 @@ impl Writer {
                     if !it.explicit {
                         it.name.clone()
                     } else {
-                        let ps = it
-                            .params
-                            .iter()
-                            .map(ty)
-                            .collect::<Vec<_>>()
-                            .join(", ");
-                        let rs = it
-                            .results
-                            .iter()
-                            .map(ty)
-                            .collect::<Vec<_>>()
-                            .join(", ");
+                        let ps = it.params.iter().map(ty).collect::<Vec<_>>().join(", ");
+                        let rs = it.results.iter().map(ty).collect::<Vec<_>>().join(", ");
                         if it.results.is_empty() {
                             format!("{}({ps})", it.name)
                         } else {
@@ -160,10 +150,7 @@ impl Writer {
         match s {
             Stmt::Skip(_) => self.line(format!("skip{term}")),
             Stmt::Assign(lvs, e, _) => {
-                let names: Vec<&str> = lvs
-                    .iter()
-                    .map(|LValue::Var(n, _)| n.as_str())
-                    .collect();
+                let names: Vec<&str> = lvs.iter().map(|LValue::Var(n, _)| n.as_str()).collect();
                 self.line(format!("{} := {}{term}", names.join(", "), expr(e)));
             }
             Stmt::Call(t, args, _) => {
@@ -225,8 +212,7 @@ impl Writer {
                 self.line(format!("end {kw}{term}"));
             }
             Stmt::Par(calls, _) => {
-                let parts: Vec<String> =
-                    calls.iter().map(|(t, a)| call(t, a)).collect();
+                let parts: Vec<String> = calls.iter().map(|(t, a)| call(t, a)).collect();
                 self.line(format!("par {} end par{term}", parts.join(", ")));
             }
             Stmt::ParFor(v, lo, hi, t, args, _) => {

@@ -88,15 +88,15 @@ pub enum Tok {
     Colon,
     Dot,
     DotDot,
-    Assign,  // :=
-    Arrow,   // =>
-    Hash,    // #
+    Assign, // :=
+    Arrow,  // =>
+    Hash,   // #
     Plus,
     Minus,
     Star,
     Slash,
-    Eq,      // =
-    Ne,      // <>
+    Eq, // =
+    Ne, // <>
     Lt,
     Le,
     Gt,

@@ -14,9 +14,8 @@ fn run(src: &str) -> Vec<String> {
 }
 
 fn try_run(src: &str) -> Result<Vec<String>, String> {
-    let checked = Arc::new(
-        check(parse(src).map_err(|e| e.to_string())?).map_err(|e| e.to_string())?,
-    );
+    let checked =
+        Arc::new(check(parse(src).map_err(|e| e.to_string())?).map_err(|e| e.to_string())?);
     let (out, buf) = Output::buffer();
     let sim = SimRuntime::new();
     let inner: Result<(), String> = sim
@@ -29,7 +28,10 @@ fn try_run(src: &str) -> Result<Vec<String>, String> {
 
 #[test]
 fn hello_world() {
-    assert_eq!(run(r#"main begin print("hello, world") end"#), vec!["hello, world"]);
+    assert_eq!(
+        run(r#"main begin print("hello, world") end"#),
+        vec!["hello, world"]
+    );
 }
 
 #[test]
@@ -337,14 +339,20 @@ fn select_priority_prefers_smaller_pri() {
     "#);
     assert_eq!(
         out,
-        vec!["served 10", "served 20", "served 30", "served 40", "all served"]
+        vec![
+            "served 10",
+            "served 20",
+            "served 30",
+            "served 40",
+            "all served"
+        ]
     );
 }
 
 #[test]
 fn runtime_error_is_reported_with_position() {
-    let err = try_run(r#"main var xs: list(int); var v: int; begin v := get(xs, 3) end"#)
-        .unwrap_err();
+    let err =
+        try_run(r#"main var xs: list(int); var v: int; begin v := get(xs, 3) end"#).unwrap_err();
     assert!(err.contains("out of bounds"), "{err}");
 }
 
@@ -364,7 +372,10 @@ fn full_paper_programs_run() {
         "spooler",
         "parallel_buffer",
     ] {
-        let path = format!("{}/../../examples/alps/{f}.alps", env!("CARGO_MANIFEST_DIR"));
+        let path = format!(
+            "{}/../../examples/alps/{f}.alps",
+            env!("CARGO_MANIFEST_DIR")
+        );
         let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
         let out = run(&src);
         assert!(!out.is_empty(), "{f} produced no output");

@@ -83,10 +83,8 @@ impl Dictionary {
                 // slot -> word it is searching
                 let mut in_flight: HashMap<usize, String> = HashMap::new();
                 loop {
-                    let sel = mgr.select(vec![
-                        Guard::accept("Search"),
-                        Guard::await_done("Search"),
-                    ])?;
+                    let sel =
+                        mgr.select(vec![Guard::accept("Search"), Guard::await_done("Search")])?;
                     match sel {
                         Selected::Accepted { call, .. } => {
                             let word = call.params()[0].as_str()?.to_string();
@@ -170,12 +168,16 @@ mod tests {
             let mut hs = Vec::new();
             for (i, w) in queries.iter().enumerate() {
                 let (d2, w2) = (dict.clone(), w.clone());
-                hs.push(rt.spawn_with(Spawn::new(format!("q{i}")), move || {
-                    d2.search(&w2).unwrap()
-                }));
+                hs.push(
+                    rt.spawn_with(Spawn::new(format!("q{i}")), move || d2.search(&w2).unwrap()),
+                );
             }
             let answers: Vec<String> = hs.into_iter().map(|h| h.join().unwrap()).collect();
-            (answers, dict.object().stats().starts(), dict.object().stats().combines())
+            (
+                answers,
+                dict.object().stats().starts(),
+                dict.object().stats().combines(),
+            )
         })
         .unwrap()
     }
@@ -199,8 +201,7 @@ mod tests {
 
     #[test]
     fn without_combining_every_query_executes() {
-        let (answers, starts, combines) =
-            run_queries(false, &["word-1", "word-1", "word-1"]);
+        let (answers, starts, combines) = run_queries(false, &["word-1", "word-1", "word-1"]);
         assert!(answers.iter().all(|a| a == "meaning-1"));
         assert_eq!(starts, 3);
         assert_eq!(combines, 0);

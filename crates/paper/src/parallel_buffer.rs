@@ -170,7 +170,12 @@ mod tests {
     use super::*;
     use alps_runtime::{SimRuntime, Spawn};
 
-    fn run_parallel(cfg: ParBufConfig, producers: usize, consumers: usize, per: i64) -> (Vec<i64>, u64) {
+    fn run_parallel(
+        cfg: ParBufConfig,
+        producers: usize,
+        consumers: usize,
+        per: i64,
+    ) -> (Vec<i64>, u64) {
         let sim = SimRuntime::new();
         sim.run(move |rt| {
             let buf = ParallelBuffer::spawn(rt, cfg).unwrap();
@@ -190,7 +195,9 @@ mod tests {
             for c in 0..consumers {
                 let b2 = buf.clone();
                 chs.push(rt.spawn_with(Spawn::new(format!("cons{c}")), move || {
-                    (0..per_cons).map(|_| b2.remove().unwrap()).collect::<Vec<i64>>()
+                    (0..per_cons)
+                        .map(|_| b2.remove().unwrap())
+                        .collect::<Vec<i64>>()
                 }));
             }
             for h in phs {

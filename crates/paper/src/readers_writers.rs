@@ -101,20 +101,16 @@ impl AlpsRw {
                         Ok(vec![])
                     }),
             )
-            .entry(
-                EntryDef::new("Write")
-                    .intercepted()
-                    .body(move |ctx, _| {
-                        if let Some(l) = &log_w {
-                            l.record(ctx.now(), RwEvent::WriteStart);
-                        }
-                        ctx.sleep(write_cost);
-                        if let Some(l) = &log_w {
-                            l.record(ctx.now(), RwEvent::WriteEnd);
-                        }
-                        Ok(vec![])
-                    }),
-            )
+            .entry(EntryDef::new("Write").intercepted().body(move |ctx, _| {
+                if let Some(l) = &log_w {
+                    l.record(ctx.now(), RwEvent::WriteStart);
+                }
+                ctx.sleep(write_cost);
+                if let Some(l) = &log_w {
+                    l.record(ctx.now(), RwEvent::WriteEnd);
+                }
+                Ok(vec![])
+            }))
             .manager(move |mgr| {
                 let mut read_count = 0usize;
                 let mut writer_last = false;
@@ -481,7 +477,9 @@ mod tests {
         };
         sim.run(move |rt| {
             let db: Arc<dyn RwDatabase> = match which.as_str() {
-                "alps" => Arc::new(AlpsRw::spawn(rt, cfg.clone(), Some(Arc::clone(&log2))).unwrap()),
+                "alps" => {
+                    Arc::new(AlpsRw::spawn(rt, cfg.clone(), Some(Arc::clone(&log2))).unwrap())
+                }
                 "monitor" => Arc::new(MonitorRw::new(cfg.clone(), Some(Arc::clone(&log2)))),
                 "serializer" => Arc::new(SerializerRw::new(cfg.clone(), Some(Arc::clone(&log2)))),
                 "path" => Arc::new(PathRw::new(cfg.clone(), Some(Arc::clone(&log2)))),

@@ -26,7 +26,11 @@ impl fmt::Display for RuntimeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RuntimeError::Deadlock { parked } => {
-                write!(f, "deadlock: all live processes parked: [{}]", parked.join(", "))
+                write!(
+                    f,
+                    "deadlock: all live processes parked: [{}]",
+                    parked.join(", ")
+                )
             }
             RuntimeError::Shutdown => write!(f, "runtime is shut down"),
             RuntimeError::ProcPanicked { name } => {

@@ -30,8 +30,12 @@ use crate::process::{ProcId, Spawn};
 pub const TICKS_PER_MS: u64 = 1_000;
 
 pub(crate) trait ExecutorCore: Send + Sync {
-    fn spawn(&self, self_arc: &Arc<dyn ExecutorCore>, opts: Spawn, f: Box<dyn FnOnce() + Send>)
-        -> ProcId;
+    fn spawn(
+        &self,
+        self_arc: &Arc<dyn ExecutorCore>,
+        opts: Spawn,
+        f: Box<dyn FnOnce() + Send>,
+    ) -> ProcId;
     fn current(&self, self_arc: &Arc<dyn ExecutorCore>) -> ProcId;
     fn park(&self, self_arc: &Arc<dyn ExecutorCore>);
     fn unpark(&self, id: ProcId);

@@ -33,20 +33,15 @@ use crate::error::{Aborted, RuntimeError};
 use crate::process::{ProcId, Spawn};
 
 /// Tie-breaking policy among equal-priority runnable processes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SchedPolicy {
     /// First-come-first-served among equal priorities (default).
+    #[default]
     PriorityFifo,
     /// Seeded pseudo-random choice among the equal-priority front;
     /// deterministic for a given seed. Lets property tests explore many
     /// interleavings reproducibly.
     PriorityRandom(u64),
-}
-
-impl Default for SchedPolicy {
-    fn default() -> Self {
-        SchedPolicy::PriorityFifo
-    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -588,11 +583,7 @@ impl SimRuntime {
                 self.core.driver_cv.wait(&mut st);
             }
             if st.main_done {
-                main_panicked = st
-                    .procs
-                    .get(&id)
-                    .map(|p| p.panicked)
-                    .unwrap_or(false);
+                main_panicked = st.procs.get(&id).map(|p| p.panicked).unwrap_or(false);
                 drop(st);
                 break;
             }
@@ -681,10 +672,11 @@ mod tests {
                 let mut handles = Vec::new();
                 for (name, prio) in [("low", 5), ("high", -5), ("mid", 0)] {
                     let log = Arc::clone(&log);
-                    handles.push(rt.spawn_with(
-                        Spawn::new(name).prio(Priority(prio)),
-                        move || log.lock().push(name),
-                    ));
+                    handles.push(
+                        rt.spawn_with(Spawn::new(name).prio(Priority(prio)), move || {
+                            log.lock().push(name)
+                        }),
+                    );
                 }
                 for h in handles {
                     h.join().unwrap();
@@ -885,13 +877,10 @@ mod tests {
                 let log_w = Arc::clone(&log);
                 let rt_m = rt.clone();
                 let log_m = Arc::clone(&log);
-                let mgr = rt.spawn_with(
-                    Spawn::new("mgr").prio(Priority::MANAGER),
-                    move || {
-                        log_m.lock().push("mgr");
-                        let _ = rt_m; // manager exits immediately
-                    },
-                );
+                let mgr = rt.spawn_with(Spawn::new("mgr").prio(Priority::MANAGER), move || {
+                    log_m.lock().push("mgr");
+                    let _ = rt_m; // manager exits immediately
+                });
                 let worker = rt.spawn_with(Spawn::new("worker"), move || {
                     for _ in 0..2 {
                         log_w.lock().push("worker");

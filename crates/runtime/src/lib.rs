@@ -51,9 +51,9 @@ mod process;
 pub use chan::{Chan, RecvHalf, SendHalf};
 pub use error::{Aborted, RuntimeError};
 pub use executor::{ProcHandle, Runtime, SchedPolicy, SimRuntime, TICKS_PER_MS};
-pub use notifier::Notifier;
+pub use notifier::{Notifier, NotifyBatch};
 pub use par::{par, par_for};
-pub use process::{ProcId, Priority, Spawn};
+pub use process::{Priority, ProcId, Spawn};
 
 #[cfg(test)]
 mod send_sync_tests {

@@ -69,7 +69,6 @@ impl fmt::Display for Counter {
 #[derive(Debug)]
 pub struct Histogram {
     buckets: [AtomicU64; 64],
-    count: AtomicU64,
     sum: AtomicU64,
     max: AtomicU64,
 }
@@ -85,24 +84,29 @@ impl Histogram {
     pub fn new() -> Histogram {
         Histogram {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-            count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
             max: AtomicU64::new(0),
         }
     }
 
-    /// Record one sample.
+    /// Record one sample. Kept to a single unconditional RMW (the bucket
+    /// increment): the count is derived from the buckets, and the sum/max
+    /// updates are skipped when they would not change anything — `record`
+    /// sits on the per-call fast path of the object layer.
     pub fn record(&self, v: u64) {
         let idx = (64 - v.leading_zeros()).saturating_sub(1).min(63) as usize;
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(v, Ordering::Relaxed);
-        self.max.fetch_max(v, Ordering::Relaxed);
+        if v != 0 {
+            self.sum.fetch_add(v, Ordering::Relaxed);
+            if v > self.max.load(Ordering::Relaxed) {
+                self.max.fetch_max(v, Ordering::Relaxed);
+            }
+        }
     }
 
-    /// Number of recorded samples.
+    /// Number of recorded samples (sum over the buckets).
     pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
     }
 
     /// Mean of recorded samples (0 when empty).
@@ -132,7 +136,11 @@ impl Histogram {
         for (i, b) in self.buckets.iter().enumerate() {
             seen += b.load(Ordering::Relaxed);
             if seen >= rank {
-                return if i >= 63 { u64::MAX } else { (1u64 << (i + 1)) - 1 };
+                return if i >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
             }
         }
         self.max()

@@ -147,9 +147,7 @@ mod tests {
     #[test]
     fn par_for_in_sim_is_deterministic() {
         let sim = SimRuntime::new();
-        let out = sim
-            .run(|rt| par_for(rt, 0, 9, |i| i * 2).unwrap())
-            .unwrap();
+        let out = sim.run(|rt| par_for(rt, 0, 9, |i| i * 2).unwrap()).unwrap();
         assert_eq!(out, (0..=9).map(|i| i * 2).collect::<Vec<_>>());
     }
 

@@ -81,7 +81,10 @@ fn nested_par_for_in_sim() {
             let rt2 = rt.clone();
             let outer = par_for(rt, 1, 3, move |i| {
                 // Each branch spawns its own inner family.
-                par_for(&rt2, 1, 2, move |j| i * 10 + j).unwrap().iter().sum::<i64>()
+                par_for(&rt2, 1, 2, move |j| i * 10 + j)
+                    .unwrap()
+                    .iter()
+                    .sum::<i64>()
             })
             .unwrap();
             outer.iter().sum()

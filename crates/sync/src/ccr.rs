@@ -153,9 +153,11 @@ mod tests {
                 });
                 let mut out = Vec::new();
                 for _ in 0..8 {
-                    out.push(r.await_then(rt, |q| !q.is_empty(), |q| {
-                        q.pop_front().expect("predicate guaranteed")
-                    }));
+                    out.push(r.await_then(
+                        rt,
+                        |q| !q.is_empty(),
+                        |q| q.pop_front().expect("predicate guaranteed"),
+                    ));
                 }
                 producer.join().unwrap();
                 out

@@ -107,9 +107,12 @@ impl<'a> Parser<'a> {
     fn keyword(&mut self, kw: &str) -> bool {
         self.skip_ws();
         let rest = &self.src[self.pos..];
-        if rest.starts_with(kw) {
-            let after = rest[kw.len()..].chars().next();
-            if after.map(|c| !c.is_alphanumeric() && c != '_').unwrap_or(true) {
+        if let Some(tail) = rest.strip_prefix(kw) {
+            let after = tail.chars().next();
+            if after
+                .map(|c| !c.is_alphanumeric() && c != '_')
+                .unwrap_or(true)
+            {
                 self.pos += kw.len();
                 return true;
             }
@@ -295,7 +298,10 @@ impl fmt::Display for PathError {
         match self {
             PathError::UnknownOp(op) => write!(f, "operation `{op}` not in path expression"),
             PathError::DuplicateOp(op) => {
-                write!(f, "operation `{op}` occurs more than once in the path expression")
+                write!(
+                    f,
+                    "operation `{op}` occurs more than once in the path expression"
+                )
             }
         }
     }
@@ -335,12 +341,7 @@ impl PathController {
         self.sems.len() - 1
     }
 
-    fn assign(
-        &mut self,
-        e: &PathExpr,
-        pre: Vec<SemOp>,
-        post: Vec<SemOp>,
-    ) -> Result<(), PathError> {
+    fn assign(&mut self, e: &PathExpr, pre: Vec<SemOp>, post: Vec<SemOp>) -> Result<(), PathError> {
         match e {
             PathExpr::Op(name) => {
                 if self.hooks.contains_key(name) {
@@ -487,10 +488,7 @@ mod tests {
     fn unknown_op_rejected() {
         let rt = Runtime::threaded();
         let pc = PathController::compile("path a end").unwrap();
-        assert!(matches!(
-            pc.enter(&rt, "zzz"),
-            Err(PathError::UnknownOp(_))
-        ));
+        assert!(matches!(pc.enter(&rt, "zzz"), Err(PathError::UnknownOp(_))));
         rt.shutdown();
     }
     use alps_runtime::Runtime;
@@ -573,8 +571,7 @@ mod tests {
         let sim = SimRuntime::new();
         let bad = sim
             .run(|rt| {
-                let pc =
-                    Arc::new(PathController::compile("path 1:(3:(read), write) end").unwrap());
+                let pc = Arc::new(PathController::compile("path 1:(3:(read), write) end").unwrap());
                 let readers = Arc::new(AtomicI64::new(0));
                 let writers = Arc::new(AtomicI64::new(0));
                 let bad = Arc::new(AtomicUsize::new(0));

@@ -231,10 +231,7 @@ impl Serializer {
                     crowds: st.crowds.clone(),
                     queue_lens: st.queues.iter().map(|qq| qq.len()).collect(),
                 };
-                let head_is_me = st.queues[q.0]
-                    .front()
-                    .map(|w| w.id == me)
-                    .unwrap_or(false);
+                let head_is_me = st.queues[q.0].front().map(|w| w.id == me).unwrap_or(false);
                 if head_is_me && guarantee(&view) {
                     st.queues[q.0].pop_front();
                     true
@@ -329,11 +326,8 @@ mod tests {
                 let mut hs = Vec::new();
                 for i in 0..3 {
                     let (s2, rt2) = (s.clone(), rt.clone());
-                    let (r2, w2, b2) = (
-                        Arc::clone(&readers),
-                        Arc::clone(&writers),
-                        Arc::clone(&bad),
-                    );
+                    let (r2, w2, b2) =
+                        (Arc::clone(&readers), Arc::clone(&writers), Arc::clone(&bad));
                     hs.push(rt.spawn_with(Spawn::new(format!("r{i}")), move || {
                         for _ in 0..5 {
                             s2.run(
@@ -355,11 +349,8 @@ mod tests {
                 }
                 for i in 0..2 {
                     let (s2, rt2) = (s.clone(), rt.clone());
-                    let (r2, w2, b2) = (
-                        Arc::clone(&readers),
-                        Arc::clone(&writers),
-                        Arc::clone(&bad),
-                    );
+                    let (r2, w2, b2) =
+                        (Arc::clone(&readers), Arc::clone(&writers), Arc::clone(&bad));
                     hs.push(rt.spawn_with(Spawn::new(format!("w{i}")), move || {
                         for _ in 0..5 {
                             s2.run(

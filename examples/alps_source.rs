@@ -24,9 +24,10 @@ fn main() {
         let src = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("{path}: {e} (run from the repo root)"));
         println!("--- {path} ---");
-        let checked = match parse(&src).map_err(|e| e.to_string()).and_then(|p| {
-            check(p).map_err(|e| e.to_string())
-        }) {
+        let checked = match parse(&src)
+            .map_err(|e| e.to_string())
+            .and_then(|p| check(p).map_err(|e| e.to_string()))
+        {
             Ok(c) => Arc::new(c),
             Err(e) => {
                 eprintln!("{path}: {e}");

@@ -33,7 +33,10 @@ fn run(combining: bool) -> (u64, u64, u64) {
             let word = format!("word-{}", i % 4);
             hs.push(rt.spawn_with(Spawn::new(format!("client{i}")), move || {
                 let meaning = d2.search(&word).expect("object open");
-                assert_eq!(meaning, format!("meaning-{}", word.trim_start_matches("word-")));
+                assert_eq!(
+                    meaning,
+                    format!("meaning-{}", word.trim_start_matches("word-"))
+                );
             }));
         }
         for h in hs {

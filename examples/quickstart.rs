@@ -37,9 +37,7 @@ fn main() {
             EntryDef::new("Remove")
                 .results([Ty::Int])
                 .intercepted()
-                .body(move |_ctx, _| {
-                    Ok(vec![s_rem.lock().pop_front().expect("manager-guarded")])
-                }),
+                .body(move |_ctx, _| Ok(vec![s_rem.lock().pop_front().expect("manager-guarded")])),
         )
         .manager(move |mgr| {
             // The paper's manager: guards admit Deposit only while there

@@ -26,7 +26,9 @@ fn drive(which: &'static str, readers: usize, writers: usize, ops: usize) -> (u6
     let elapsed = sim
         .run(move |rt| {
             let db: Arc<dyn RwDatabase> = match which {
-                "alps" => Arc::new(AlpsRw::spawn(rt, cfg.clone(), Some(Arc::clone(&log2))).unwrap()),
+                "alps" => {
+                    Arc::new(AlpsRw::spawn(rt, cfg.clone(), Some(Arc::clone(&log2))).unwrap())
+                }
                 "monitor" => Arc::new(MonitorRw::new(cfg.clone(), Some(Arc::clone(&log2)))),
                 "serializer" => Arc::new(SerializerRw::new(cfg.clone(), Some(Arc::clone(&log2)))),
                 "path" => Arc::new(PathRw::new(cfg.clone(), Some(Arc::clone(&log2)))),
@@ -65,7 +67,10 @@ fn main() {
     println!("readers-writers, 6 readers x 20 reads + 2 writers x 20 writes");
     println!("(virtual time; smaller is better; peak = max concurrent readers)");
     println!();
-    println!("{:<16} {:>14} {:>6}", "implementation", "virtual ticks", "peak");
+    println!(
+        "{:<16} {:>14} {:>6}",
+        "implementation", "virtual ticks", "peak"
+    );
     for which in ["alps", "monitor", "serializer", "path"] {
         let (elapsed, peak) = drive(which, 6, 2, 20);
         println!("{which:<16} {elapsed:>14} {peak:>6}");

@@ -1,6 +1,10 @@
 //! Property-based tests: core invariants must hold across many random —
 //! but reproducible — schedules (the simulator's seeded
 //! `PriorityRandom` policy) and workload shapes.
+//!
+//! The build environment is offline, so instead of `proptest` these use a
+//! small deterministic splitmix64 generator: every case is a pure function
+//! of a fixed seed, making failures exactly reproducible.
 
 use std::sync::Arc;
 
@@ -10,19 +14,47 @@ use alps::paper::readers_writers::{check_rw_invariants, AlpsRw, RwConfig, RwData
 use alps::runtime::metrics::EventLog;
 use alps::runtime::{Chan, Runtime, SchedPolicy, SimRuntime, Spawn};
 use alps::sync::{PathController, Semaphore};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+const CASES: u64 = 24;
 
-    /// FIFO + conservation for the managed buffer under random schedules
-    /// and shapes.
-    #[test]
-    fn buffer_fifo_and_conservation(
-        seed in any::<u64>(),
-        cap in 1usize..6,
-        items in 1i64..60,
-    ) {
+/// Deterministic splitmix64 — the reproducible randomness source for every
+/// property below.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi);
+        lo + self.next_u64() % (hi - lo)
+    }
+
+    fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi);
+        lo + (self.next_u64() % (hi - lo) as u64) as i64
+    }
+}
+
+/// FIFO + conservation for the managed buffer under random schedules
+/// and shapes.
+#[test]
+fn buffer_fifo_and_conservation() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x1000 + case);
+        let seed = rng.next_u64();
+        let cap = rng.range(1, 6) as usize;
+        let items = rng.range_i64(1, 60);
         let sim = SimRuntime::with_policy(SchedPolicy::PriorityRandom(seed));
         let got = sim
             .run(move |rt| {
@@ -38,18 +70,24 @@ proptest! {
                 out
             })
             .unwrap();
-        prop_assert_eq!(got, (0..items).collect::<Vec<_>>());
+        assert_eq!(
+            got,
+            (0..items).collect::<Vec<_>>(),
+            "case {case}: seed={seed} cap={cap} items={items}"
+        );
     }
+}
 
-    /// Readers–writers safety invariants hold for every schedule, mix,
-    /// and ReadMax.
-    #[test]
-    fn rw_safety_under_random_schedules(
-        seed in any::<u64>(),
-        read_max in 1usize..5,
-        readers in 1usize..5,
-        writers in 1usize..3,
-    ) {
+/// Readers–writers safety invariants hold for every schedule, mix,
+/// and ReadMax.
+#[test]
+fn rw_safety_under_random_schedules() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x2000 + case);
+        let seed = rng.next_u64();
+        let read_max = rng.range(1, 5) as usize;
+        let readers = rng.range(1, 5) as usize;
+        let writers = rng.range(1, 3) as usize;
         let log: Arc<EventLog<RwEvent>> = Arc::new(EventLog::new());
         let log2 = Arc::clone(&log);
         let sim = SimRuntime::with_policy(SchedPolicy::PriorityRandom(seed));
@@ -83,17 +121,24 @@ proptest! {
         })
         .unwrap();
         let events = log.snapshot();
-        prop_assert_eq!(events.len(), (readers + writers) * 5 * 2);
+        assert_eq!(
+            events.len(),
+            (readers + writers) * 5 * 2,
+            "case {case}: seed={seed}"
+        );
         check_rw_invariants(&events, read_max);
     }
+}
 
-    /// The acceptance-condition receive removes exactly the first match
-    /// and preserves the order of everything else.
-    #[test]
-    fn recv_match_preserves_other_messages(
-        msgs in proptest::collection::vec(-100i64..100, 0..20),
-        threshold in -100i64..100,
-    ) {
+/// The acceptance-condition receive removes exactly the first match
+/// and preserves the order of everything else.
+#[test]
+fn recv_match_preserves_other_messages() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x3000 + case);
+        let len = rng.range(0, 20) as usize;
+        let msgs: Vec<i64> = (0..len).map(|_| rng.range_i64(-100, 100)).collect();
+        let threshold = rng.range_i64(-100, 100);
         let rt = Runtime::threaded();
         let c: Chan<i64> = Chan::unbounded("t");
         for m in &msgs {
@@ -101,7 +146,7 @@ proptest! {
         }
         let got = c.recv_match(&rt, |m| *m >= threshold);
         let expect_idx = msgs.iter().position(|m| *m >= threshold);
-        prop_assert_eq!(got, expect_idx.map(|i| msgs[i]));
+        assert_eq!(got, expect_idx.map(|i| msgs[i]), "case {case}");
         let mut rest: Vec<i64> = Vec::new();
         while let Some(v) = c.try_recv(&rt) {
             rest.push(v);
@@ -110,24 +155,25 @@ proptest! {
         if let Some(i) = expect_idx {
             want.remove(i);
         }
-        prop_assert_eq!(rest, want);
+        assert_eq!(rest, want, "case {case}");
         rt.shutdown();
     }
+}
 
-    /// A compiled `n:(op)` path restriction never admits more than `n`
-    /// concurrent activations, for any schedule.
-    #[test]
-    fn path_limit_holds_under_random_schedules(
-        seed in any::<u64>(),
-        bound in 1u64..5,
-        workers in 1usize..8,
-    ) {
+/// A compiled `n:(op)` path restriction never admits more than `n`
+/// concurrent activations, for any schedule.
+#[test]
+fn path_limit_holds_under_random_schedules() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x4000 + case);
+        let seed = rng.next_u64();
+        let bound = rng.range(1, 5);
+        let workers = rng.range(1, 8) as usize;
         let sim = SimRuntime::with_policy(SchedPolicy::PriorityRandom(seed));
         let peak = sim
             .run(move |rt| {
-                let pc = Arc::new(
-                    PathController::compile(&format!("path {bound}:(work) end")).unwrap(),
-                );
+                let pc =
+                    Arc::new(PathController::compile(&format!("path {bound}:(work) end")).unwrap());
                 let active = Arc::new(std::sync::atomic::AtomicUsize::new(0));
                 let peak = Arc::new(std::sync::atomic::AtomicUsize::new(0));
                 let mut hs = Vec::new();
@@ -149,16 +195,21 @@ proptest! {
                 peak.load(std::sync::atomic::Ordering::SeqCst)
             })
             .unwrap();
-        prop_assert!(peak as u64 <= bound, "peak {peak} exceeded bound {bound}");
+        assert!(
+            peak as u64 <= bound,
+            "case {case}: peak {peak} exceeded bound {bound} (seed={seed})"
+        );
     }
+}
 
-    /// Semaphore conservation: permits out never exceed permits granted.
-    #[test]
-    fn semaphore_counting_is_conserved(
-        seed in any::<u64>(),
-        permits in 1u64..4,
-        workers in 1usize..6,
-    ) {
+/// Semaphore conservation: permits out never exceed permits granted.
+#[test]
+fn semaphore_counting_is_conserved() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x5000 + case);
+        let seed = rng.next_u64();
+        let permits = rng.range(1, 4);
+        let workers = rng.range(1, 6) as usize;
         let sim = SimRuntime::with_policy(SchedPolicy::PriorityRandom(seed));
         let peak = sim
             .run(move |rt| {
@@ -186,46 +237,86 @@ proptest! {
                 peak.load(std::sync::atomic::Ordering::SeqCst)
             })
             .unwrap();
-        prop_assert!(peak as u64 <= permits);
+        assert!(peak as u64 <= permits, "case {case}: seed={seed}");
     }
+}
 
-    /// The ALPS lexer/parser never panic on arbitrary input — they
-    /// return structured errors.
-    #[test]
-    fn parser_total_on_arbitrary_input(src in "\\PC*") {
+/// The ALPS lexer/parser never panic on arbitrary input — they
+/// return structured errors.
+#[test]
+fn parser_total_on_arbitrary_input() {
+    // A mix of adversarial fixed inputs and seeded random byte soup
+    // (printable and not) standing in for proptest's `\PC*` strategy.
+    let fixed = [
+        "",
+        "object",
+        "object X is end",
+        "path 3:(a;b) end",
+        "\u{0}\u{1}\u{2}",
+        "((((((((((",
+        "object \u{7f}\u{80}",
+        "🦀🦀🦀 object entry",
+        "-- comment only",
+        "\"unterminated string",
+    ];
+    for src in fixed {
+        let _ = alps::lang::parse(src);
+    }
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x6000 + case);
+        let len = rng.range(0, 200) as usize;
+        let src: String = (0..len)
+            .map(|_| {
+                // Bias toward ASCII/ALPS-ish tokens but include arbitrary
+                // unicode scalars.
+                match rng.range(0, 4) {
+                    0 => char::from(rng.range(32, 127) as u8),
+                    1 => ['\n', '\t', ';', ':', '(', ')'][rng.range(0, 6) as usize],
+                    2 => {
+                        let words = ["object", "entry", "path", "end", "is", "when"];
+                        return words[rng.range(0, words.len() as u64) as usize].to_string();
+                    }
+                    _ => char::from_u32(rng.range(1, 0x0800) as u32).unwrap_or('x'),
+                }
+                .to_string()
+            })
+            .collect();
         let _ = alps::lang::parse(&src);
     }
+}
 
-    /// Same-seed simulated runs of the buffer produce identical stats —
-    /// the determinism guarantee the whole experiment suite rests on.
-    #[test]
-    fn determinism_same_seed_same_trace(seed in any::<u64>()) {
-        fn trace(seed: u64) -> (u64, u64, u64) {
-            let sim = SimRuntime::with_policy(SchedPolicy::PriorityRandom(seed));
-            sim.run(|rt| {
-                let buf = AlpsBuffer::spawn(rt, 2).unwrap();
-                let (b2, rt2) = (buf.clone(), rt.clone());
-                let p = rt.spawn_with(Spawn::new("p"), move || {
-                    for i in 0..10 {
-                        b2.deposit(&rt2, i).unwrap();
-                    }
-                });
-                for _ in 0..10 {
-                    buf.remove(rt).unwrap();
+/// Same-seed simulated runs of the buffer produce identical stats —
+/// the determinism guarantee the whole experiment suite rests on.
+#[test]
+fn determinism_same_seed_same_trace() {
+    fn trace(seed: u64) -> (u64, u64, u64) {
+        let sim = SimRuntime::with_policy(SchedPolicy::PriorityRandom(seed));
+        sim.run(|rt| {
+            let buf = AlpsBuffer::spawn(rt, 2).unwrap();
+            let (b2, rt2) = (buf.clone(), rt.clone());
+            let p = rt.spawn_with(Spawn::new("p"), move || {
+                for i in 0..10 {
+                    b2.deposit(&rt2, i).unwrap();
                 }
-                p.join().unwrap();
-                let s = buf.object().stats();
-                (s.calls(), s.accepts(), s.call_latency().percentile(99.0))
-            })
-            .unwrap()
-        }
-        prop_assert_eq!(trace(seed), trace(seed));
+            });
+            for _ in 0..10 {
+                buf.remove(rt).unwrap();
+            }
+            p.join().unwrap();
+            let s = buf.object().stats();
+            (s.calls(), s.accepts(), s.call_latency().percentile(99.0))
+        })
+        .unwrap()
+    }
+    for case in 0..CASES {
+        let seed = Rng::new(0x7000 + case).next_u64();
+        assert_eq!(trace(seed), trace(seed), "case {case}: seed={seed}");
     }
 }
 
 #[test]
 fn call_with_wrong_types_never_reaches_bodies() {
-    // Deterministic negative-path check outside proptest.
+    // Deterministic negative-path check outside the randomized properties.
     let sim = SimRuntime::new();
     sim.run(|rt| {
         let buf = AlpsBuffer::spawn(rt, 2).unwrap();
