@@ -1,0 +1,138 @@
+// Temporary diagnostic for the contended intake path. Not committed.
+use std::time::Instant;
+
+use alps_core::{argv, vals, EntryDef, Guard, ObjectBuilder, ObjectHandle, Selected, Ty};
+use alps_runtime::{Runtime, Spawn};
+
+fn managed_echo(rt: &Runtime) -> ObjectHandle {
+    ObjectBuilder::new("Echo")
+        .entry(
+            EntryDef::new("Echo")
+                .params([Ty::Int])
+                .results([Ty::Int])
+                .intercepted()
+                .body(|_ctx, args| Ok(argv![args[0].clone()])),
+        )
+        .manager(|mgr| loop {
+            let acc = mgr.accept("Echo")?;
+            mgr.execute(acc)?;
+        })
+        .spawn(rt)
+        .unwrap()
+}
+
+fn combining_echo(rt: &Runtime) -> ObjectHandle {
+    ObjectBuilder::new("Combine")
+        .entry(
+            EntryDef::new("Echo")
+                .params([Ty::Int])
+                .results([Ty::Int])
+                .intercept_params(1)
+                .intercept_results(1)
+                .body(|_ctx, args| Ok(argv![args[0].clone()])),
+        )
+        .manager(|mgr| loop {
+            match mgr.select(vec![Guard::accept("Echo")])? {
+                Selected::Accepted { call, .. } => {
+                    let v = call.params()[0].clone();
+                    mgr.finish_accepted(call, vec![v])?;
+                }
+                _ => unreachable!(),
+            }
+        })
+        .spawn(rt)
+        .unwrap()
+}
+
+fn contended(label: &str, mk: fn(&Runtime) -> ObjectHandle, callers: u32, per_caller: u64) {
+    let rt = Runtime::threaded();
+    let obj = mk(&rt);
+    let id = obj.entry_id("Echo").unwrap();
+    for _ in 0..per_caller / 2 {
+        obj.call_id(id, argv![7i64]).unwrap();
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let hs: Vec<_> = (0..callers)
+            .map(|c| {
+                let o2 = obj.clone();
+                rt.spawn_with(Spawn::new(format!("caller-{c}")), move || {
+                    for _ in 0..per_caller {
+                        o2.call_id(id, argv![7i64]).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        let total = callers as u64 * per_caller;
+        let ns = t0.elapsed().as_nanos() as f64 / total as f64;
+        if ns < best {
+            best = ns;
+        }
+    }
+    println!(
+        "{label}/callers_{callers}: {best:.0} ns/op ({:.0} ops/s)",
+        1e9 / best
+    );
+    println!("  stats: {}", obj.stats());
+    obj.shutdown();
+    rt.shutdown();
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map(String::as_str).unwrap_or("both");
+    if which == "main1" {
+        // Main-thread 1-caller sample, like BENCH_call_protocol.
+        for (label, mk) in [
+            (
+                "managed_execute",
+                managed_echo as fn(&Runtime) -> ObjectHandle,
+            ),
+            ("combining", combining_echo as fn(&Runtime) -> ObjectHandle),
+        ] {
+            let rt = Runtime::threaded();
+            let obj = mk(&rt);
+            let id = obj.entry_id("Echo").unwrap();
+            for _ in 0..5_000 {
+                obj.call_id(id, argv![7i64]).unwrap();
+            }
+            let mut best = f64::INFINITY;
+            for _ in 0..5 {
+                let t0 = Instant::now();
+                for _ in 0..20_000 {
+                    obj.call_id(id, argv![7i64]).unwrap();
+                }
+                let ns = t0.elapsed().as_nanos() as f64 / 20_000.0;
+                if ns < best {
+                    best = ns;
+                }
+            }
+            println!("{label}/main1: {best:.0} ns/op");
+            println!("  stats: {}", obj.stats());
+            obj.shutdown();
+            rt.shutdown();
+        }
+        return;
+    }
+    for (label, mk) in [
+        (
+            "managed_execute",
+            managed_echo as fn(&Runtime) -> ObjectHandle,
+        ),
+        ("combining", combining_echo as fn(&Runtime) -> ObjectHandle),
+    ] {
+        if which != "both" && which != label {
+            continue;
+        }
+        for callers in [1u32, 4, 16] {
+            let per = 4_000 / callers as u64;
+            contended(label, mk, callers, per);
+        }
+    }
+    // sample-style: main thread caller, like BENCH_call_protocol.
+    let _ = vals![0i64];
+}

@@ -14,6 +14,14 @@
 //! Manager commits take only the lock of the entry involved (see
 //! [`EntrySync`](crate::object) internals): intercepted traffic on one
 //! entry never contends with calls to another.
+//!
+//! Intercepted calls reach the manager through the object's lock-free
+//! intake ring: every blocking manager primitive funnels through
+//! `run_select`, which drains the ring in a batch before evaluating
+//! guards — one manager wakeup services every call that arrived while it
+//! slept, which is what makes combining (`finish_accepted` in a loop)
+//! cheaper than serial `execute`. See `DESIGN.md` §7 for the wakeup
+//! pipeline.
 
 use std::fmt;
 use std::sync::atomic::Ordering;

@@ -47,7 +47,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use alps_runtime::{Notifier, Priority, ProcId, Runtime, Spawn};
+use alps_runtime::{IntakeRing, Notifier, Priority, ProcId, Runtime, Spawn, SpinWait};
 use parking_lot::Mutex;
 
 use crate::entry::EntryDef;
@@ -99,9 +99,17 @@ const CALL_DONE: u32 = 1;
 /// * `state` is the one-word call state (`CALL_WAITING` → `CALL_DONE`).
 /// * `result` is written exactly once, by the single completer that took
 ///   the cell out of its slot/queue under the entry lock, *before* the
-///   `Release` store of `CALL_DONE`; the caller reads it only after an
-///   `Acquire` load observes `CALL_DONE`. That handoff is the entire
+///   `SeqCst` store of `CALL_DONE`; the caller reads it only after a
+///   `SeqCst` load observes `CALL_DONE`. That handoff is the entire
 ///   safety argument for the `unsafe impl Sync`.
+/// * `waiting` is the caller's "I am about to park" announcement. The
+///   completer skips the (expensive) `rt.unpark` when it is false — i.e.
+///   when the caller is still in its spin/yield phase. The flag and the
+///   state word form a store-buffering pair, which is why both sides use
+///   `SeqCst`: the caller stores `waiting = true` then loads `state`, the
+///   completer stores `state = DONE` then loads `waiting` — sequential
+///   consistency guarantees at least one side observes the other, so a
+///   parked caller is always unparked.
 ///
 /// Cells are recycled through a per-object free list
 /// ([`ObjectInner::release_cell`]); a cell is only reset when its `Arc` is
@@ -113,6 +121,7 @@ pub(crate) struct CallCell {
     pub(crate) t_attach: AtomicU64,
     pub(crate) t_start: AtomicU64,
     state: AtomicU32,
+    waiting: AtomicBool,
     result: UnsafeCell<Option<Result<ValVec>>>,
 }
 
@@ -130,6 +139,7 @@ impl CallCell {
             t_attach: AtomicU64::new(0),
             t_start: AtomicU64::new(0),
             state: AtomicU32::new(CALL_WAITING),
+            waiting: AtomicBool::new(false),
             result: UnsafeCell::new(None),
         }
     }
@@ -138,18 +148,21 @@ impl CallCell {
     /// the completer that removed this cell from the slot/queue.
     fn finish(&self, r: Result<ValVec>) {
         // SAFETY: single completer per round (slot-state ownership); the
-        // caller cannot read until the Release store below.
+        // caller cannot read until the store below. SeqCst (not just
+        // Release) because this store and the completer's subsequent
+        // `waiting` load pair with the caller's `waiting` store /
+        // `state` load — see the struct docs.
         unsafe {
             *self.result.get() = Some(r);
         }
-        self.state.store(CALL_DONE, Ordering::Release);
+        self.state.store(CALL_DONE, Ordering::SeqCst);
     }
 
     /// Caller side: take the result if the call has completed.
     fn try_take(&self) -> Option<Result<ValVec>> {
-        if self.state.load(Ordering::Acquire) == CALL_DONE {
+        if self.state.load(Ordering::SeqCst) == CALL_DONE {
             // SAFETY: the completer's writes happen-before this read via
-            // the Acquire load, and only the one caller consumes.
+            // the load above, and only the one caller consumes.
             unsafe { (*self.result.get()).take() }
         } else {
             None
@@ -164,6 +177,7 @@ impl CallCell {
         *self.t_attach.get_mut() = 0;
         *self.t_start.get_mut() = 0;
         *self.state.get_mut() = CALL_WAITING;
+        *self.waiting.get_mut() = false;
         *self.result.get_mut() = None;
     }
 }
@@ -230,11 +244,19 @@ pub(crate) struct EntryState {
 /// * `queued`: +1 queue push, −1 queue pull, 0 at shutdown;
 /// * `ready`: +1 body completion of an intercepted call, −1 await, 0 at
 ///   shutdown.
+///
+/// `in_ring` is the exception: it counts this entry's calls sitting in the
+/// object's intake ring, is incremented by the *caller* before its push
+/// (no lock held) and decremented by whoever pops the item (drain or
+/// shutdown sweep). It makes `#P` cover calls the manager has not drained
+/// yet, so a guard like `when #P > 0` cannot miss a call that is already
+/// committed to the ring.
 pub(crate) struct EntrySync {
     pub(crate) st: Mutex<EntryState>,
     pub(crate) attached: AtomicUsize,
     pub(crate) queued: AtomicUsize,
     pub(crate) ready: AtomicUsize,
+    pub(crate) in_ring: AtomicUsize,
 }
 
 impl EntrySync {
@@ -247,6 +269,7 @@ impl EntrySync {
             attached: AtomicUsize::new(0),
             queued: AtomicUsize::new(0),
             ready: AtomicUsize::new(0),
+            in_ring: AtomicUsize::new(0),
         }
     }
 }
@@ -270,6 +293,27 @@ pub(crate) struct ObjectInner {
     /// `EntryDef::full_results()` precomputed per entry so the per-call
     /// result type check does not allocate.
     pub(crate) full_results: Vec<Vec<Ty>>,
+    /// Lock-free call intake: callers of *intercepted* entries push
+    /// `(entry, cell)` here instead of taking the entry lock; the manager
+    /// drains in batches ([`drain_intake`](ObjectInner::drain_intake)).
+    /// Implicit entries keep the direct attach path — they have no
+    /// manager to drain for them.
+    pub(crate) intake: IntakeRing<(u32, Arc<CallCell>)>,
+    /// Serializes ring consumers (manager drain, shutdown sweep, a
+    /// producer's post-close self-sweep) so each cell has one completer.
+    intake_drain: Mutex<()>,
+    /// True while the manager is between wakeup and its pre-park
+    /// condition re-check; callers use it to decide whether yielding (the
+    /// manager will service the ring soon) beats parking (it will not).
+    pub(crate) mgr_active: AtomicBool,
+    /// Storm mode: the manager yield-polls the intake ring instead of
+    /// parking, so the whole submit→serve→reply cycle runs on scheduler
+    /// rotation with no futex traffic. Set by `drain_intake` whenever a
+    /// drain finds ≥ 2 cells — two calls physically queued at once proves
+    /// concurrent callers, which a lone synchronous caller (never more
+    /// than one call in flight) cannot fake — and cleared after a dry
+    /// poll budget in `wait_for_work`.
+    pub(crate) mgr_poll: AtomicBool,
 }
 
 impl fmt::Debug for ObjectInner {
@@ -327,14 +371,22 @@ impl ObjectInner {
         }
     }
 
-    /// Complete a call: deliver the result and unpark the caller.
+    /// Complete a call: deliver the result and unpark the caller — unless
+    /// the caller has not announced a park (`waiting` false), in which
+    /// case it is still in its spin/yield phase and will pick the result
+    /// up itself; skipping `rt.unpark` there saves the proc-table lookup
+    /// and wake syscall on the contended fast path. The SeqCst
+    /// store-then-load on the completer side pairs with the caller's
+    /// SeqCst `waiting`-store-then-`state`-load (see [`CallCell`]).
     pub(crate) fn complete(&self, call: &Arc<CallCell>, result: Result<ValVec>) {
         if result.is_ok() {
             let now = self.rt.now();
             self.stats.on_complete(now.saturating_sub(call.t_call));
         }
         call.finish(result);
-        self.rt.unpark(call.caller);
+        if call.waiting.load(Ordering::SeqCst) {
+            self.rt.unpark(call.caller);
+        }
     }
 
     /// Attach a call to a free slot of `entry`, or queue it. Returns an
@@ -568,6 +620,57 @@ impl ObjectInner {
 
         // Slow path: rendezvous through a (recycled) call cell.
         let call = self.acquire_cell(args, self.rt.current(), t_call);
+
+        if def.intercept.is_some() {
+            // Intercepted entries submit through the lock-free intake
+            // ring; the manager drains it in batches. Only the push that
+            // flips the ring empty→non-empty notifies — that producer is
+            // the one the (possibly parked) manager is owed a wakeup by.
+            let sync = &self.estates[entry];
+            sync.in_ring.fetch_add(1, Ordering::SeqCst);
+            let mut item = (entry as u32, Arc::clone(&call));
+            loop {
+                match self.intake.push(item) {
+                    Ok(was_empty) => {
+                        if was_empty {
+                            self.notifier.notify(&self.rt);
+                        }
+                        break;
+                    }
+                    Err(back) => {
+                        // Ring full. No direct-attach fallback — that
+                        // would let this call overtake ring residents of
+                        // the same entry and break per-entry FIFO. Yield
+                        // until the manager drains (it always exists for
+                        // intercepted entries; enforced at build).
+                        if self.is_closed() {
+                            sync.in_ring.fetch_sub(1, Ordering::SeqCst);
+                            drop(back);
+                            self.release_cell(call);
+                            return Err(self.closed_err());
+                        }
+                        item = back;
+                        self.rt.yield_now();
+                    }
+                }
+            }
+            // Shutdown may have raced the push: its sweep can miss a slot
+            // whose publish was still in this core's store buffer when it
+            // popped. The fence orders our publish before the load below,
+            // so either shutdown's sweep sees our item, or we see
+            // `closed` here and sweep it (or a classified victim) out
+            // ourselves.
+            std::sync::atomic::fence(Ordering::SeqCst);
+            if self.is_closed() {
+                self.sweep_intake();
+            }
+            let r = self.wait_for_reply(&call, true);
+            self.release_cell(call);
+            return r;
+        }
+
+        // Implicit entry, all slots busy: queue directly under the entry
+        // lock (no manager exists to drain a ring for us).
         let dispatch = {
             let mut es = self.estates[entry].st.lock();
             if self.is_closed() {
@@ -578,13 +681,129 @@ impl ObjectInner {
         if let Some((i, params)) = dispatch {
             self.dispatch_body(entry, i, params);
         }
-        // Wait for the reply.
+        let r = self.wait_for_reply(&call, false);
+        self.release_cell(call);
+        r
+    }
+
+    /// Block until `call` completes, adaptively: a short pure-spin burst,
+    /// then — while the manager is awake — bounded yielding sized by the
+    /// service-time EWMA, then announce (`waiting = true`) and park.
+    ///
+    /// `adaptive` is false for non-ring waits (queued implicit calls,
+    /// whose completer is a pool worker, not the manager) and the
+    /// spin/yield phases are skipped entirely on the simulation executor,
+    /// where a blocked process can never observe progress by spinning.
+    fn wait_for_reply(&self, call: &Arc<CallCell>, adaptive: bool) -> Result<ValVec> {
+        if adaptive && !self.rt.is_sim() {
+            let mut sw = SpinWait::new(4);
+            while sw.spin() {
+                if let Some(r) = call.try_take() {
+                    self.stats.on_spin_resolved();
+                    return r;
+                }
+            }
+            // Yield phase: worth it only while the manager is running —
+            // each yield hands it the CPU (single-core) or leaves it
+            // draining (multi-core). Budget scales with how long one
+            // service round is expected to take (EWMA is in ticks = µs).
+            let budget = (4 + 2 * self.stats.ewma_service_ticks()).min(64);
+            let mut spent = 0;
+            while spent < budget && self.mgr_active.load(Ordering::SeqCst) {
+                if let Some(r) = call.try_take() {
+                    self.stats.on_spin_resolved();
+                    return r;
+                }
+                self.rt.yield_now();
+                spent += 1;
+            }
+        }
+        call.waiting.store(true, Ordering::SeqCst);
         loop {
             if let Some(r) = call.try_take() {
-                self.release_cell(call);
+                if adaptive {
+                    self.stats.on_park_resolved();
+                }
                 return r;
             }
             self.rt.park();
+        }
+    }
+
+    /// Drain the intake ring: classify every published cell into its
+    /// entry's slot array or wait queue. Called by the manager at the top
+    /// of each select pass, so one wakeup amortizes over the whole batch.
+    ///
+    /// Classification is *silent* (no notifier bump): the manager is the
+    /// only waiter on the object notifier and it evaluates its guards
+    /// right after draining. Per-entry FIFO holds because ring pop order
+    /// is ring push order and a cell is queued — never slot-attached —
+    /// whenever earlier cells of its entry are still queued.
+    pub(crate) fn drain_intake(&self) {
+        if self.intake.is_empty() {
+            return;
+        }
+        let _g = self.intake_drain.lock();
+        let now = self.rt.now();
+        let mut drained = 0u64;
+        while let Some((eidx, call)) = self.intake.pop() {
+            drained += 1;
+            let entry = eidx as usize;
+            let sync = &self.estates[entry];
+            let mut es = sync.st.lock();
+            if self.is_closed() {
+                // Entry-lock mutual exclusion with shutdown's sweep makes
+                // either ordering safe: whoever holds the cell fails it.
+                drop(es);
+                sync.in_ring.fetch_sub(1, Ordering::SeqCst);
+                self.complete(&call, Err(self.closed_err()));
+                continue;
+            }
+            call.t_attach.store(now, Ordering::Relaxed);
+            self.stats.on_attach(now.saturating_sub(call.t_call));
+            let free = if es.waitq.is_empty() {
+                es.slots.iter().position(|s| matches!(s, Slot::Free))
+            } else {
+                // Earlier calls of this entry are queued; going to a slot
+                // now would overtake them.
+                None
+            };
+            match free {
+                Some(i) => {
+                    es.slots[i] = Slot::Attached { call };
+                    sync.attached.fetch_add(1, Ordering::SeqCst);
+                }
+                None => {
+                    es.waitq.push_back(call);
+                    sync.queued.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+            // After the attach/queue increment so `#P` never transiently
+            // under-counts this call.
+            sync.in_ring.fetch_sub(1, Ordering::SeqCst);
+        }
+        if drained > 0 {
+            self.stats.on_drain(drained);
+        }
+        // A batch of ≥ 2 is proof of concurrent callers: promote the
+        // manager to storm mode (yield-poll instead of park, see
+        // `wait_for_work`) so the whole group is served on scheduler
+        // rotation without futex traffic. A lone synchronous caller never
+        // has two calls in flight and thus never triggers this.
+        if drained >= 2 {
+            self.mgr_poll.store(true, Ordering::SeqCst);
+        }
+    }
+
+    /// Fail every published cell still in the intake ring (shutdown path
+    /// and producers that observed `closed` after their push).
+    pub(crate) fn sweep_intake(&self) {
+        let _g = self.intake_drain.lock();
+        while let Some((eidx, call)) = self.intake.pop() {
+            self.estates[eidx as usize]
+                .in_ring
+                .fetch_sub(1, Ordering::SeqCst);
+            self.complete(&call, Err(self.closed_err()));
         }
     }
 
@@ -632,11 +851,14 @@ impl ObjectInner {
         }
     }
 
-    /// `#P`: attached-but-unaccepted plus queued calls (paper §2.5.1).
+    /// `#P`: attached-but-unaccepted plus queued calls, plus calls still
+    /// in the intake ring (committed but not yet drained) — paper §2.5.1.
     /// Reads the per-entry atomic index — no lock.
     pub(crate) fn pending(&self, entry: usize) -> usize {
         let s = &self.estates[entry];
-        s.attached.load(Ordering::SeqCst) + s.queued.load(Ordering::SeqCst)
+        s.attached.load(Ordering::SeqCst)
+            + s.queued.load(Ordering::SeqCst)
+            + s.in_ring.load(Ordering::SeqCst)
     }
 
     /// Shut the object down: fail all in-flight and queued calls, stop the
@@ -646,6 +868,13 @@ impl ObjectInner {
         if self.closed.swap(true, Ordering::SeqCst) {
             return;
         }
+        // Fail undrained ring residents first. A producer whose publish
+        // this sweep misses (still in its store buffer) sees `closed`
+        // after its own SeqCst fence and sweeps its item itself — see
+        // `call_protocol`. `in_ring` is decremented per popped item, never
+        // zeroed, precisely because such in-flight producers still own
+        // their increment.
+        self.sweep_intake();
         let mut victims: Vec<Arc<CallCell>> = Vec::new();
         for sync in &self.estates {
             let mut es = sync.st.lock();
@@ -865,6 +1094,13 @@ impl ObjectBuilder {
             cell_pool: Mutex::new(Vec::new()),
             cell_cap: (total * 2).clamp(8, 256),
             full_results,
+            // Sized so a storm of callers (far more than slots) rarely
+            // hits the full-ring yield-retry path, yet small enough to
+            // stay cache-resident.
+            intake: IntakeRing::with_capacity((total * 8).next_power_of_two().clamp(64, 1024)),
+            intake_drain: Mutex::new(()),
+            mgr_active: AtomicBool::new(true),
+            mgr_poll: AtomicBool::new(false),
         });
         if let Some(mut body) = self.manager {
             let mgr_inner = Arc::clone(&inner);
@@ -942,9 +1178,11 @@ impl ObjectHandle {
     /// `X.P(params, results)`, paper §2.2). The reply carries the public
     /// results.
     ///
-    /// This is the resolving wrapper around the fast path: it hashes the
-    /// entry name on every call. Hot callers should intern the name with
-    /// [`entry_id`](Self::entry_id) and use [`call_id`](Self::call_id).
+    /// This is the resolving wrapper around the fast path: it interns the
+    /// entry name ([`entry_id`](Self::entry_id)) and delegates to
+    /// [`call_id`](Self::call_id) — one protocol implementation, not two.
+    /// Hot callers should intern once themselves and call `call_id`
+    /// directly to skip the per-call hash lookup.
     ///
     /// # Errors
     ///
@@ -954,9 +1192,8 @@ impl ObjectHandle {
     /// * [`AlpsError::ObjectClosed`] if the object shuts down first;
     /// * [`AlpsError::BodyFailed`] if the entry body fails.
     pub fn call(&self, entry: &str, args: Vec<Value>) -> Result<Vec<Value>> {
-        let inner = &self.core.inner;
-        let idx = inner.entry_idx(entry)?;
-        inner.call_protocol(idx, args.into(), true).map(Vec::from)
+        let id = self.entry_id(entry)?;
+        self.call_id(id, args).map(Vec::from)
     }
 
     /// The allocation-light fast path: call an entry through an interned

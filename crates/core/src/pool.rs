@@ -21,7 +21,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Weak};
 
 use alps_runtime::metrics::Counter;
-use alps_runtime::{ProcId, Runtime, Spawn};
+use alps_runtime::{ProcId, Runtime, Spawn, SpinWait};
 use parking_lot::Mutex;
 
 use crate::object::ObjectInner;
@@ -103,6 +103,10 @@ struct QState {
 struct SlotBox {
     st: Mutex<SlotBoxSt>,
     closed: AtomicBool,
+    /// Lock-free mirror of `st.job.is_some()`, letting an idle worker
+    /// notice a freshly dispatched job during its spin phase without
+    /// taking the mutex.
+    has_job: AtomicBool,
 }
 
 #[derive(Default)]
@@ -144,6 +148,7 @@ impl Pool {
                     let sb = Arc::new(SlotBox {
                         st: Mutex::new(SlotBoxSt::default()),
                         closed: AtomicBool::new(false),
+                        has_job: AtomicBool::new(false),
                     });
                     pool.per_slot.push(Arc::clone(&sb));
                     pool.spawn_slot_worker(key, sb);
@@ -165,12 +170,25 @@ impl Pool {
         let rt = self.rt.clone();
         let executed = self.executed.clone();
         let name = format!("{}:worker[{key}]", self.name);
+        let spin_rounds = if self.rt.is_sim() { 0 } else { 4 };
         self.rt
             .spawn_with(Spawn::new(name).daemon(true), move || loop {
+                // Brief spin for a job dispatched while the previous one
+                // was winding down — skips a park/unpark round trip when
+                // the manager restarts this slot back-to-back.
+                let mut sw = SpinWait::new(spin_rounds);
+                while sw.spin() {
+                    if sb.has_job.load(Ordering::SeqCst) {
+                        break;
+                    }
+                }
                 let job = {
                     let mut st = sb.st.lock();
                     match st.job.take() {
-                        Some(j) => Some(j),
+                        Some(j) => {
+                            sb.has_job.store(false, Ordering::SeqCst);
+                            Some(j)
+                        }
                         None => {
                             if sb.closed.load(Ordering::SeqCst) {
                                 return;
@@ -245,6 +263,7 @@ impl Pool {
                     let mut st = sb.st.lock();
                     debug_assert!(st.job.is_none(), "slot worker busy twice");
                     st.job = Some(job);
+                    sb.has_job.store(true, Ordering::SeqCst);
                     st.waiter.take()
                 };
                 if let Some(w) = waiter {

@@ -37,6 +37,8 @@ use std::fmt;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
+use alps_runtime::WaitOutcome;
+
 use crate::error::{AlpsError, Result};
 use crate::manager::{AcceptedCall, ReadyEntry};
 use crate::object::{ObjectInner, Slot};
@@ -299,11 +301,36 @@ pub(crate) fn run_select(obj: &Arc<ObjectInner>, guards: &[Guard<'_>]) -> Result
             _ => resolved.push(None),
         }
     }
+    // Batch-aware fast path: the overwhelmingly common manager shapes —
+    // `mgr.accept(..)`, `mgr.await_done(..)`, their `_slot` variants, and
+    // single-guard selects — scan and commit under ONE acquisition of the
+    // entry lock, straight from the freshly drained batch, instead of the
+    // general evaluate-unlock-relock-commit dance. Requires no `pri`
+    // (with several eligible slots, a priority expression may pick a
+    // later one; first-eligible would be wrong).
+    let single_fast = guards.len() == 1
+        && guards[0].pri.is_none()
+        && matches!(
+            guards[0].kind,
+            GuardKind::Accept { .. } | GuardKind::AwaitDone { .. }
+        );
     loop {
         if obj.is_closed() {
             return Err(obj.closed_err());
         }
+        // Epoch before drain: any push after this snapshot bumps the
+        // epoch, so the wait below cannot sleep through it.
         let epoch = obj.notifier.epoch();
+        obj.drain_intake();
+        if single_fast {
+            let entry = resolved[0].expect("resolved above");
+            if let Some(sel) = fused_single(obj, &guards[0], entry) {
+                return Ok(sel);
+            }
+            // Accept/await guards never close while the object is open.
+            wait_for_work(obj, epoch);
+            continue;
+        }
         for g in guards {
             if let GuardKind::Receive { chan } = &g.kind {
                 chan.raw().subscribe(&obj.notifier);
@@ -531,6 +558,137 @@ pub(crate) fn run_select(obj: &Arc<ObjectInner>, guards: &[Guard<'_>]) -> Result
         if all_closed {
             return Err(AlpsError::SelectFailed);
         }
-        obj.notifier.wait_past(&obj.rt, epoch);
+        wait_for_work(obj, epoch);
+    }
+}
+
+/// One-lock scan-and-commit for a single `accept`/`await` guard without
+/// `pri`: the first eligible slot (lowest index — same choice the general
+/// path makes for equal priorities) is committed in place.
+fn fused_single(obj: &Arc<ObjectInner>, g: &Guard<'_>, entry: usize) -> Option<Selected> {
+    let sync = &obj.estates[entry];
+    match &g.kind {
+        GuardKind::Accept { slot, .. } => {
+            if sync.attached.load(Ordering::SeqCst) == 0 {
+                return None;
+            }
+            let k = obj.entries[entry]
+                .intercept
+                .map(|ic| ic.params)
+                .unwrap_or(0);
+            let mut es = sync.st.lock();
+            for i in 0..es.slots.len() {
+                if slot.is_some() && *slot != Some(i) {
+                    continue;
+                }
+                let eligible = {
+                    let Slot::Attached { call } = &es.slots[i] else {
+                        continue;
+                    };
+                    let view = GuardView {
+                        slot: i,
+                        values: &call.args[..k],
+                        obj,
+                    };
+                    g.when.as_ref().map(|f| f(&view)).unwrap_or(true)
+                };
+                if eligible {
+                    let call = crate::manager::commit_accept(obj, &mut es, entry, i);
+                    return Some(Selected::Accepted { guard: 0, call });
+                }
+            }
+            None
+        }
+        GuardKind::AwaitDone { slot, .. } => {
+            if sync.ready.load(Ordering::SeqCst) == 0 {
+                return None;
+            }
+            let def = &obj.entries[entry];
+            let kr = def.intercept.map(|ic| ic.results).unwrap_or(0);
+            let pub_len = def.results.len();
+            let mut es = sync.st.lock();
+            for i in 0..es.slots.len() {
+                if slot.is_some() && *slot != Some(i) {
+                    continue;
+                }
+                let eligible = {
+                    let Slot::Ready { outcome, .. } = &es.slots[i] else {
+                        continue;
+                    };
+                    match outcome {
+                        Err(_) => true,
+                        Ok(full) => {
+                            let mut v = full[..kr.min(full.len())].to_vec();
+                            if full.len() >= pub_len {
+                                v.extend(full[pub_len..].iter().cloned());
+                            }
+                            let view = GuardView {
+                                slot: i,
+                                values: &v,
+                                obj,
+                            };
+                            g.when.as_ref().map(|f| f(&view)).unwrap_or(true)
+                        }
+                    }
+                };
+                if eligible {
+                    let done = crate::manager::commit_await(obj, &mut es, entry, i);
+                    return Some(Selected::Ready { guard: 0, done });
+                }
+            }
+            None
+        }
+        _ => unreachable!("single_fast gate checked the kind"),
+    }
+}
+
+/// The manager's wait point, with the lost-wakeup handshake against the
+/// intake ring. Clearing `mgr_active` *before* the emptiness re-check
+/// pairs (SeqCst store-buffering pair) with a producer's push-then-load:
+/// either the manager sees the push and retries, or the producer sees the
+/// manager inactive and parks — in which case the producer's push flipped
+/// the drained-empty ring and its notify bumped the epoch this wait
+/// watches. A `false` from `is_empty` may also mean a producer has
+/// *claimed but not yet published* a slot (such a producer owes no
+/// notify), so the manager must not sleep — it yields and retries.
+fn wait_for_work(obj: &ObjectInner, epoch: u64) {
+    // Storm mode (promoted by `drain_intake` on a batch of ≥ 2): several
+    // callers are concurrently in their wake-and-resubmit window. Parking
+    // now would convoy them — each would find `mgr_active` false, park in
+    // turn, and pay a futex round trip per call while the ring never
+    // accumulates a real batch. Instead, yield-poll the ring: every yield
+    // hands the CPU to a waking caller, whose push needs no notify
+    // syscall (we never register as a waiter) and whose reply wait stays
+    // in its yield phase (`mgr_active` stays true). One dry budget — no
+    // work after `MGR_POLL_BUDGET` yields — demotes back to parking.
+    // Pointless in simulation, where only one process runs at a time.
+    const MGR_POLL_BUDGET: u32 = 64;
+    if obj.mgr_poll.load(Ordering::SeqCst) && !obj.rt.is_sim() {
+        for _ in 0..MGR_POLL_BUDGET {
+            if !obj.intake.is_empty() || obj.notifier.epoch() != epoch {
+                obj.stats.on_mgr_wakeup();
+                obj.stats.on_spin_resolved();
+                return;
+            }
+            obj.rt.yield_now();
+        }
+        obj.mgr_poll.store(false, Ordering::SeqCst);
+    }
+    obj.mgr_active.store(false, Ordering::SeqCst);
+    if !obj.intake.is_empty() {
+        obj.mgr_active.store(true, Ordering::SeqCst);
+        obj.rt.yield_now();
+        return;
+    }
+    // Spin rounds are pure CPU hints (no yields): they only pay when a
+    // producer is mid-call on another core; `wait_past_spin` skips them
+    // in simulation.
+    let out = obj.notifier.wait_past_spin(&obj.rt, epoch, 6);
+    obj.mgr_active.store(true, Ordering::SeqCst);
+    obj.stats.on_mgr_wakeup();
+    match out {
+        WaitOutcome::Spun => obj.stats.on_spin_resolved(),
+        WaitOutcome::Parked => obj.stats.on_park_resolved(),
+        WaitOutcome::Immediate => {}
     }
 }

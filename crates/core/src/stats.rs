@@ -4,6 +4,7 @@
 //! counters and histograms; the hot paths only touch atomics.
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use alps_runtime::metrics::{Counter, Histogram};
@@ -28,6 +29,13 @@ struct StatsInner {
     accept_wait: Histogram,
     service_time: Histogram,
     call_latency: Histogram,
+    mgr_wakeups: Counter,
+    drain_batch: Histogram,
+    spin_resolved: Counter,
+    park_resolved: Counter,
+    /// EWMA of service time in ticks (α = 1/8), written under the entry
+    /// lock on finish so a plain load/store suffices.
+    ewma_service: AtomicU64,
 }
 
 impl ObjectStats {
@@ -81,6 +89,32 @@ impl ObjectStats {
     pub fn call_latency(&self) -> &Histogram {
         &self.inner.call_latency
     }
+    /// Times the manager loop woke up to drain intake / re-evaluate guards
+    /// (parked or spun wakeups; the busy-loop iterations between sleeps
+    /// are not counted).
+    pub fn mgr_wakeups(&self) -> u64 {
+        self.inner.mgr_wakeups.get()
+    }
+    /// Calls drained from the intake ring per manager wakeup; `max()` is
+    /// the deepest batch observed.
+    pub fn drain_batch(&self) -> &Histogram {
+        &self.inner.drain_batch
+    }
+    /// Reply/manager waits resolved during the bounded spin phase (no
+    /// park syscall paid).
+    pub fn spin_resolved(&self) -> u64 {
+        self.inner.spin_resolved.get()
+    }
+    /// Reply/manager waits that exhausted their spin budget and parked.
+    pub fn park_resolved(&self) -> u64 {
+        self.inner.park_resolved.get()
+    }
+    /// Exponentially weighted moving average of entry service time in
+    /// ticks (α = 1/8) — the signal the adaptive spin budgets are tuned
+    /// by.
+    pub fn ewma_service_ticks(&self) -> u64 {
+        self.inner.ewma_service.load(Ordering::Relaxed)
+    }
 
     pub(crate) fn on_call(&self) {
         self.inner.calls.incr();
@@ -109,9 +143,31 @@ impl ObjectStats {
     }
     pub(crate) fn on_service(&self, ticks: u64) {
         self.inner.service_time.record(ticks);
+        // EWMA with α = 1/8: ewma += (sample - ewma) / 8, saturating so a
+        // pathological sample cannot wrap. Races between concurrent
+        // finishes can only lose an update, never corrupt the value.
+        let prev = self.inner.ewma_service.load(Ordering::Relaxed);
+        let next = if ticks >= prev {
+            prev + (ticks - prev) / 8
+        } else {
+            prev - (prev - ticks) / 8
+        };
+        self.inner.ewma_service.store(next, Ordering::Relaxed);
     }
     pub(crate) fn on_complete(&self, latency: u64) {
         self.inner.call_latency.record(latency);
+    }
+    pub(crate) fn on_mgr_wakeup(&self) {
+        self.inner.mgr_wakeups.incr();
+    }
+    pub(crate) fn on_drain(&self, batch: u64) {
+        self.inner.drain_batch.record(batch);
+    }
+    pub(crate) fn on_spin_resolved(&self) {
+        self.inner.spin_resolved.incr();
+    }
+    pub(crate) fn on_park_resolved(&self) {
+        self.inner.park_resolved.incr();
     }
 }
 
@@ -120,7 +176,8 @@ impl fmt::Display for ObjectStats {
         write!(
             f,
             "calls={} accepts={} starts={} finishes={} combines={} implicit={} failures={} \
-             p50_latency={} p99_latency={}",
+             p50_latency={} p99_latency={} wakeups={} mean_batch={:.1} max_batch={} \
+             spin_resolved={} park_resolved={}",
             self.calls(),
             self.accepts(),
             self.starts(),
@@ -130,6 +187,11 @@ impl fmt::Display for ObjectStats {
             self.body_failures(),
             self.call_latency().percentile(50.0),
             self.call_latency().percentile(99.0),
+            self.mgr_wakeups(),
+            self.drain_batch().mean(),
+            self.drain_batch().max(),
+            self.spin_resolved(),
+            self.park_resolved(),
         )
     }
 }
@@ -168,5 +230,37 @@ mod tests {
     fn display_is_nonempty() {
         let s = ObjectStats::new();
         assert!(s.to_string().contains("calls=0"));
+        assert!(s.to_string().contains("wakeups=0"));
+    }
+
+    #[test]
+    fn manager_loop_counters_accumulate() {
+        let s = ObjectStats::new();
+        s.on_mgr_wakeup();
+        s.on_drain(3);
+        s.on_drain(7);
+        s.on_spin_resolved();
+        s.on_park_resolved();
+        s.on_park_resolved();
+        assert_eq!(s.mgr_wakeups(), 1);
+        assert_eq!(s.drain_batch().count(), 2);
+        assert_eq!(s.drain_batch().max(), 7);
+        assert_eq!(s.spin_resolved(), 1);
+        assert_eq!(s.park_resolved(), 2);
+    }
+
+    #[test]
+    fn ewma_converges_toward_samples() {
+        let s = ObjectStats::new();
+        assert_eq!(s.ewma_service_ticks(), 0);
+        for _ in 0..64 {
+            s.on_service(800);
+        }
+        let up = s.ewma_service_ticks();
+        assert!(up > 400, "ewma rose toward 800, got {up}");
+        for _ in 0..64 {
+            s.on_service(0);
+        }
+        assert!(s.ewma_service_ticks() < up, "ewma decays");
     }
 }

@@ -9,7 +9,9 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use alps_core::{vals, EntryDef, Guard, ObjectBuilder, ObjectHandle, Result, Selected, Ty, Value};
+use alps_core::{
+    argv, EntryDef, EntryId, Guard, ObjectBuilder, ObjectHandle, Result, Selected, Ty, Value,
+};
 use alps_runtime::Runtime;
 use alps_sync::{Cond, Monitor};
 use parking_lot::Mutex;
@@ -35,6 +37,8 @@ use parking_lot::Mutex;
 #[derive(Debug, Clone)]
 pub struct AlpsBuffer {
     obj: ObjectHandle,
+    deposit: EntryId,
+    remove: EntryId,
 }
 
 impl AlpsBuffer {
@@ -109,7 +113,15 @@ impl AlpsBuffer {
                 }
             })
             .spawn(rt)?;
-        Ok(AlpsBuffer { obj })
+        // Intern the entry names once; every deposit/remove then takes
+        // the call_id fast path.
+        let deposit = obj.entry_id("Deposit")?;
+        let remove = obj.entry_id("Remove")?;
+        Ok(AlpsBuffer {
+            obj,
+            deposit,
+            remove,
+        })
     }
 
     /// Deposit a message (blocks while the buffer is full).
@@ -118,7 +130,7 @@ impl AlpsBuffer {
     ///
     /// [`alps_core::AlpsError::ObjectClosed`] after shutdown.
     pub fn deposit(&self, _rt: &Runtime, v: i64) -> Result<()> {
-        self.obj.call("Deposit", vals![v])?;
+        self.obj.call_id(self.deposit, argv![v])?;
         Ok(())
     }
 
@@ -128,7 +140,7 @@ impl AlpsBuffer {
     ///
     /// [`alps_core::AlpsError::ObjectClosed`] after shutdown.
     pub fn remove(&self, _rt: &Runtime) -> Result<i64> {
-        let r = self.obj.call("Remove", vals![])?;
+        let r = self.obj.call_id(self.remove, argv![])?;
         r[0].as_int()
     }
 

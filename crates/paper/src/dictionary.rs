@@ -10,7 +10,8 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use alps_core::{
-    vals, AcceptedCall, EntryDef, Guard, ObjectBuilder, ObjectHandle, Result, Selected, Ty, Value,
+    argv, AcceptedCall, EntryDef, EntryId, Guard, ObjectBuilder, ObjectHandle, Result, Selected,
+    Ty, Value,
 };
 use alps_runtime::Runtime;
 use parking_lot::Mutex;
@@ -42,6 +43,7 @@ impl Default for DictConfig {
 #[derive(Debug, Clone)]
 pub struct Dictionary {
     obj: ObjectHandle,
+    search: EntryId,
 }
 
 impl Dictionary {
@@ -117,7 +119,8 @@ impl Dictionary {
                 }
             })
             .spawn(rt)?;
-        Ok(Dictionary { obj })
+        let search = obj.entry_id("Search")?;
+        Ok(Dictionary { obj, search })
     }
 
     /// Look up a word (ALPS `Dictionary.Search(word, meaning)`).
@@ -126,7 +129,7 @@ impl Dictionary {
     ///
     /// [`alps_core::AlpsError::ObjectClosed`] after shutdown.
     pub fn search(&self, word: &str) -> Result<String> {
-        let r = self.obj.call("Search", vals![word])?;
+        let r = self.obj.call_id(self.search, argv![word])?;
         Ok(r[0].as_str()?.to_string())
     }
 

@@ -12,7 +12,9 @@
 
 use std::sync::Arc;
 
-use alps_core::{vals, EntryDef, Guard, ObjectBuilder, ObjectHandle, Result, Selected, Ty, Value};
+use alps_core::{
+    argv, vals, EntryDef, EntryId, Guard, ObjectBuilder, ObjectHandle, Result, Selected, Ty, Value,
+};
 use alps_runtime::Runtime;
 use parking_lot::Mutex;
 
@@ -45,6 +47,8 @@ impl Default for ParBufConfig {
 #[derive(Debug, Clone)]
 pub struct ParallelBuffer {
     obj: ObjectHandle,
+    deposit: EntryId,
+    remove: EntryId,
 }
 
 impl ParallelBuffer {
@@ -135,7 +139,13 @@ impl ParallelBuffer {
                 }
             })
             .spawn(rt)?;
-        Ok(ParallelBuffer { obj })
+        let deposit = obj.entry_id("Deposit")?;
+        let remove = obj.entry_id("Remove")?;
+        Ok(ParallelBuffer {
+            obj,
+            deposit,
+            remove,
+        })
     }
 
     /// Deposit a message, blocking while no slot is free.
@@ -144,7 +154,7 @@ impl ParallelBuffer {
     ///
     /// [`alps_core::AlpsError::ObjectClosed`] after shutdown.
     pub fn deposit(&self, v: i64) -> Result<()> {
-        self.obj.call("Deposit", vals![v])?;
+        self.obj.call_id(self.deposit, argv![v])?;
         Ok(())
     }
 
@@ -155,7 +165,7 @@ impl ParallelBuffer {
     ///
     /// [`alps_core::AlpsError::ObjectClosed`] after shutdown.
     pub fn remove(&self) -> Result<i64> {
-        let r = self.obj.call("Remove", vals![])?;
+        let r = self.obj.call_id(self.remove, argv![])?;
         r[0].as_int()
     }
 

@@ -645,3 +645,278 @@ mod tests {
         assert_eq!(got, want);
     }
 }
+
+/// A bounded lock-free multi-producer ring (Vyukov-style sequence
+/// numbers), used as the call-intake queue of the object layer: callers
+/// `push` without taking any object lock, the manager drains in batches.
+///
+/// The distinguishing feature is the return value of [`push`]: `Ok(true)`
+/// means this push was the **empty→non-empty transition** as seen from the
+/// consumer's current drain position. The producer that observes it owns
+/// the duty to wake the consumer; every other producer can skip the
+/// notification entirely, which is what makes a drain of N calls cost one
+/// wakeup instead of N.
+///
+/// Wakeup protocol (the consumer side must mirror this):
+///
+/// 1. producers: claim → write → publish → if `was_empty`, notify;
+/// 2. consumer: drain until `pop` returns `None`; before sleeping,
+///    re-check [`is_empty`] — `false` means some producer has *claimed* a
+///    slot it has not yet published (or published one after the drain), so
+///    the consumer must retry instead of sleeping, because that producer
+///    may not be the one that owes a notification.
+///
+/// With both rules in place a sleeping consumer is always covered: a push
+/// into a drained-empty ring compares its claimed position against the
+/// consumer's position and sees the transition, so it notifies.
+///
+/// [`push`]: IntakeRing::push
+/// [`is_empty`]: IntakeRing::is_empty
+///
+/// ```
+/// use alps_runtime::IntakeRing;
+/// let r: IntakeRing<u64> = IntakeRing::with_capacity(4);
+/// assert_eq!(r.push(1), Ok(true));  // empty → non-empty
+/// assert_eq!(r.push(2), Ok(false));
+/// assert_eq!(r.pop(), Some(1));
+/// assert_eq!(r.pop(), Some(2));
+/// assert_eq!(r.pop(), None);
+/// ```
+pub struct IntakeRing<T> {
+    buf: Box<[RingSlot<T>]>,
+    mask: usize,
+    enqueue_pos: std::sync::atomic::AtomicUsize,
+    dequeue_pos: std::sync::atomic::AtomicUsize,
+}
+
+struct RingSlot<T> {
+    seq: std::sync::atomic::AtomicUsize,
+    val: std::cell::UnsafeCell<Option<T>>,
+}
+
+// SAFETY: a slot's value is written by exactly one producer (the one
+// whose CAS claimed the slot's sequence number) and read by exactly one
+// consumer (the one whose CAS claimed the matching dequeue position);
+// the Release publish on `seq` orders the write before the Acquire read.
+unsafe impl<T: Send> Sync for IntakeRing<T> {}
+unsafe impl<T: Send> Send for IntakeRing<T> {}
+
+impl<T> fmt::Debug for IntakeRing<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("IntakeRing")
+            .field("capacity", &(self.mask + 1))
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl<T> IntakeRing<T> {
+    /// Create a ring holding at least `cap` items (rounded up to a power
+    /// of two, minimum 2).
+    pub fn with_capacity(cap: usize) -> IntakeRing<T> {
+        use std::sync::atomic::AtomicUsize;
+        let cap = cap.max(2).next_power_of_two();
+        let buf: Vec<RingSlot<T>> = (0..cap)
+            .map(|i| RingSlot {
+                seq: AtomicUsize::new(i),
+                val: std::cell::UnsafeCell::new(None),
+            })
+            .collect();
+        IntakeRing {
+            buf: buf.into_boxed_slice(),
+            mask: cap - 1,
+            enqueue_pos: AtomicUsize::new(0),
+            dequeue_pos: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.mask + 1
+    }
+
+    /// Approximate number of items (claimed slots count as occupied).
+    pub fn len(&self) -> usize {
+        use std::sync::atomic::Ordering::SeqCst;
+        self.enqueue_pos
+            .load(SeqCst)
+            .saturating_sub(self.dequeue_pos.load(SeqCst))
+    }
+
+    /// Whether the ring is empty. A `false` from the consumer's side may
+    /// mean a producer has claimed a slot but not yet published it; the
+    /// consumer must treat that as "work pending" and not sleep (see the
+    /// wakeup protocol above).
+    pub fn is_empty(&self) -> bool {
+        use std::sync::atomic::Ordering::SeqCst;
+        self.enqueue_pos.load(SeqCst) == self.dequeue_pos.load(SeqCst)
+    }
+
+    /// Push an item. `Ok(true)` when this push made the ring non-empty
+    /// from the consumer's perspective (the caller then owes the consumer
+    /// a wakeup); `Err(item)` when the ring is full.
+    pub fn push(&self, item: T) -> Result<bool, T> {
+        use std::sync::atomic::Ordering::{Acquire, Relaxed, Release, SeqCst};
+        let mut pos = self.enqueue_pos.load(Relaxed);
+        loop {
+            let slot = &self.buf[pos & self.mask];
+            let seq = slot.seq.load(Acquire);
+            let diff = seq as isize - pos as isize;
+            if diff == 0 {
+                match self
+                    .enqueue_pos
+                    .compare_exchange_weak(pos, pos + 1, SeqCst, Relaxed)
+                {
+                    Ok(_) => {
+                        // SeqCst so the transition test and the consumer's
+                        // `is_empty` pre-sleep check totally order.
+                        let was_empty = pos == self.dequeue_pos.load(SeqCst);
+                        // SAFETY: the CAS gave us exclusive claim on this
+                        // slot until the `seq` publish below.
+                        unsafe {
+                            *slot.val.get() = Some(item);
+                        }
+                        slot.seq.store(pos + 1, Release);
+                        return Ok(was_empty);
+                    }
+                    Err(p) => pos = p,
+                }
+            } else if diff < 0 {
+                return Err(item);
+            } else {
+                pos = self.enqueue_pos.load(Relaxed);
+            }
+        }
+    }
+
+    /// Pop the oldest item, or `None` when the ring is empty *or* the
+    /// oldest claimed slot has not been published yet.
+    pub fn pop(&self) -> Option<T> {
+        use std::sync::atomic::Ordering::{Acquire, Relaxed, Release, SeqCst};
+        let mut pos = self.dequeue_pos.load(Relaxed);
+        loop {
+            let slot = &self.buf[pos & self.mask];
+            let seq = slot.seq.load(Acquire);
+            let diff = seq as isize - (pos + 1) as isize;
+            if diff == 0 {
+                match self
+                    .dequeue_pos
+                    .compare_exchange_weak(pos, pos + 1, SeqCst, Relaxed)
+                {
+                    Ok(_) => {
+                        // SAFETY: the CAS gave us exclusive claim on this
+                        // published slot.
+                        let item = unsafe { (*slot.val.get()).take() };
+                        slot.seq.store(pos + self.mask + 1, Release);
+                        return item;
+                    }
+                    Err(p) => pos = p,
+                }
+            } else if diff < 0 {
+                return None;
+            } else {
+                pos = self.dequeue_pos.load(Relaxed);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod ring_tests {
+    use super::IntakeRing;
+
+    #[test]
+    fn fifo_and_empty_transition() {
+        let r: IntakeRing<u32> = IntakeRing::with_capacity(8);
+        assert!(r.is_empty());
+        assert_eq!(r.push(10), Ok(true));
+        assert_eq!(r.push(11), Ok(false));
+        assert_eq!(r.push(12), Ok(false));
+        assert!(!r.is_empty());
+        assert_eq!(r.pop(), Some(10));
+        assert_eq!(r.pop(), Some(11));
+        assert_eq!(r.pop(), Some(12));
+        assert_eq!(r.pop(), None);
+        assert!(r.is_empty());
+        // Drained: the next push is a fresh transition.
+        assert_eq!(r.push(13), Ok(true));
+        assert_eq!(r.pop(), Some(13));
+    }
+
+    #[test]
+    fn full_ring_rejects_and_returns_item() {
+        let r: IntakeRing<String> = IntakeRing::with_capacity(2);
+        assert_eq!(r.push("a".into()), Ok(true));
+        assert_eq!(r.push("b".into()), Ok(false));
+        assert_eq!(r.push("c".into()), Err("c".to_string()));
+        assert_eq!(r.pop(), Some("a".into()));
+        assert_eq!(r.push("c".into()), Ok(false));
+    }
+
+    #[test]
+    fn capacity_rounds_to_power_of_two() {
+        let r: IntakeRing<u8> = IntakeRing::with_capacity(5);
+        assert_eq!(r.capacity(), 8);
+        let r: IntakeRing<u8> = IntakeRing::with_capacity(0);
+        assert_eq!(r.capacity(), 2);
+    }
+
+    #[test]
+    fn wraparound_many_rounds() {
+        let r: IntakeRing<usize> = IntakeRing::with_capacity(4);
+        for round in 0..100 {
+            for i in 0..3 {
+                assert_eq!(r.push(round * 3 + i), Ok(i == 0));
+            }
+            for i in 0..3 {
+                assert_eq!(r.pop(), Some(round * 3 + i));
+            }
+        }
+    }
+
+    #[test]
+    fn multi_producer_stress_no_loss() {
+        use std::sync::Arc;
+        let r: Arc<IntakeRing<usize>> = Arc::new(IntakeRing::with_capacity(64));
+        let producers = 4;
+        let per = 5_000usize;
+        let mut hs = Vec::new();
+        for p in 0..producers {
+            let r2 = Arc::clone(&r);
+            hs.push(std::thread::spawn(move || {
+                let mut transitions = 0u64;
+                for i in 0..per {
+                    let mut item = p * per + i;
+                    loop {
+                        match r2.push(item) {
+                            Ok(was_empty) => {
+                                if was_empty {
+                                    transitions += 1;
+                                }
+                                break;
+                            }
+                            Err(back) => {
+                                item = back;
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                }
+                transitions
+            }));
+        }
+        let mut got = Vec::with_capacity(producers * per);
+        while got.len() < producers * per {
+            match r.pop() {
+                Some(v) => got.push(v),
+                None => std::thread::yield_now(),
+            }
+        }
+        let transitions: u64 = hs.into_iter().map(|h| h.join().unwrap()).sum();
+        assert!(transitions >= 1, "at least the first push transitions");
+        got.sort_unstable();
+        let want: Vec<usize> = (0..producers * per).collect();
+        assert_eq!(got, want);
+        assert!(r.is_empty());
+    }
+}

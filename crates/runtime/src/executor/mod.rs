@@ -19,6 +19,7 @@ mod thread;
 pub use sim::{SchedPolicy, SimRuntime};
 
 use std::cell::RefCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use crate::error::RuntimeError;
@@ -48,31 +49,44 @@ pub(crate) trait ExecutorCore: Send + Sync {
     fn proc_name(&self, id: ProcId) -> Option<String>;
 }
 
+/// Process-unique executor instance tokens. The thread-local [`CURRENT`]
+/// registry keys registrations by token, **not** by executor address: heap
+/// addresses are reused after a runtime is dropped, and a stale
+/// registration that matched a new runtime at the same address could hand
+/// a foreign thread the identity of one of the new runtime's spawned
+/// processes — two threads sharing one park slot silently steal each
+/// other's unpark permits (lost wakeups).
+static NEXT_CORE_TOKEN: AtomicUsize = AtomicUsize::new(1);
+
+pub(crate) fn alloc_core_token() -> usize {
+    NEXT_CORE_TOKEN.fetch_add(1, Ordering::Relaxed)
+}
+
 thread_local! {
     /// Which process the current OS thread is, per executor instance
-    /// (keyed by the executor's address). A thread can in principle touch
-    /// several runtimes (e.g. a test driving two threaded runtimes).
+    /// (keyed by the executor's unique token). A thread can in principle
+    /// touch several runtimes (e.g. a test driving two threaded runtimes).
     pub(crate) static CURRENT: RefCell<Vec<(usize, ProcId)>> = const { RefCell::new(Vec::new()) };
 }
 
-pub(crate) fn current_for(core_addr: usize) -> Option<ProcId> {
+pub(crate) fn current_for(core_token: usize) -> Option<ProcId> {
     CURRENT.with(|c| {
         c.borrow()
             .iter()
             .rev()
-            .find(|(a, _)| *a == core_addr)
+            .find(|(t, _)| *t == core_token)
             .map(|(_, id)| *id)
     })
 }
 
-pub(crate) fn set_current(core_addr: usize, id: ProcId) {
-    CURRENT.with(|c| c.borrow_mut().push((core_addr, id)));
+pub(crate) fn set_current(core_token: usize, id: ProcId) {
+    CURRENT.with(|c| c.borrow_mut().push((core_token, id)));
 }
 
-pub(crate) fn clear_current(core_addr: usize, id: ProcId) {
+pub(crate) fn clear_current(core_token: usize, id: ProcId) {
     CURRENT.with(|c| {
         let mut v = c.borrow_mut();
-        if let Some(pos) = v.iter().rposition(|(a, p)| *a == core_addr && *p == id) {
+        if let Some(pos) = v.iter().rposition(|(t, p)| *t == core_token && *p == id) {
             v.remove(pos);
         }
     });

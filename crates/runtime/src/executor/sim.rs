@@ -166,6 +166,9 @@ impl SimSt {
 }
 
 pub(crate) struct SimCore {
+    /// Unique instance token keying thread-local registrations — never an
+    /// address, which the allocator may reuse across runtime lifetimes.
+    token: usize,
     st: Mutex<SimSt>,
     driver_cv: Condvar,
     /// Back-reference so spawned threads can reach the core without an
@@ -181,6 +184,7 @@ impl SimCore {
             SchedPolicy::PriorityRandom(s) => s | 1,
         };
         SimCore {
+            token: super::alloc_core_token(),
             self_weak: Mutex::new(std::sync::Weak::new()),
             st: Mutex::new(SimSt {
                 procs: HashMap::new(),
@@ -272,9 +276,8 @@ impl SimCore {
         }
     }
 
-    fn current_id(&self, self_arc: &Arc<dyn ExecutorCore>) -> ProcId {
-        let addr = Arc::as_ptr(self_arc) as *const () as usize;
-        current_for(addr).expect(
+    fn current_id(&self) -> ProcId {
+        current_for(self.token).expect(
             "this thread is not a simulated process; in a SimRuntime all \
              interaction must happen from processes spawned on the runtime",
         )
@@ -284,11 +287,11 @@ impl SimCore {
 impl ExecutorCore for SimCore {
     fn spawn(
         &self,
-        self_arc: &Arc<dyn ExecutorCore>,
+        _self_arc: &Arc<dyn ExecutorCore>,
         opts: Spawn,
         f: Box<dyn FnOnce() + Send>,
     ) -> ProcId {
-        let addr = Arc::as_ptr(self_arc) as *const () as usize;
+        let token = self.token;
         let core: Arc<SimCore> = self
             .self_weak
             .lock()
@@ -334,7 +337,7 @@ impl ExecutorCore for SimCore {
                     let mut st = core.st.lock();
                     core.wait_for_grant(&mut st, id);
                 }
-                set_current(addr, id);
+                set_current(token, id);
                 let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
                 let panicked = match &outcome {
                     Ok(()) => false,
@@ -345,19 +348,19 @@ impl ExecutorCore for SimCore {
                     // hide behind silent daemon death.
                     // The payload is re-reported through join().
                 }
-                clear_current(addr, id);
+                clear_current(token, id);
                 core.proc_exit(id, panicked);
             })
             .expect("failed to spawn sim thread");
         id
     }
 
-    fn current(&self, self_arc: &Arc<dyn ExecutorCore>) -> ProcId {
-        self.current_id(self_arc)
+    fn current(&self, _self_arc: &Arc<dyn ExecutorCore>) -> ProcId {
+        self.current_id()
     }
 
-    fn park(&self, self_arc: &Arc<dyn ExecutorCore>) {
-        let me = self.current_id(self_arc);
+    fn park(&self, _self_arc: &Arc<dyn ExecutorCore>) {
+        let me = self.current_id();
         let mut st = self.st.lock();
         {
             let p = st.procs.get_mut(&me).expect("park: unknown proc");
@@ -384,8 +387,8 @@ impl ExecutorCore for SimCore {
         }
     }
 
-    fn yield_now(&self, self_arc: &Arc<dyn ExecutorCore>) {
-        let me = self.current_id(self_arc);
+    fn yield_now(&self, _self_arc: &Arc<dyn ExecutorCore>) {
+        let me = self.current_id();
         let mut st = self.st.lock();
         st.make_ready(me);
         st.running = None;
@@ -395,8 +398,8 @@ impl ExecutorCore for SimCore {
         self.wait_for_grant(&mut st, me);
     }
 
-    fn sleep(&self, self_arc: &Arc<dyn ExecutorCore>, ticks: u64) {
-        let me = self.current_id(self_arc);
+    fn sleep(&self, _self_arc: &Arc<dyn ExecutorCore>, ticks: u64) {
+        let me = self.current_id();
         let mut st = self.st.lock();
         let wake = st.clock.saturating_add(ticks);
         let seq = st.bump_seq();
@@ -417,7 +420,7 @@ impl ExecutorCore for SimCore {
     }
 
     fn join(&self, self_arc: &Arc<dyn ExecutorCore>, id: ProcId) -> Result<(), RuntimeError> {
-        let me = self.current_id(self_arc);
+        let me = self.current_id();
         loop {
             {
                 let mut st = self.st.lock();

@@ -46,6 +46,9 @@ impl ProcSlot {
 }
 
 pub(crate) struct ThreadCore {
+    /// Unique instance token keying thread-local registrations — never an
+    /// address, which the allocator may reuse across runtime lifetimes.
+    token: usize,
     procs: Arc<Mutex<HashMap<ProcId, Arc<ProcSlot>>>>,
     next_id: AtomicU64,
     epoch0: Instant,
@@ -56,6 +59,7 @@ impl ThreadCore {
     pub(crate) fn new() -> ThreadCore {
         crate::error::silence_abort_panics();
         ThreadCore {
+            token: super::alloc_core_token(),
             procs: Arc::new(Mutex::new(HashMap::new())),
             next_id: AtomicU64::new(1),
             epoch0: Instant::now(),
@@ -68,9 +72,8 @@ impl ThreadCore {
     }
 
     /// Slot of the calling thread, registering foreign threads lazily.
-    fn my_slot(&self, self_arc: &Arc<dyn ExecutorCore>) -> (ProcId, Arc<ProcSlot>) {
-        let addr = Arc::as_ptr(self_arc) as *const () as usize;
-        if let Some(id) = current_for(addr) {
+    fn my_slot(&self) -> (ProcId, Arc<ProcSlot>) {
+        if let Some(id) = current_for(self.token) {
             let slot = self.procs.lock().get(&id).cloned();
             if let Some(slot) = slot {
                 return (id, slot);
@@ -80,7 +83,7 @@ impl ThreadCore {
         let id = self.alloc_id();
         let slot = ProcSlot::new(format!("foreign-{}", id.as_u64()), true);
         self.procs.lock().insert(id, Arc::clone(&slot));
-        set_current(addr, id);
+        set_current(self.token, id);
         (id, slot)
     }
 }
@@ -88,24 +91,24 @@ impl ThreadCore {
 impl ExecutorCore for ThreadCore {
     fn spawn(
         &self,
-        self_arc: &Arc<dyn ExecutorCore>,
+        _self_arc: &Arc<dyn ExecutorCore>,
         opts: Spawn,
         f: Box<dyn FnOnce() + Send>,
     ) -> ProcId {
         let id = self.alloc_id();
         let slot = ProcSlot::new(opts.name.clone(), false);
         self.procs.lock().insert(id, Arc::clone(&slot));
-        let addr = Arc::as_ptr(self_arc) as *const () as usize;
+        let token = self.token;
         std::thread::Builder::new()
             .name(format!("{}#{}", opts.name, id.as_u64()))
             .spawn(move || {
-                set_current(addr, id);
+                set_current(token, id);
                 let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
                 let panicked = match &outcome {
                     Ok(()) => false,
                     Err(payload) => !payload.is::<Aborted>(),
                 };
-                clear_current(addr, id);
+                clear_current(token, id);
                 {
                     let mut st = slot.st.lock();
                     st.done = true;
@@ -120,12 +123,12 @@ impl ExecutorCore for ThreadCore {
         id
     }
 
-    fn current(&self, self_arc: &Arc<dyn ExecutorCore>) -> ProcId {
-        self.my_slot(self_arc).0
+    fn current(&self, _self_arc: &Arc<dyn ExecutorCore>) -> ProcId {
+        self.my_slot().0
     }
 
-    fn park(&self, self_arc: &Arc<dyn ExecutorCore>) {
-        let (_, slot) = self.my_slot(self_arc);
+    fn park(&self, _self_arc: &Arc<dyn ExecutorCore>) {
+        let (_, slot) = self.my_slot();
         let mut st = slot.st.lock();
         if st.aborted && !slot.foreign {
             drop(st);
@@ -282,6 +285,55 @@ mod tests {
         });
         rt.park();
         h.join().unwrap();
+    }
+
+    #[test]
+    fn foreign_registration_dies_with_its_runtime() {
+        // Regression: the thread-local registration used to be keyed by
+        // the executor's heap address. When a runtime was dropped and the
+        // next runtime's executor reused the allocation, the main thread's
+        // stale (addr, id) entry survived — and if the new runtime had
+        // already handed that id to a spawned proc, the main thread
+        // adopted that proc's park slot. Two threads sharing one slot
+        // steal each other's unpark permits: a lost wakeup that showed up
+        // as a rare bench deadlock. Tokens are process-unique, so the
+        // stale entry can never match; this loop makes allocator reuse
+        // likely and asserts the foreign thread always gets its own slot.
+        for _ in 0..64 {
+            // Runtime A: main registers as a foreign proc with a low id.
+            let rt_a = Runtime::threaded();
+            let _ = rt_a.current();
+            drop(rt_a);
+            // Runtime B (often at the same address): spawn a few procs so
+            // their ids cover A's stale foreign id, then register main.
+            let rt_b = Runtime::threaded();
+            let go = Arc::new(AtomicUsize::new(0));
+            let hs: Vec<_> = (0..3)
+                .map(|_| {
+                    let go2 = Arc::clone(&go);
+                    rt_b.spawn(move || {
+                        while go2.load(Ordering::SeqCst) == 0 {
+                            std::thread::yield_now();
+                        }
+                    })
+                })
+                .collect();
+            let me = rt_b.current();
+            for h in &hs {
+                assert_ne!(me, h.id(), "foreign thread adopted a spawned proc's id");
+            }
+            let name = rt_b.proc_name(me).unwrap();
+            assert!(name.starts_with("foreign-"), "not a foreign slot: {name}");
+            // The park/unpark handshake that deadlocked under the old code.
+            let rt2 = rt_b.clone();
+            let waker = rt_b.spawn(move || rt2.unpark(me));
+            rt_b.park();
+            go.store(1, Ordering::SeqCst);
+            waker.join().unwrap();
+            for h in hs {
+                h.join().unwrap();
+            }
+        }
     }
 
     #[test]

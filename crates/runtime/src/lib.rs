@@ -48,12 +48,12 @@ mod notifier;
 mod par;
 mod process;
 
-pub use chan::{Chan, RecvHalf, SendHalf};
+pub use chan::{Chan, IntakeRing, RecvHalf, SendHalf};
 pub use error::{Aborted, RuntimeError};
 pub use executor::{ProcHandle, Runtime, SchedPolicy, SimRuntime, TICKS_PER_MS};
-pub use notifier::{Notifier, NotifyBatch};
+pub use notifier::{Notifier, NotifyBatch, WaitOutcome};
 pub use par::{par, par_for};
-pub use process::{Priority, ProcId, Spawn};
+pub use process::{Priority, ProcId, Spawn, SpinWait};
 
 #[cfg(test)]
 mod send_sync_tests {

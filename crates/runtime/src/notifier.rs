@@ -26,7 +26,18 @@ use std::sync::{Arc, Weak};
 use parking_lot::Mutex;
 
 use crate::executor::Runtime;
-use crate::process::ProcId;
+use crate::process::{ProcId, SpinWait};
+
+/// How a [`Notifier::wait_past_spin`] call resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitOutcome {
+    /// The epoch had already moved — no waiting at all.
+    Immediate,
+    /// The epoch moved during the bounded spin phase (no park syscall).
+    Spun,
+    /// The spin budget ran out and the caller parked at least once.
+    Parked,
+}
 
 #[derive(Debug)]
 pub(crate) struct NotifierInner {
@@ -145,6 +156,31 @@ impl Notifier {
         }
     }
 
+    /// Adaptive variant of [`wait_past`](Notifier::wait_past): burn up to
+    /// `max_spin_rounds` exponential-backoff spin rounds polling the epoch
+    /// before falling back to the registering park path. Returns how the
+    /// wait resolved so callers can tune their budget (e.g. from an EWMA
+    /// of service time) and account spin- vs park-resolved waits.
+    ///
+    /// Spinning is pointless on the simulation executor (the notifying
+    /// process can only run once this one blocks), so a zero budget — or
+    /// any budget when `rt.is_sim()` — goes straight to the park path.
+    pub fn wait_past_spin(&self, rt: &Runtime, seen: u64, max_spin_rounds: u32) -> WaitOutcome {
+        if self.inner.epoch.load(Ordering::SeqCst) != seen {
+            return WaitOutcome::Immediate;
+        }
+        if max_spin_rounds > 0 && !rt.is_sim() {
+            let mut sw = SpinWait::new(max_spin_rounds);
+            while sw.spin() {
+                if self.inner.epoch.load(Ordering::SeqCst) != seen {
+                    return WaitOutcome::Spun;
+                }
+            }
+        }
+        self.wait_past(rt, seen);
+        WaitOutcome::Parked
+    }
+
     pub(crate) fn downgrade(&self) -> WeakNotifier {
         WeakNotifier {
             inner: Arc::downgrade(&self.inner),
@@ -258,6 +294,52 @@ mod tests {
                 hits2.store(1, Ordering::SeqCst);
             });
             rt.yield_now(); // waiter runs and parks
+            n.notify(rt);
+            h.join().unwrap();
+        })
+        .unwrap();
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn wait_past_spin_outcomes() {
+        let rt = Runtime::threaded();
+        let n = Notifier::new();
+        n.notify(&rt);
+        assert_eq!(n.wait_past_spin(&rt, 0, 8), WaitOutcome::Immediate);
+        // Epoch moves while we spin: another thread bumps it shortly.
+        let n2 = n.clone();
+        let rt2 = rt.clone();
+        let seen = n.epoch();
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            n2.notify(&rt2);
+        });
+        let out = n.wait_past_spin(&rt, seen, 64);
+        assert!(
+            out == WaitOutcome::Spun || out == WaitOutcome::Parked,
+            "{out:?}"
+        );
+        h.join().unwrap();
+        rt.shutdown();
+    }
+
+    #[test]
+    fn wait_past_spin_sim_goes_straight_to_park() {
+        let sim = SimRuntime::new();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let hits2 = Arc::clone(&hits);
+        sim.run(move |rt| {
+            let n = Notifier::new();
+            let n2 = n.clone();
+            let rt2 = rt.clone();
+            let h = rt.spawn_with(Spawn::new("waiter"), move || {
+                let seen = n2.epoch();
+                let out = n2.wait_past_spin(&rt2, seen, 32);
+                assert_eq!(out, WaitOutcome::Parked);
+                hits2.store(1, Ordering::SeqCst);
+            });
+            rt.yield_now();
             n.notify(rt);
             h.join().unwrap();
         })
