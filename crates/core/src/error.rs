@@ -84,6 +84,29 @@ pub enum AlpsError {
         /// Name of the object the id was used on.
         object: String,
     },
+    /// A deadline-bounded wait expired before the protocol answered
+    /// ([`ObjectHandle::call_deadline`](crate::ObjectHandle::call_deadline),
+    /// [`ManagerCtx::accept_deadline`](crate::ManagerCtx::accept_deadline),
+    /// [`ManagerCtx::await_deadline`](crate::ManagerCtx::await_deadline)).
+    Timeout {
+        /// What was being waited for (entry name or select description).
+        what: String,
+        /// The deadline budget in ticks.
+        ticks: u64,
+    },
+    /// The manager cancelled the call
+    /// ([`ManagerCtx::cancel`](crate::ManagerCtx::cancel)).
+    Cancelled {
+        /// Entry name.
+        entry: String,
+    },
+    /// An entry body panicked in a poisoning object
+    /// ([`ObjectBuilder::poison_on_panic`](crate::ObjectBuilder::poison_on_panic));
+    /// the object's state may be corrupt, so new calls fail fast.
+    ObjectPoisoned {
+        /// Object name.
+        object: String,
+    },
     /// An underlying runtime error.
     Runtime(RuntimeError),
     /// Application-defined failure raised inside an entry body.
@@ -128,6 +151,15 @@ impl fmt::Display for AlpsError {
             }
             AlpsError::ForeignEntryId { object } => {
                 write!(f, "entry id does not belong to object `{object}`")
+            }
+            AlpsError::Timeout { what, ticks } => {
+                write!(f, "`{what}` timed out after {ticks} ticks")
+            }
+            AlpsError::Cancelled { entry } => {
+                write!(f, "call to `{entry}` was cancelled")
+            }
+            AlpsError::ObjectPoisoned { object } => {
+                write!(f, "object `{object}` is poisoned (an entry body panicked)")
             }
             AlpsError::Runtime(e) => write!(f, "runtime error: {e}"),
             AlpsError::Custom(msg) => write!(f, "{msg}"),
@@ -174,6 +206,21 @@ mod tests {
             (
                 AlpsError::SelectFailed,
                 "select failed: every guard is closed",
+            ),
+            (
+                AlpsError::Timeout {
+                    what: "P".into(),
+                    ticks: 500,
+                },
+                "`P` timed out after 500 ticks",
+            ),
+            (
+                AlpsError::Cancelled { entry: "P".into() },
+                "call to `P` was cancelled",
+            ),
+            (
+                AlpsError::ObjectPoisoned { object: "X".into() },
+                "object `X` is poisoned (an entry body panicked)",
             ),
             (AlpsError::Custom("boom".into()), "boom"),
         ];

@@ -31,7 +31,7 @@ use alps_runtime::Runtime;
 
 use crate::error::{AlpsError, Result};
 use crate::object::{EntryState, ObjectInner, Slot};
-use crate::select::{run_select, Guard, Selected};
+use crate::select::{run_select, run_select_deadline, Guard, Selected};
 use crate::value::{check_types_lazy, ChanValue, ValVec, Value};
 
 /// A call the manager has accepted but not yet started or finished.
@@ -397,6 +397,137 @@ impl ManagerCtx {
             Selected::Ready { done, .. } => Ok(done),
             _ => unreachable!("single await guard"),
         }
+    }
+
+    /// `accept P` bounded by a deadline: like [`accept`](Self::accept),
+    /// but give up with [`AlpsError::Timeout`] after `ticks` virtual
+    /// microseconds with no acceptable call. A call that is already
+    /// attached is accepted even with `ticks == 0`, so a zero deadline is
+    /// a non-blocking poll.
+    ///
+    /// # Errors
+    ///
+    /// As [`accept`](Self::accept), plus [`AlpsError::Timeout`].
+    pub fn accept_deadline(&self, entry: &str, ticks: u64) -> Result<AcceptedCall> {
+        let at = self.obj.rt.now().saturating_add(ticks);
+        match run_select_deadline(&self.obj, &[Guard::accept(entry)], Some((at, ticks))) {
+            Ok(Selected::Accepted { call, .. }) => Ok(call),
+            Ok(_) => unreachable!("single accept guard"),
+            Err(AlpsError::Timeout { .. }) => Err(AlpsError::Timeout {
+                what: format!("accept {entry}"),
+                ticks,
+            }),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// `await P` bounded by a deadline: like
+    /// [`await_done`](Self::await_done), but give up with
+    /// [`AlpsError::Timeout`] after `ticks` virtual microseconds with no
+    /// ready execution. The started body keeps running; a later
+    /// `await_done` (or [`cancel`](Self::cancel)) can still consume it.
+    ///
+    /// # Errors
+    ///
+    /// As [`await_done`](Self::await_done), plus [`AlpsError::Timeout`].
+    pub fn await_deadline(&self, entry: &str, ticks: u64) -> Result<ReadyEntry> {
+        let at = self.obj.rt.now().saturating_add(ticks);
+        match run_select_deadline(&self.obj, &[Guard::await_done(entry)], Some((at, ticks))) {
+            Ok(Selected::Ready { done, .. }) => Ok(done),
+            Ok(_) => unreachable!("single await guard"),
+            Err(AlpsError::Timeout { .. }) => Err(AlpsError::Timeout {
+                what: format!("await {entry}"),
+                ticks,
+            }),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Abort the call occupying `entry`'s procedure-array element `slot`:
+    /// the caller is answered immediately with [`AlpsError::Cancelled`].
+    /// Returns `true` if a call was cancelled, `false` if the slot held
+    /// nothing cancellable (free, or running an implicit inline body).
+    ///
+    /// What happens depends on the slot's protocol state:
+    ///
+    /// * **attached** (not yet accepted) — the call is removed and the
+    ///   slot freed for the next queued call;
+    /// * **started** (body running) — the caller is answered now, the
+    ///   slot is marked *abandoned*, and the still-running body's result
+    ///   is discarded when it completes (cancellation is cooperative: the
+    ///   body itself is never interrupted);
+    /// * **ready** (body finished, not yet awaited) — the computed
+    ///   results are discarded and the caller answered with `Cancelled`.
+    ///
+    /// # Errors
+    ///
+    /// * [`AlpsError::ProtocolViolation`] if the slot is `accepted` or
+    ///   `awaited` — the manager holds a live [`AcceptedCall`] /
+    ///   [`ReadyEntry`] token for it and must consume that instead;
+    /// * [`AlpsError::UnknownEntry`] / bad `slot` index.
+    pub fn cancel(&self, entry: &str, slot: usize) -> Result<bool> {
+        let idx = self.obj.entry_idx(entry)?;
+        let obj = &self.obj;
+        let entry_name = obj.entries[idx].name.clone();
+        let sync = &obj.estates[idx];
+        let dispatch = {
+            let mut es = sync.st.lock();
+            if slot >= es.slots.len() {
+                return Err(AlpsError::ProtocolViolation {
+                    reason: format!("cancel {entry}[{slot}]: no such array element"),
+                });
+            }
+            let s = &mut es.slots[slot];
+            match std::mem::replace(s, Slot::Free) {
+                Slot::Free => return Ok(false),
+                Slot::InlineBusy => {
+                    *s = Slot::InlineBusy;
+                    return Ok(false);
+                }
+                Slot::Abandoned => {
+                    *s = Slot::Abandoned;
+                    return Ok(false);
+                }
+                Slot::Attached { call } => {
+                    sync.attached.fetch_sub(1, Ordering::SeqCst);
+                    if obj.complete(&call, Err(AlpsError::Cancelled { entry: entry_name })) {
+                        obj.stats.on_cancel();
+                    }
+                    obj.free_slot_and_pull(&mut es, idx, slot)
+                }
+                Slot::Ready { call, .. } => {
+                    sync.ready.fetch_sub(1, Ordering::SeqCst);
+                    if obj.complete(&call, Err(AlpsError::Cancelled { entry: entry_name })) {
+                        obj.stats.on_cancel();
+                    }
+                    obj.free_slot_and_pull(&mut es, idx, slot)
+                }
+                Slot::Started { call } => {
+                    // The body owns the slot until it completes;
+                    // `body_done` sees Abandoned, discards the outcome,
+                    // and frees the slot.
+                    *s = Slot::Abandoned;
+                    if obj.complete(&call, Err(AlpsError::Cancelled { entry: entry_name })) {
+                        obj.stats.on_cancel();
+                    }
+                    None
+                }
+                other @ (Slot::Accepted { .. } | Slot::Awaited { .. }) => {
+                    let name = other.state_name();
+                    *s = other;
+                    return Err(AlpsError::ProtocolViolation {
+                        reason: format!(
+                            "cancel on slot in state `{name}`: the manager holds a live \
+                             token for it (consume or drop that token instead)"
+                        ),
+                    });
+                }
+            }
+        };
+        if let Some((i, params)) = dispatch {
+            obj.dispatch_body(idx, i, params);
+        }
+        Ok(true)
     }
 
     /// `receive C` — block for a message on a channel, interruptible by

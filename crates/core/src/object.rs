@@ -90,18 +90,35 @@ static OBJECT_UID: AtomicU64 = AtomicU64::new(1);
 
 const CALL_WAITING: u32 = 0;
 const CALL_DONE: u32 = 1;
+/// The caller's deadline expired: it claimed the cell back and returned
+/// [`AlpsError::Timeout`]. Completers that lose the `finish` CAS against
+/// this state discard their result and tombstone the cell instead.
+const CALL_CANCELLED: u32 = 2;
+/// A protocol-side holder (intake drain, losing completer, shutdown
+/// sweep) acknowledged the cancellation. The `CANCELLED → TOMBSTONE` CAS
+/// has a unique winner, which is the one party entitled to account the
+/// reap; the cell is recycled as usual once its `Arc` is unique (reset
+/// clears the state word).
+const CALL_TOMBSTONE: u32 = 3;
 
 /// One in-flight rendezvous between a caller and the object.
 ///
 /// The seed design carried two `Mutex`es per call (`times`, `st`); both
 /// are collapsed here into plain atomics plus a oneshot result cell:
 ///
-/// * `state` is the one-word call state (`CALL_WAITING` → `CALL_DONE`).
+/// * `state` is the one-word call state. The happy path is a single
+///   transition `CALL_WAITING → CALL_DONE`; a deadline-bounded caller may
+///   instead win `CALL_WAITING → CALL_CANCELLED`, after which whichever
+///   protocol-side holder discovers the cell moves it `CALL_CANCELLED →
+///   CALL_TOMBSTONE` and reclaims it. Both completion and cancellation
+///   are compare-exchanges on `CALL_WAITING`, so exactly one side wins.
 /// * `result` is written exactly once, by the single completer that took
 ///   the cell out of its slot/queue under the entry lock, *before* the
-///   `SeqCst` store of `CALL_DONE`; the caller reads it only after a
-///   `SeqCst` load observes `CALL_DONE`. That handoff is the entire
-///   safety argument for the `unsafe impl Sync`.
+///   `SeqCst` CAS to `CALL_DONE`; the caller reads it only after a
+///   `SeqCst` load observes `CALL_DONE`. If the CAS loses to a
+///   cancellation the caller is gone for good — the written result is
+///   dead and `reset` clears it. That handoff is the entire safety
+///   argument for the `unsafe impl Sync`.
 /// * `waiting` is the caller's "I am about to park" announcement. The
 ///   completer skips the (expensive) `rt.unpark` when it is false — i.e.
 ///   when the caller is still in its spin/yield phase. The flag and the
@@ -145,17 +162,57 @@ impl CallCell {
     }
 
     /// Deliver the result. Must be called at most once per call round, by
-    /// the completer that removed this cell from the slot/queue.
-    fn finish(&self, r: Result<ValVec>) {
+    /// the completer that removed this cell from the slot/queue. Returns
+    /// whether the result was actually delivered — `false` means the
+    /// caller cancelled first (deadline expiry), is gone, and must *not*
+    /// be unparked.
+    fn finish(&self, r: Result<ValVec>) -> bool {
         // SAFETY: single completer per round (slot-state ownership); the
-        // caller cannot read until the store below. SeqCst (not just
-        // Release) because this store and the completer's subsequent
-        // `waiting` load pair with the caller's `waiting` store /
-        // `state` load — see the struct docs.
+        // caller cannot read until the CAS below succeeds, and after a
+        // cancellation it never reads at all (the write is dead and reset
+        // clears it). SeqCst (not just Release) because this CAS and the
+        // completer's subsequent `waiting` load pair with the caller's
+        // `waiting` store / `state` load — see the struct docs.
         unsafe {
             *self.result.get() = Some(r);
         }
-        self.state.store(CALL_DONE, Ordering::SeqCst);
+        self.state
+            .compare_exchange(CALL_WAITING, CALL_DONE, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+
+    /// Caller side, deadline path: claim the cell back. Succeeds iff no
+    /// completer has delivered yet; on success the caller owns the
+    /// `Timeout` outcome and every later completion attempt is discarded.
+    fn cancel(&self) -> bool {
+        self.state
+            .compare_exchange(
+                CALL_WAITING,
+                CALL_CANCELLED,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            )
+            .is_ok()
+    }
+
+    /// Whether the caller abandoned this call (and nobody tombstoned it
+    /// yet). Holders use it to skip dead cells cheaply before committing
+    /// work to them.
+    pub(crate) fn is_cancelled(&self) -> bool {
+        self.state.load(Ordering::SeqCst) == CALL_CANCELLED
+    }
+
+    /// Acknowledge a cancellation. The unique winner of this CAS is the
+    /// one party entitled to account the reap.
+    fn claim_tombstone(&self) -> bool {
+        self.state
+            .compare_exchange(
+                CALL_CANCELLED,
+                CALL_TOMBSTONE,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            )
+            .is_ok()
     }
 
     /// Caller side: take the result if the call has completed.
@@ -211,6 +268,12 @@ pub(crate) enum Slot {
         call: Arc<CallCell>,
         remainder: ValVec,
     },
+    /// The manager cancelled a `Started` call
+    /// ([`ManagerCtx::cancel`](crate::ManagerCtx::cancel)): the caller was
+    /// answered with [`AlpsError::Cancelled`] immediately, but the body is
+    /// still running and owns the slot until `body_done` discards its
+    /// outcome and frees it.
+    Abandoned,
 }
 
 impl Slot {
@@ -223,6 +286,7 @@ impl Slot {
             Slot::InlineBusy => "started",
             Slot::Ready { .. } => "ready",
             Slot::Awaited { .. } => "awaited",
+            Slot::Abandoned => "abandoned",
         }
     }
 }
@@ -285,6 +349,13 @@ pub(crate) struct ObjectInner {
     pub(crate) notifier: Notifier,
     pub(crate) stats: ObjectStats,
     pub(crate) closed: AtomicBool,
+    /// Set when an entry body panics in a poisoning object
+    /// ([`ObjectBuilder::poison_on_panic`]): the object's invariants may
+    /// be corrupt, so new calls fail fast with
+    /// [`AlpsError::ObjectPoisoned`]. Poisoned ≠ closed — the manager
+    /// keeps running and in-flight calls complete normally.
+    pub(crate) poisoned: AtomicBool,
+    poison_on_panic: bool,
     pub(crate) pool: Pool,
     pub(crate) manager_error: Mutex<Option<AlpsError>>,
     /// Recycled [`CallCell`]s; bounded by `cell_cap`.
@@ -347,6 +418,16 @@ impl ObjectInner {
         }
     }
 
+    pub(crate) fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::SeqCst)
+    }
+
+    fn poisoned_err(&self) -> AlpsError {
+        AlpsError::ObjectPoisoned {
+            object: self.name.clone(),
+        }
+    }
+
     /// Draw a call cell from the free list, or allocate one.
     fn acquire_cell(&self, args: ValVec, caller: ProcId, t_call: u64) -> Arc<CallCell> {
         if let Some(mut arc) = self.cell_pool.lock().pop() {
@@ -378,14 +459,29 @@ impl ObjectInner {
     /// and wake syscall on the contended fast path. The SeqCst
     /// store-then-load on the completer side pairs with the caller's
     /// SeqCst `waiting`-store-then-`state`-load (see [`CallCell`]).
-    pub(crate) fn complete(&self, call: &Arc<CallCell>, result: Result<ValVec>) {
-        if result.is_ok() {
-            let now = self.rt.now();
-            self.stats.on_complete(now.saturating_sub(call.t_call));
-        }
-        call.finish(result);
-        if call.waiting.load(Ordering::SeqCst) {
-            self.rt.unpark(call.caller);
+    ///
+    /// Returns whether the result reached the caller. `false` means the
+    /// caller cancelled first (deadline expiry): the delivery is
+    /// discarded, the cell is tombstoned here, and — critically — no
+    /// unpark is issued, so the departed caller's park slot is never
+    /// handed a stray permit (the lost-wakeup-class hazard under
+    /// cancellation).
+    pub(crate) fn complete(&self, call: &Arc<CallCell>, result: Result<ValVec>) -> bool {
+        let ok = result.is_ok();
+        if call.finish(result) {
+            if ok {
+                let now = self.rt.now();
+                self.stats.on_complete(now.saturating_sub(call.t_call));
+            }
+            if call.waiting.load(Ordering::SeqCst) {
+                self.rt.unpark(call.caller);
+            }
+            true
+        } else {
+            if call.claim_tombstone() {
+                self.stats.on_reap();
+            }
+            false
         }
     }
 
@@ -494,8 +590,14 @@ impl ObjectInner {
             .as_ref()
             .expect("validated at build: every entry has a body");
         let mut ctx = ProcCtx::new(Arc::clone(self), entry, slot);
-        let outcome =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut ctx, params)));
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // Inside the unwind boundary so an injected `Panic` at the
+            // `"body"` step is indistinguishable from a real body panic.
+            if self.rt.fault_point("body") {
+                return Err(AlpsError::Custom("injected drop: body".into()));
+            }
+            body(&mut ctx, params)
+        }));
         match outcome {
             Ok(Ok(results)) => {
                 match check_types_lazy(&self.full_results[entry], &results, || {
@@ -506,7 +608,15 @@ impl ObjectInner {
                 }
             }
             Ok(Err(e)) => Err(e.to_string()),
-            Err(payload) => Err(panic_message(payload.as_ref())),
+            Err(payload) => {
+                // A panic (not an error return) may have unwound the body
+                // mid-update: in a poisoning object, fail all future calls
+                // fast rather than letting them observe torn state.
+                if self.poison_on_panic {
+                    self.poisoned.store(true, Ordering::SeqCst);
+                }
+                Err(panic_message(payload.as_ref()))
+            }
         }
     }
 
@@ -526,6 +636,17 @@ impl ObjectInner {
             let s = &mut es.slots[slot];
             let call = match std::mem::replace(s, Slot::Free) {
                 Slot::Started { call } => call,
+                Slot::Abandoned => {
+                    // The manager cancelled this call mid-body: the caller
+                    // was already answered, so the outcome is discarded and
+                    // the slot simply frees up for the next queued call.
+                    let dispatch = self.free_slot_and_pull(&mut es, entry, slot);
+                    drop(es);
+                    if let Some((i, params)) = dispatch {
+                        self.dispatch_body(entry, i, params);
+                    }
+                    return;
+                }
                 other => {
                     // Object likely shut down underneath the body.
                     *s = other;
@@ -545,7 +666,9 @@ impl ObjectInner {
                 made_ready = true;
             } else {
                 match outcome {
-                    Ok(results) => self.complete(&call, Ok(results)),
+                    Ok(results) => {
+                        self.complete(&call, Ok(results));
+                    }
                     Err(msg) => {
                         self.stats.on_body_failure();
                         self.complete(
@@ -591,6 +714,10 @@ impl ObjectInner {
         if self.is_closed() {
             return Err(self.closed_err());
         }
+        if self.is_poisoned() {
+            self.stats.on_poison_reject();
+            return Err(self.poisoned_err());
+        }
         self.stats.on_call();
         let t_call = self.rt.now();
 
@@ -627,6 +754,14 @@ impl ObjectInner {
             // flips the ring empty→non-empty notifies — that producer is
             // the one the (possibly parked) manager is owed a wakeup by.
             let sync = &self.estates[entry];
+            if self.rt.fault_point("intake_push") {
+                // Injected lost submission: the cell is never published.
+                // A deadline-bounded caller recovers via Timeout; a plain
+                // caller hangs — in simulation, as a detected deadlock.
+                let r = self.wait_for_reply(&call, true);
+                self.release_cell(call);
+                return r;
+            }
             sync.in_ring.fetch_add(1, Ordering::SeqCst);
             let mut item = (entry as u32, Arc::clone(&call));
             loop {
@@ -730,6 +865,204 @@ impl ObjectInner {
         }
     }
 
+    /// Deadline-bounded variant of [`call_protocol`](Self::call_protocol):
+    /// the same protocol, but the reply wait is bounded by `ticks` virtual
+    /// microseconds. On expiry the caller claims its cell back
+    /// (`CALL_WAITING → CALL_CANCELLED`), proactively removes it from the
+    /// wait queue or an `Attached` slot if it is still reachable there,
+    /// and returns [`AlpsError::Timeout`]; a cell the manager already owns
+    /// — in the intake ring, `Accepted`, or `Started` — is reclaimed
+    /// lazily by whichever holder touches it next (drain tombstone, losing
+    /// `finish` CAS, shutdown sweep).
+    ///
+    /// Kept as a separate function rather than an `Option<deadline>`
+    /// parameter so the no-deadline warm path carries zero extra loads or
+    /// branches.
+    pub(crate) fn call_protocol_deadline(
+        self: &Arc<Self>,
+        entry: usize,
+        args: ValVec,
+        external: bool,
+        ticks: u64,
+    ) -> Result<ValVec> {
+        let def = &self.entries[entry];
+        if external && def.local {
+            return Err(AlpsError::LocalEntryCalled {
+                object: self.name.clone(),
+                entry: def.name.clone(),
+            });
+        }
+        check_types_lazy(&def.params, &args, || {
+            format!("call {}.{}", self.name, def.name)
+        })?;
+        if self.is_closed() {
+            return Err(self.closed_err());
+        }
+        if self.is_poisoned() {
+            self.stats.on_poison_reject();
+            return Err(self.poisoned_err());
+        }
+        self.stats.on_call();
+        let t_call = self.rt.now();
+        let deadline = t_call.saturating_add(ticks);
+
+        if def.intercept.is_none() {
+            // Inline fast path: once the body starts, it runs to
+            // completion in this very process — the deadline bounds
+            // *waiting*, never execution already underway.
+            let claimed = {
+                let mut es = self.estates[entry].st.lock();
+                if self.is_closed() {
+                    return Err(self.closed_err());
+                }
+                match es.slots.iter().position(|s| matches!(s, Slot::Free)) {
+                    Some(i) => {
+                        es.slots[i] = Slot::InlineBusy;
+                        Some(i)
+                    }
+                    None => None,
+                }
+            };
+            if let Some(i) = claimed {
+                return self.run_inline(entry, i, args, t_call);
+            }
+            let call = self.acquire_cell(args, self.rt.current(), t_call);
+            let dispatch = {
+                let mut es = self.estates[entry].st.lock();
+                if self.is_closed() {
+                    return Err(self.closed_err());
+                }
+                self.attach_or_queue(&mut es, entry, Arc::clone(&call))
+            };
+            if let Some((i, params)) = dispatch {
+                self.dispatch_body(entry, i, params);
+            }
+            let r = self.wait_for_reply_deadline(&call, entry, deadline, ticks);
+            self.release_cell(call);
+            return r;
+        }
+
+        // Intercepted: same ring submission as the no-deadline path.
+        let call = self.acquire_cell(args, self.rt.current(), t_call);
+        let sync = &self.estates[entry];
+        if self.rt.fault_point("intake_push") {
+            // Injected lost submission; the deadline converts the hang
+            // into a Timeout.
+            let r = self.wait_for_reply_deadline(&call, entry, deadline, ticks);
+            self.release_cell(call);
+            return r;
+        }
+        sync.in_ring.fetch_add(1, Ordering::SeqCst);
+        let mut item = (entry as u32, Arc::clone(&call));
+        loop {
+            match self.intake.push(item) {
+                Ok(was_empty) => {
+                    if was_empty {
+                        self.notifier.notify(&self.rt);
+                    }
+                    break;
+                }
+                Err(back) => {
+                    if self.is_closed() {
+                        sync.in_ring.fetch_sub(1, Ordering::SeqCst);
+                        drop(back);
+                        self.release_cell(call);
+                        return Err(self.closed_err());
+                    }
+                    item = back;
+                    self.rt.yield_now();
+                }
+            }
+        }
+        std::sync::atomic::fence(Ordering::SeqCst);
+        if self.is_closed() {
+            self.sweep_intake();
+        }
+        let r = self.wait_for_reply_deadline(&call, entry, deadline, ticks);
+        self.release_cell(call);
+        r
+    }
+
+    /// Deadline-bounded reply wait. No spin/yield phase: a caller that
+    /// opted into a deadline is latency-tolerant by definition, so it
+    /// announces and parks with a timer straight away. On expiry it races
+    /// the completer with a `cancel` CAS; losing the race means the result
+    /// was published first and is taken normally.
+    fn wait_for_reply_deadline(
+        self: &Arc<Self>,
+        call: &Arc<CallCell>,
+        entry: usize,
+        deadline: u64,
+        budget: u64,
+    ) -> Result<ValVec> {
+        call.waiting.store(true, Ordering::SeqCst);
+        loop {
+            if let Some(r) = call.try_take() {
+                return r;
+            }
+            let now = self.rt.now();
+            if now >= deadline {
+                if call.cancel() {
+                    self.stats.on_timeout();
+                    self.reap_cancelled(entry, call);
+                    return Err(AlpsError::Timeout {
+                        what: self.entries[entry].name.clone(),
+                        ticks: budget,
+                    });
+                }
+                // Lost the race: `finish` publishes the result before its
+                // CAS, so a failed cancel means the result is visible now.
+                return call
+                    .try_take()
+                    .expect("completer won the state CAS, result published");
+            }
+            self.rt.park_timeout(deadline - now);
+        }
+    }
+
+    /// Best-effort immediate cleanup after a caller-side cancellation:
+    /// pull the cell out of whatever this side can still reach — the wait
+    /// queue or an `Attached` slot. Cells the manager already owns
+    /// (`Accepted`, `Started`, `Ready`, `Awaited`) are left in place: the
+    /// manager's eventual completion loses the `finish` CAS and tombstones
+    /// them. Cells still in the intake ring are tombstoned by the next
+    /// drain or sweep.
+    fn reap_cancelled(self: &Arc<Self>, entry: usize, call: &Arc<CallCell>) {
+        let sync = &self.estates[entry];
+        let mut removed = false;
+        let dispatch = {
+            let mut es = sync.st.lock();
+            if let Some(pos) = es.waitq.iter().position(|c| Arc::ptr_eq(c, call)) {
+                es.waitq.remove(pos);
+                sync.queued.fetch_sub(1, Ordering::SeqCst);
+                removed = true;
+                None
+            } else if let Some(i) = es
+                .slots
+                .iter()
+                .position(|s| matches!(s, Slot::Attached { call: c } if Arc::ptr_eq(c, call)))
+            {
+                sync.attached.fetch_sub(1, Ordering::SeqCst);
+                removed = true;
+                // Dropping the slot's clone here; free_slot_and_pull hands
+                // the slot to the next queued call.
+                self.free_slot_and_pull(&mut es, entry, i)
+            } else {
+                None
+            }
+        };
+        if removed {
+            if call.claim_tombstone() {
+                self.stats.on_reap();
+            }
+            // `#P` shrank; a `when`-condition watching it may now hold.
+            self.notifier.notify(&self.rt);
+        }
+        if let Some((i, params)) = dispatch {
+            self.dispatch_body(entry, i, params);
+        }
+    }
+
     /// Drain the intake ring: classify every published cell into its
     /// entry's slot array or wait queue. Called by the manager at the top
     /// of each select pass, so one wakeup amortizes over the whole batch.
@@ -750,6 +1083,24 @@ impl ObjectInner {
             drained += 1;
             let entry = eidx as usize;
             let sync = &self.estates[entry];
+            // A cancelled cell is a tombstone, not a stale call: the
+            // caller's deadline expired between its push and this drain.
+            // Acknowledge, drop the ring accounting, and recycle — it must
+            // never reach a slot or the wait queue.
+            if call.is_cancelled() {
+                sync.in_ring.fetch_sub(1, Ordering::SeqCst);
+                if call.claim_tombstone() {
+                    self.stats.on_reap();
+                }
+                self.release_cell(call);
+                continue;
+            }
+            if self.rt.fault_point("drain") {
+                // Injected lost drain: the cell vanishes undelivered. Its
+                // caller recovers via deadline (or deadlocks, detectably).
+                sync.in_ring.fetch_sub(1, Ordering::SeqCst);
+                continue;
+            }
             let mut es = sync.st.lock();
             if self.is_closed() {
                 // Entry-lock mutual exclusion with shutdown's sweep makes
@@ -881,7 +1232,10 @@ impl ObjectInner {
             victims.extend(es.waitq.drain(..));
             for s in &mut es.slots {
                 match std::mem::replace(s, Slot::Free) {
-                    Slot::Free | Slot::InlineBusy => {}
+                    // Abandoned: the caller was already answered by
+                    // `cancel`; the still-running body's `body_done` finds
+                    // the slot `Free` and treats it as swept.
+                    Slot::Free | Slot::InlineBusy | Slot::Abandoned => {}
                     Slot::Attached { call }
                     | Slot::Accepted { call }
                     | Slot::Started { call }
@@ -956,6 +1310,7 @@ pub struct ObjectBuilder {
     manager: Option<ManagerBody>,
     pool: PoolMode,
     manager_prio: Priority,
+    poison_on_panic: bool,
 }
 
 impl fmt::Debug for ObjectBuilder {
@@ -978,7 +1333,19 @@ impl ObjectBuilder {
             manager: None,
             pool: PoolMode::default(),
             manager_prio: Priority::MANAGER,
+            poison_on_panic: false,
         }
+    }
+
+    /// Poison the object when an entry body panics: subsequent calls fail
+    /// fast with [`AlpsError::ObjectPoisoned`] instead of running against
+    /// possibly-corrupt state. Off by default — a panicking body already
+    /// fails its own caller with [`AlpsError::BodyFailed`], and many
+    /// objects (e.g. the failure-injection tests) tolerate body panics
+    /// without invariant damage.
+    pub fn poison_on_panic(mut self, yes: bool) -> Self {
+        self.poison_on_panic = yes;
+        self
     }
 
     /// Add an entry (or local) procedure.
@@ -1089,6 +1456,8 @@ impl ObjectBuilder {
             notifier: Notifier::new(),
             stats: ObjectStats::new(),
             closed: AtomicBool::new(false),
+            poisoned: AtomicBool::new(false),
+            poison_on_panic: self.poison_on_panic,
             pool,
             manager_error: Mutex::new(None),
             cell_pool: Mutex::new(Vec::new()),
@@ -1230,6 +1599,45 @@ impl ObjectHandle {
         inner.call_protocol(id.idx as usize, args.into(), true)
     }
 
+    /// Like [`call`](Self::call), but give up after `ticks` virtual
+    /// microseconds of waiting: the call is cancelled and
+    /// [`AlpsError::Timeout`] returned. Cancellation is cooperative — a
+    /// body that already *started* runs to completion, but its result is
+    /// discarded (tombstoned) instead of delivered. A reply that lands in
+    /// the same instant the deadline expires is delivered normally: the
+    /// caller and the completer race on one atomic state transition, so a
+    /// call is answered exactly once, by exactly one side.
+    ///
+    /// # Errors
+    ///
+    /// As [`call`](Self::call), plus [`AlpsError::Timeout`] on expiry.
+    pub fn call_deadline(&self, entry: &str, args: Vec<Value>, ticks: u64) -> Result<Vec<Value>> {
+        let id = self.entry_id(entry)?;
+        self.call_id_deadline(id, args, ticks).map(Vec::from)
+    }
+
+    /// Deadline-bounded variant of [`call_id`](Self::call_id); see
+    /// [`call_deadline`](Self::call_deadline) for the timeout semantics.
+    ///
+    /// # Errors
+    ///
+    /// As [`call_id`](Self::call_id), plus [`AlpsError::Timeout`] on
+    /// expiry.
+    pub fn call_id_deadline(
+        &self,
+        id: EntryId,
+        args: impl Into<ValVec>,
+        ticks: u64,
+    ) -> Result<ValVec> {
+        let inner = &self.core.inner;
+        if id.obj != inner.uid {
+            return Err(AlpsError::ForeignEntryId {
+                object: inner.name.clone(),
+            });
+        }
+        inner.call_protocol_deadline(id.idx as usize, args.into(), true, ticks)
+    }
+
     /// Call a procedure *as if from inside the object*: local procedures
     /// are callable and, when intercepted, go through the full
     /// attach/accept/start/finish protocol. Intended for language
@@ -1282,6 +1690,12 @@ impl ObjectHandle {
     /// Whether the object has been shut down.
     pub fn is_closed(&self) -> bool {
         self.core.inner.is_closed()
+    }
+
+    /// Whether an entry-body panic poisoned the object (only possible
+    /// with [`ObjectBuilder::poison_on_panic`]).
+    pub fn is_poisoned(&self) -> bool {
+        self.core.inner.is_poisoned()
     }
 
     /// If the manager exited with an error (other than the normal

@@ -288,6 +288,20 @@ fn consider(best: &mut Option<Candidate>, c: Candidate) {
 
 /// Run one select: block until a guard fires or all guards close.
 pub(crate) fn run_select(obj: &Arc<ObjectInner>, guards: &[Guard<'_>]) -> Result<Selected> {
+    run_select_deadline(obj, guards, None)
+}
+
+/// [`run_select`] with an optional deadline: `(absolute expiry, budget)`.
+/// When the expiry passes before any guard fires, the select fails with
+/// [`AlpsError::Timeout`] (callers rewrite `what` to name their wait).
+/// The deadline bounds *waiting* only — a guard that is already eligible
+/// is still committed even if the deadline has technically passed, so a
+/// zero-tick deadline degenerates to a non-blocking poll.
+pub(crate) fn run_select_deadline(
+    obj: &Arc<ObjectInner>,
+    guards: &[Guard<'_>],
+    deadline: Option<(u64, u64)>,
+) -> Result<Selected> {
     if guards.is_empty() {
         return Err(AlpsError::SelectFailed);
     }
@@ -328,7 +342,7 @@ pub(crate) fn run_select(obj: &Arc<ObjectInner>, guards: &[Guard<'_>]) -> Result
                 return Ok(sel);
             }
             // Accept/await guards never close while the object is open.
-            wait_for_work(obj, epoch);
+            wait_for_work_deadline(obj, epoch, deadline)?;
             continue;
         }
         for g in guards {
@@ -558,8 +572,45 @@ pub(crate) fn run_select(obj: &Arc<ObjectInner>, guards: &[Guard<'_>]) -> Result
         if all_closed {
             return Err(AlpsError::SelectFailed);
         }
-        wait_for_work(obj, epoch);
+        wait_for_work_deadline(obj, epoch, deadline)?;
     }
+}
+
+/// Deadline-bounded wrapper around [`wait_for_work`]: without a deadline
+/// it is exactly `wait_for_work`; with one, the park is timer-bounded and
+/// an expiry with no epoch movement fails the select with
+/// [`AlpsError::Timeout`]. The storm-mode poll loop is skipped — a
+/// deadline wait is a latency-tolerant cold path by definition.
+fn wait_for_work_deadline(
+    obj: &ObjectInner,
+    epoch: u64,
+    deadline: Option<(u64, u64)>,
+) -> Result<()> {
+    let Some((at, budget)) = deadline else {
+        wait_for_work(obj, epoch);
+        return Ok(());
+    };
+    let timeout = || AlpsError::Timeout {
+        what: "select".into(),
+        ticks: budget,
+    };
+    if obj.rt.now() >= at {
+        return Err(timeout());
+    }
+    // Same lost-wakeup handshake as `wait_for_work` (see its comment).
+    obj.mgr_active.store(false, Ordering::SeqCst);
+    if !obj.intake.is_empty() {
+        obj.mgr_active.store(true, Ordering::SeqCst);
+        obj.rt.yield_now();
+        return Ok(());
+    }
+    let moved = obj.notifier.wait_past_deadline(&obj.rt, epoch, at);
+    obj.mgr_active.store(true, Ordering::SeqCst);
+    obj.stats.on_mgr_wakeup();
+    if !moved && obj.rt.now() >= at {
+        return Err(timeout());
+    }
+    Ok(())
 }
 
 /// One-lock scan-and-commit for a single `accept`/`await` guard without

@@ -33,6 +33,10 @@ struct StatsInner {
     drain_batch: Histogram,
     spin_resolved: Counter,
     park_resolved: Counter,
+    timeouts: Counter,
+    cancels: Counter,
+    reaps: Counter,
+    poison_rejects: Counter,
     /// EWMA of service time in ticks (α = 1/8), written under the entry
     /// lock on finish so a plain load/store suffices.
     ewma_service: AtomicU64,
@@ -109,6 +113,29 @@ impl ObjectStats {
     pub fn park_resolved(&self) -> u64 {
         self.inner.park_resolved.get()
     }
+    /// Calls whose deadline expired before the protocol answered — the
+    /// caller claimed its cell back (`CANCELLED`) and returned
+    /// [`Timeout`](crate::AlpsError::Timeout).
+    pub fn timeouts(&self) -> u64 {
+        self.inner.timeouts.get()
+    }
+    /// Calls the manager aborted via
+    /// [`cancel`](crate::ManagerCtx::cancel) — the caller received
+    /// [`Cancelled`](crate::AlpsError::Cancelled).
+    pub fn cancels(&self) -> u64 {
+        self.inner.cancels.get()
+    }
+    /// Cancelled cells reaped (tombstoned) by a protocol-side holder —
+    /// the intake drain, a manager completion whose delivery found the
+    /// caller gone, or the shutdown sweep.
+    pub fn reaps(&self) -> u64 {
+        self.inner.reaps.get()
+    }
+    /// Calls rejected fast because the object was poisoned by an
+    /// entry-body panic.
+    pub fn poison_rejects(&self) -> u64 {
+        self.inner.poison_rejects.get()
+    }
     /// Exponentially weighted moving average of entry service time in
     /// ticks (α = 1/8) — the signal the adaptive spin budgets are tuned
     /// by.
@@ -169,6 +196,18 @@ impl ObjectStats {
     pub(crate) fn on_park_resolved(&self) {
         self.inner.park_resolved.incr();
     }
+    pub(crate) fn on_timeout(&self) {
+        self.inner.timeouts.incr();
+    }
+    pub(crate) fn on_cancel(&self) {
+        self.inner.cancels.incr();
+    }
+    pub(crate) fn on_reap(&self) {
+        self.inner.reaps.incr();
+    }
+    pub(crate) fn on_poison_reject(&self) {
+        self.inner.poison_rejects.incr();
+    }
 }
 
 impl fmt::Display for ObjectStats {
@@ -177,7 +216,8 @@ impl fmt::Display for ObjectStats {
             f,
             "calls={} accepts={} starts={} finishes={} combines={} implicit={} failures={} \
              p50_latency={} p99_latency={} wakeups={} mean_batch={:.1} max_batch={} \
-             spin_resolved={} park_resolved={}",
+             spin_resolved={} park_resolved={} timeouts={} cancels={} reaps={} \
+             poison_rejects={}",
             self.calls(),
             self.accepts(),
             self.starts(),
@@ -192,6 +232,10 @@ impl fmt::Display for ObjectStats {
             self.drain_batch().max(),
             self.spin_resolved(),
             self.park_resolved(),
+            self.timeouts(),
+            self.cancels(),
+            self.reaps(),
+            self.poison_rejects(),
         )
     }
 }
@@ -247,6 +291,23 @@ mod tests {
         assert_eq!(s.drain_batch().max(), 7);
         assert_eq!(s.spin_resolved(), 1);
         assert_eq!(s.park_resolved(), 2);
+    }
+
+    #[test]
+    fn cancellation_counters_accumulate() {
+        let s = ObjectStats::new();
+        s.on_timeout();
+        s.on_timeout();
+        s.on_cancel();
+        s.on_reap();
+        s.on_poison_reject();
+        assert_eq!(s.timeouts(), 2);
+        assert_eq!(s.cancels(), 1);
+        assert_eq!(s.reaps(), 1);
+        assert_eq!(s.poison_rejects(), 1);
+        let shown = s.to_string();
+        assert!(shown.contains("timeouts=2"), "{shown}");
+        assert!(shown.contains("poison_rejects=1"), "{shown}");
     }
 
     #[test]

@@ -133,6 +133,24 @@ impl Spooler {
         Ok(())
     }
 
+    /// [`print`](Self::print) bounded by a deadline: give up with
+    /// [`alps_core::AlpsError::Timeout`] if the job has not completed
+    /// within `ticks` virtual microseconds (e.g. every printer busy with
+    /// long jobs). A job whose printing already *started* keeps the
+    /// printer until it finishes — cancellation is cooperative — but its
+    /// result is discarded and the printer is still returned to the free
+    /// list through the hidden result.
+    ///
+    /// # Errors
+    ///
+    /// As [`print`](Self::print), plus `Timeout` on expiry.
+    pub fn print_deadline(&self, rt: &Runtime, file: &str, bytes: i64, ticks: u64) -> Result<()> {
+        let t0 = rt.now();
+        self.obj.call_deadline("Print", vals![file, bytes], ticks)?;
+        self.queue_wait.record(rt.now().saturating_sub(t0));
+        Ok(())
+    }
+
     /// Per-printer job and busy-tick counts.
     pub fn printer_stats(&self) -> PrinterStats {
         PrinterStats {

@@ -789,6 +789,19 @@ impl<T> IntakeRing<T> {
         }
     }
 
+    /// Pop every currently-published item in order, applying `f` to each;
+    /// returns how many were drained. Stops at the first claimed-but-
+    /// unpublished slot, like [`pop`](Self::pop) — the caller must treat
+    /// a non-empty ring after `drain_with` as work still pending.
+    pub fn drain_with(&self, mut f: impl FnMut(T)) -> usize {
+        let mut n = 0;
+        while let Some(item) = self.pop() {
+            f(item);
+            n += 1;
+        }
+        n
+    }
+
     /// Pop the oldest item, or `None` when the ring is empty *or* the
     /// oldest claimed slot has not been published yet.
     pub fn pop(&self) -> Option<T> {

@@ -23,6 +23,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use crate::error::RuntimeError;
+use crate::fault::FaultAction;
 use crate::process::{ProcId, Spawn};
 
 /// Number of virtual ticks per simulated millisecond. One tick is one
@@ -39,6 +40,7 @@ pub(crate) trait ExecutorCore: Send + Sync {
     ) -> ProcId;
     fn current(&self, self_arc: &Arc<dyn ExecutorCore>) -> ProcId;
     fn park(&self, self_arc: &Arc<dyn ExecutorCore>);
+    fn park_timeout(&self, self_arc: &Arc<dyn ExecutorCore>, ticks: u64);
     fn unpark(&self, id: ProcId);
     fn yield_now(&self, self_arc: &Arc<dyn ExecutorCore>);
     fn sleep(&self, self_arc: &Arc<dyn ExecutorCore>, ticks: u64);
@@ -47,6 +49,12 @@ pub(crate) trait ExecutorCore: Send + Sync {
     fn shutdown(&self);
     fn is_sim(&self) -> bool;
     fn proc_name(&self, id: ProcId) -> Option<String>;
+    /// Consult the installed fault plan (simulation only; the threaded
+    /// executor never has one) at a named protocol step.
+    fn fault(&self, step: &str) -> Option<FaultAction> {
+        let _ = step;
+        None
+    }
 }
 
 /// Process-unique executor instance tokens. The thread-local [`CURRENT`]
@@ -180,6 +188,16 @@ impl Runtime {
         self.core.park(&self.core);
     }
 
+    /// Like [`park`](Runtime::park), but return after at most `ticks`
+    /// virtual microseconds even if no unpark arrives. There is no
+    /// timed-out indication — exactly as with `park`, callers must
+    /// re-check their condition (and their own deadline) in a loop.
+    /// `park_timeout(0)` is a scheduling point that returns immediately
+    /// unless a permit is buffered.
+    pub fn park_timeout(&self, ticks: u64) {
+        self.core.park_timeout(&self.core, ticks);
+    }
+
     /// Make a pending or future [`park`](Runtime::park) of `id` return.
     /// Unknown or exited ids are ignored.
     pub fn unpark(&self, id: ProcId) {
@@ -212,6 +230,25 @@ impl Runtime {
     /// Whether this is a deterministic simulation runtime.
     pub fn is_sim(&self) -> bool {
         self.core.is_sim()
+    }
+
+    /// Fault-injection hook for instrumented protocol steps (see
+    /// [`FaultPlan`](crate::FaultPlan)). Counts one occurrence of `step`
+    /// against the installed plan. A matching [`FaultAction::Delay`] is
+    /// applied here (virtual sleep); [`FaultAction::Panic`] panics with
+    /// payload `"injected fault: <step>"`. Returns `true` iff the site
+    /// should *drop* the operation ([`FaultAction::Drop`]). Without an
+    /// installed plan this is a cheap constant `false`.
+    pub fn fault_point(&self, step: &str) -> bool {
+        match self.core.fault(step) {
+            None => false,
+            Some(FaultAction::Delay(ticks)) => {
+                self.sleep(ticks);
+                false
+            }
+            Some(FaultAction::Panic) => panic!("injected fault: {step}"),
+            Some(FaultAction::Drop) => true,
+        }
     }
 
     /// Debug name of a live process, if known.

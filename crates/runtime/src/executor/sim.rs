@@ -24,12 +24,14 @@
 
 use std::cmp::Reverse;
 use std::collections::{BTreeSet, BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
 
 use super::{clear_current, current_for, set_current, ExecutorCore, Runtime};
 use crate::error::{Aborted, RuntimeError};
+use crate::fault::{FaultAction, FaultPlan, FaultState};
 use crate::process::{ProcId, Spawn};
 
 /// Tie-breaking policy among equal-priority runnable processes.
@@ -174,6 +176,10 @@ pub(crate) struct SimCore {
     /// Back-reference so spawned threads can reach the core without an
     /// unsound `Arc<dyn>` downcast; set once at construction.
     self_weak: Mutex<std::sync::Weak<SimCore>>,
+    /// Fast gate for [`ExecutorCore::fault`]: plans are rare, the hook is
+    /// on warm protocol paths.
+    faults_armed: AtomicBool,
+    faults: Mutex<Option<FaultState>>,
 }
 
 impl SimCore {
@@ -186,6 +192,8 @@ impl SimCore {
         SimCore {
             token: super::alloc_core_token(),
             self_weak: Mutex::new(std::sync::Weak::new()),
+            faults_armed: AtomicBool::new(false),
+            faults: Mutex::new(None),
             st: Mutex::new(SimSt {
                 procs: HashMap::new(),
                 ready: BTreeSet::new(),
@@ -377,6 +385,30 @@ impl ExecutorCore for SimCore {
         self.wait_for_grant(&mut st, me);
     }
 
+    fn park_timeout(&self, _self_arc: &Arc<dyn ExecutorCore>, ticks: u64) {
+        let me = self.current_id();
+        let mut st = self.st.lock();
+        let wake = st.clock.saturating_add(ticks);
+        let seq = st.bump_seq();
+        {
+            let p = st.procs.get_mut(&me).expect("park_timeout: unknown proc");
+            if p.aborted {
+                std::panic::panic_any(Aborted);
+            }
+            if p.permit {
+                p.permit = false;
+                return;
+            }
+            p.state = PState::Parked;
+        }
+        // Parked *and* on the timer heap: an unpark makes the proc ready
+        // and leaves a stale timer entry behind, which at most causes one
+        // spurious wake of a later park — allowed by the park contract.
+        st.sleepers.push(Reverse((wake, seq, me)));
+        self.release_cpu(&mut st, me);
+        self.wait_for_grant(&mut st, me);
+    }
+
     fn unpark(&self, id: ProcId) {
         let mut st = self.st.lock();
         self.unpark_locked(&mut st, id);
@@ -471,6 +503,13 @@ impl ExecutorCore for SimCore {
     fn proc_name(&self, id: ProcId) -> Option<String> {
         self.st.lock().procs.get(&id).map(|p| p.name.clone())
     }
+
+    fn fault(&self, step: &str) -> Option<FaultAction> {
+        if !self.faults_armed.load(Ordering::Relaxed) {
+            return None;
+        }
+        self.faults.lock().as_mut().and_then(|s| s.check(step))
+    }
 }
 
 /// A deterministic simulation runtime. Create one, then [`run`](Self::run)
@@ -548,6 +587,14 @@ impl SimRuntime {
         self.core.now()
     }
 
+    /// Install a [`FaultPlan`]: subsequent
+    /// [`fault_point`](Runtime::fault_point) hits consume its rules.
+    /// Replaces any previous plan (and its occurrence counters).
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        *self.core.faults.lock() = Some(FaultState::new(plan));
+        self.core.faults_armed.store(true, Ordering::Relaxed);
+    }
+
     /// Run `main` as the main simulated process to completion.
     ///
     /// Returns `main`'s value once it finishes and no process is runnable.
@@ -598,10 +645,14 @@ impl SimRuntime {
                         break;
                     }
                     st.sleepers.pop();
+                    // Sleeping procs and timed-parked procs (park_timeout
+                    // leaves them Parked with a timer entry) both wake when
+                    // their timer expires; entries whose proc was already
+                    // unparked or exited are stale and simply discarded.
                     let alive = st
                         .procs
                         .get(&pid)
-                        .map(|p| p.state == PState::Sleeping)
+                        .map(|p| matches!(p.state, PState::Sleeping | PState::Parked))
                         .unwrap_or(false);
                     if alive {
                         st.make_ready(pid);
@@ -837,6 +888,78 @@ mod tests {
         // Different seeds usually give different orders; at minimum the
         // same seed must reproduce exactly (asserted above).
         let _ = schedule(8);
+    }
+
+    #[test]
+    fn park_timeout_wakes_on_timer_without_unpark() {
+        let sim = SimRuntime::new();
+        let (t0, t1) = sim
+            .run(|rt| {
+                let t0 = rt.now();
+                rt.park_timeout(500); // nobody unparks; timer fires
+                (t0, rt.now())
+            })
+            .unwrap();
+        assert_eq!(t0, 0);
+        assert_eq!(t1, 500);
+    }
+
+    #[test]
+    fn park_timeout_returns_early_on_unpark() {
+        let sim = SimRuntime::new();
+        let t1 = sim
+            .run(|rt| {
+                let me = rt.current();
+                let rt2 = rt.clone();
+                let h = rt.spawn_with(Spawn::new("waker"), move || rt2.unpark(me));
+                rt.park_timeout(1_000_000);
+                h.join().unwrap();
+                rt.now()
+            })
+            .unwrap();
+        // The waker runs without any sleep: virtual time never advances.
+        assert_eq!(t1, 0);
+    }
+
+    #[test]
+    fn park_timeout_consumes_buffered_permit() {
+        let sim = SimRuntime::new();
+        let t1 = sim
+            .run(|rt| {
+                let me = rt.current();
+                rt.unpark(me);
+                rt.park_timeout(1_000_000); // permit buffered: no block
+                rt.now()
+            })
+            .unwrap();
+        assert_eq!(t1, 0);
+    }
+
+    #[test]
+    fn fault_plan_delay_and_drop_apply() {
+        let sim = SimRuntime::new();
+        sim.set_fault_plan(FaultPlan::new().delay("step", 2, 250).drop_at("step", 3));
+        let (drops, t) = sim
+            .run(|rt| {
+                let mut drops = 0;
+                for _ in 0..4 {
+                    if rt.fault_point("step") {
+                        drops += 1;
+                    }
+                }
+                (drops, rt.now())
+            })
+            .unwrap();
+        assert_eq!(drops, 1);
+        assert_eq!(t, 250);
+    }
+
+    #[test]
+    fn fault_plan_panic_fires_with_step_payload() {
+        let sim = SimRuntime::new();
+        sim.set_fault_plan(FaultPlan::new().panic_at("body", 1));
+        let err = sim.run(|rt| rt.fault_point("body")).unwrap_err();
+        assert!(matches!(err, RuntimeError::ProcPanicked { .. }));
     }
 
     #[test]

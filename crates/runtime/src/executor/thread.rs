@@ -148,6 +148,27 @@ impl ExecutorCore for ThreadCore {
         st.permit = false;
     }
 
+    fn park_timeout(&self, _self_arc: &Arc<dyn ExecutorCore>, ticks: u64) {
+        let (_, slot) = self.my_slot();
+        let mut st = slot.st.lock();
+        if st.aborted && !slot.foreign {
+            drop(st);
+            std::panic::panic_any(Aborted);
+        }
+        if st.permit {
+            st.permit = false;
+            return;
+        }
+        let _ = slot.cv.wait_for(&mut st, Duration::from_micros(ticks));
+        if st.aborted && !slot.foreign {
+            drop(st);
+            std::panic::panic_any(Aborted);
+        }
+        // Real unpark, timeout, or spurious wake: consume any permit and
+        // let the caller re-check its condition, exactly as in park().
+        st.permit = false;
+    }
+
     fn unpark(&self, id: ProcId) {
         let slot = self.procs.lock().get(&id).cloned();
         if let Some(slot) = slot {
@@ -273,6 +294,30 @@ mod tests {
         rt.unpark(id);
         h.join().unwrap();
         assert_eq!(flag.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn park_timeout_expires_without_unpark() {
+        let rt = Runtime::threaded();
+        let h = rt.spawn(move || 1);
+        h.join().unwrap();
+        let t0 = std::time::Instant::now();
+        rt.park_timeout(5_000); // 5ms; nobody unparks this thread
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(2));
+    }
+
+    #[test]
+    fn park_timeout_consumes_buffered_permit_immediately() {
+        let rt = Runtime::threaded();
+        let rt2 = rt.clone();
+        let h = rt.spawn(move || {
+            let me = rt2.current();
+            rt2.unpark(me);
+            let t0 = std::time::Instant::now();
+            rt2.park_timeout(5_000_000); // must not block: permit buffered
+            t0.elapsed() < std::time::Duration::from_secs(1)
+        });
+        assert!(h.join().unwrap());
     }
 
     #[test]

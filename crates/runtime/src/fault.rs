@@ -1,0 +1,140 @@
+//! Deterministic fault injection at named protocol steps.
+//!
+//! A [`FaultPlan`] is a list of rules, each targeting the *nth* hit of a
+//! named step (`"intake_push"`, `"drain"`, `"body"`, ...). Instrumented
+//! code calls [`Runtime::fault_point`](crate::Runtime::fault_point) at
+//! each step; the runtime counts occurrences and fires the matching rule
+//! exactly once. Plans are installed on a simulation runtime via
+//! [`SimRuntime::set_fault_plan`](crate::SimRuntime::set_fault_plan), so a
+//! seeded schedule plus a plan reproduces a failure bit-for-bit. On a
+//! runtime with no plan installed (including every threaded runtime) the
+//! hook is a constant `None` and the step runs normally.
+
+use std::collections::HashMap;
+
+/// What happens when a fault rule fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Sleep this many virtual ticks at the step, perturbing the schedule.
+    Delay(u64),
+    /// Panic at the step with payload `"injected fault: <step>"`. At the
+    /// `"body"` step this emulates an entry-body panic (the protocol
+    /// catches it and reports `BodyFailed`).
+    Panic,
+    /// Tell the instrumented site to drop the operation (e.g. a call
+    /// submission or a drained cell is silently lost). Callers recover
+    /// via deadlines; without one the simulation reports a deadlock.
+    Drop,
+}
+
+#[derive(Debug, Clone)]
+struct Rule {
+    step: String,
+    /// 1-based occurrence of `step` at which the rule fires.
+    nth: u64,
+    action: FaultAction,
+}
+
+/// An ordered set of fault rules, built fluently and installed on a
+/// [`SimRuntime`](crate::SimRuntime).
+///
+/// # Examples
+///
+/// ```
+/// use alps_runtime::FaultPlan;
+///
+/// let plan = FaultPlan::new()
+///     .delay("drain", 1, 500) // 1st drain pauses 500 ticks
+///     .panic_at("body", 2); // 2nd body run panics
+/// let _ = plan;
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    rules: Vec<Rule>,
+}
+
+impl FaultPlan {
+    /// Empty plan: no faults fire.
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Delay the `nth` (1-based) hit of `step` by `ticks`.
+    pub fn delay(mut self, step: &str, nth: u64, ticks: u64) -> FaultPlan {
+        self.rules.push(Rule {
+            step: step.to_string(),
+            nth,
+            action: FaultAction::Delay(ticks),
+        });
+        self
+    }
+
+    /// Panic at the `nth` (1-based) hit of `step`.
+    pub fn panic_at(mut self, step: &str, nth: u64) -> FaultPlan {
+        self.rules.push(Rule {
+            step: step.to_string(),
+            nth,
+            action: FaultAction::Panic,
+        });
+        self
+    }
+
+    /// Drop the operation at the `nth` (1-based) hit of `step`.
+    pub fn drop_at(mut self, step: &str, nth: u64) -> FaultPlan {
+        self.rules.push(Rule {
+            step: step.to_string(),
+            nth,
+            action: FaultAction::Drop,
+        });
+        self
+    }
+}
+
+/// Installed plan plus per-step hit counters.
+#[derive(Debug)]
+pub(crate) struct FaultState {
+    rules: Vec<Rule>,
+    counts: HashMap<String, u64>,
+}
+
+impl FaultState {
+    pub(crate) fn new(plan: FaultPlan) -> FaultState {
+        FaultState {
+            rules: plan.rules,
+            counts: HashMap::new(),
+        }
+    }
+
+    /// Count one hit of `step` and return the action of the rule (if any)
+    /// armed for exactly this occurrence.
+    pub(crate) fn check(&mut self, step: &str) -> Option<FaultAction> {
+        let n = self.counts.entry(step.to_string()).or_insert(0);
+        *n += 1;
+        let hit = *n;
+        self.rules
+            .iter()
+            .find(|r| r.step == step && r.nth == hit)
+            .map(|r| r.action)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rules_fire_on_exact_occurrence() {
+        let mut st = FaultState::new(
+            FaultPlan::new()
+                .delay("drain", 2, 100)
+                .panic_at("body", 1)
+                .drop_at("drain", 3),
+        );
+        assert_eq!(st.check("drain"), None);
+        assert_eq!(st.check("body"), Some(FaultAction::Panic));
+        assert_eq!(st.check("drain"), Some(FaultAction::Delay(100)));
+        assert_eq!(st.check("drain"), Some(FaultAction::Drop));
+        assert_eq!(st.check("drain"), None);
+        assert_eq!(st.check("other"), None);
+    }
+}

@@ -43,6 +43,7 @@
 mod chan;
 mod error;
 mod executor;
+mod fault;
 pub mod metrics;
 mod notifier;
 mod par;
@@ -51,6 +52,7 @@ mod process;
 pub use chan::{Chan, IntakeRing, RecvHalf, SendHalf};
 pub use error::{Aborted, RuntimeError};
 pub use executor::{ProcHandle, Runtime, SchedPolicy, SimRuntime, TICKS_PER_MS};
+pub use fault::{FaultAction, FaultPlan};
 pub use notifier::{Notifier, NotifyBatch, WaitOutcome};
 pub use par::{par, par_for};
 pub use process::{Priority, ProcId, Spawn, SpinWait};

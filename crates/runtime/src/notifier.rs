@@ -156,6 +156,41 @@ impl Notifier {
         }
     }
 
+    /// Deadline-bounded variant of [`wait_past`](Notifier::wait_past):
+    /// park until the epoch differs from `seen` **or** `rt.now()` reaches
+    /// the absolute tick `deadline`. Returns `true` when the epoch moved,
+    /// `false` on timeout. Uses the same register-then-recheck handshake
+    /// as `wait_past`, with [`Runtime::park_timeout`] bounding each park;
+    /// on timeout the caller deregisters itself so the waiter list does
+    /// not accumulate dead entries.
+    pub fn wait_past_deadline(&self, rt: &Runtime, seen: u64, deadline: u64) -> bool {
+        let me = rt.current();
+        loop {
+            if self.inner.epoch.load(Ordering::SeqCst) != seen {
+                return true;
+            }
+            let now = rt.now();
+            if now >= deadline {
+                let mut ws = self.inner.waiters.lock();
+                if let Some(pos) = ws.iter().position(|w| *w == me) {
+                    ws.remove(pos);
+                }
+                return false;
+            }
+            {
+                let mut ws = self.inner.waiters.lock();
+                if !ws.contains(&me) {
+                    ws.push(me);
+                }
+                self.inner.has_waiters.store(true, Ordering::SeqCst);
+            }
+            if self.inner.epoch.load(Ordering::SeqCst) != seen {
+                return true;
+            }
+            rt.park_timeout(deadline - now);
+        }
+    }
+
     /// Adaptive variant of [`wait_past`](Notifier::wait_past): burn up to
     /// `max_spin_rounds` exponential-backoff spin rounds polling the epoch
     /// before falling back to the registering park path. Returns how the
@@ -345,6 +380,43 @@ mod tests {
         })
         .unwrap();
         assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn wait_past_deadline_times_out_and_deregisters() {
+        let sim = SimRuntime::new();
+        sim.run(|rt| {
+            let n = Notifier::new();
+            let seen = n.epoch();
+            let t0 = rt.now();
+            assert!(!n.wait_past_deadline(rt, seen, t0 + 300));
+            assert_eq!(rt.now(), t0 + 300);
+            // Deregistered on timeout: the wake pass has nobody to visit.
+            assert!(
+                !n.inner.has_waiters.load(Ordering::SeqCst) || n.inner.waiters.lock().is_empty()
+            );
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn wait_past_deadline_returns_true_on_notify() {
+        let sim = SimRuntime::new();
+        sim.run(|rt| {
+            let n = Notifier::new();
+            let n2 = n.clone();
+            let rt2 = rt.clone();
+            let h = rt.spawn_with(Spawn::new("waiter"), move || {
+                let seen = n2.epoch();
+                n2.wait_past_deadline(&rt2, seen, rt2.now() + 1_000_000)
+            });
+            rt.yield_now(); // waiter parks
+            n.notify(rt);
+            assert!(h.join().unwrap());
+            // Notified well before the deadline: no clock advance needed.
+            assert_eq!(rt.now(), 0);
+        })
+        .unwrap();
     }
 
     #[test]

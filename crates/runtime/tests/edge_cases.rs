@@ -209,3 +209,102 @@ fn virtual_clock_does_not_advance_for_daemons_after_main() {
         .unwrap();
     assert_eq!(end, 10, "daemon timers must not hold the run open");
 }
+
+#[test]
+fn intake_ring_drain_observes_cancellation_not_stale_calls() {
+    // Models the deadline-expires-between-enqueue-and-drain window of the
+    // call protocol: a producer publishes a cell into the ring, the
+    // caller's deadline CAS flips it to CANCELLED before the consumer
+    // drains, and the drain must observe the tombstoned cell — never
+    // treat it as a live call. Uses the same IntakeRing the object layer
+    // uses, with a model cell carrying the protocol's state word.
+    use alps_runtime::IntakeRing;
+
+    const WAITING: usize = 0;
+    const CANCELLED: usize = 2;
+    const TOMBSTONE: usize = 3;
+
+    #[derive(Debug)]
+    struct ModelCell {
+        id: usize,
+        state: AtomicUsize,
+    }
+
+    let ring: IntakeRing<Arc<ModelCell>> = IntakeRing::with_capacity(8);
+    let cells: Vec<Arc<ModelCell>> = (0..6)
+        .map(|id| {
+            Arc::new(ModelCell {
+                id,
+                state: AtomicUsize::new(WAITING),
+            })
+        })
+        .collect();
+    for c in &cells {
+        ring.push(Arc::clone(c)).unwrap();
+    }
+    // Deadlines expire for cells 1 and 4 while they sit in the ring: the
+    // caller-side CAS claims them exactly like CallCell::cancel does.
+    for idx in [1usize, 4] {
+        assert!(cells[idx]
+            .state
+            .compare_exchange(WAITING, CANCELLED, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok());
+    }
+    // The consumer drains: cancelled cells are tombstoned (unique claim),
+    // live ones serviced.
+    let mut serviced = Vec::new();
+    let mut reaped = Vec::new();
+    let n = ring.drain_with(|c| {
+        if c.state.load(Ordering::SeqCst) == CANCELLED {
+            assert!(
+                c.state
+                    .compare_exchange(CANCELLED, TOMBSTONE, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok(),
+                "exactly one holder claims the tombstone"
+            );
+            reaped.push(c.id);
+        } else {
+            // A live cell: the completer's CAS must win against WAITING,
+            // as CallCell::finish does.
+            assert_eq!(c.state.load(Ordering::SeqCst), WAITING, "stale state");
+            serviced.push(c.id);
+        }
+    });
+    assert_eq!(n, 6);
+    assert_eq!(reaped, vec![1, 4]);
+    assert_eq!(serviced, vec![0, 2, 3, 5]);
+    assert!(ring.is_empty());
+    // The tombstoned cells are inert: a late completer's WAITING→DONE CAS
+    // must fail, so the caller is never double-completed.
+    for idx in [1usize, 4] {
+        assert!(cells[idx]
+            .state
+            .compare_exchange(WAITING, 1, Ordering::SeqCst, Ordering::SeqCst)
+            .is_err());
+    }
+}
+
+#[test]
+fn park_timeout_races_unpark_without_losing_the_permit() {
+    // A second process cancels (unparks) a parker that is also racing a
+    // timer: whichever way the race goes, the parker must wake exactly
+    // once and a buffered permit must not leak into later parks.
+    let sim = SimRuntime::new();
+    sim.run(|rt| {
+        let rt2 = rt.clone();
+        let parker = rt.spawn_with(Spawn::new("parker"), move || {
+            let t0 = rt2.now();
+            rt2.park_timeout(1_000);
+            let woke = rt2.now();
+            assert!(woke <= t0 + 1_000, "woke past the timer");
+            // The permit (if the unpark won) was consumed by that park:
+            // this one must run its full course.
+            rt2.park_timeout(50);
+            assert_eq!(rt2.now(), woke + 50, "stray permit broke the second park");
+        });
+        rt.sleep(100);
+        rt.unpark(parker.id());
+        parker.join().unwrap();
+    })
+    .unwrap();
+}

@@ -120,6 +120,25 @@ impl Condvar {
         guard.inner = Some(g);
     }
 
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let g = guard.inner.take().expect("guard present before wait");
+        let (g, res) = match self.inner.wait_timeout(g, timeout) {
+            Ok((g, res)) => (g, res),
+            Err(p) => {
+                let (g, res) = p.into_inner();
+                (g, res)
+            }
+        };
+        guard.inner = Some(g);
+        WaitTimeoutResult {
+            timed_out: res.timed_out(),
+        }
+    }
+
     pub fn notify_one(&self) -> bool {
         self.inner.notify_one();
         // parking_lot reports whether a thread was woken; callers here
@@ -136,6 +155,18 @@ impl Condvar {
 impl Default for Condvar {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// Result of [`Condvar::wait_for`], mirroring parking_lot's type.
+#[derive(Debug, Clone, Copy)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
     }
 }
 
