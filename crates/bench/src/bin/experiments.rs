@@ -36,7 +36,10 @@ fn main() {
 mod bench_json {
     use std::time::Instant;
 
-    use alps_core::{argv, vals, EntryDef, Guard, ObjectBuilder, ObjectHandle, Selected, Ty};
+    use alps_core::{
+        argv, vals, AdmissionPolicy, AlpsError, EntryDef, Guard, ObjectBuilder, ObjectHandle,
+        Selected, Ty,
+    };
     use alps_paper::bounded_buffer::AlpsBuffer;
     use alps_runtime::{Runtime, Spawn};
 
@@ -178,6 +181,97 @@ mod bench_json {
         obj.shutdown();
         rt.shutdown();
         (best, 1e9 / best)
+    }
+
+    /// A serial managed object whose body burns a couple of microseconds,
+    /// so a 16-caller storm genuinely outruns the manager. With `shed` the
+    /// intake ring is capped at 4 and overflow is answered `Overloaded`;
+    /// without it callers park until the manager catches up (backpressure).
+    fn storm_object(rt: &Runtime, shed: bool) -> ObjectHandle {
+        let mut b = ObjectBuilder::new("Storm")
+            .entry(
+                EntryDef::new("Work")
+                    .params([Ty::Int])
+                    .results([Ty::Int])
+                    .intercepted()
+                    .body(|_ctx, args| {
+                        for i in 0..2_000u64 {
+                            std::hint::black_box(i);
+                        }
+                        Ok(argv![args[0].clone()])
+                    }),
+            )
+            .manager(|mgr| loop {
+                let acc = mgr.accept("Work")?;
+                mgr.execute(acc)?;
+            });
+        if shed {
+            b = b.admission(AdmissionPolicy::ShedNewest).intake_capacity(4);
+        }
+        b.spawn(rt).unwrap()
+    }
+
+    /// 16-caller overload storm: every caller fires `per_caller` calls and
+    /// every call gets an *answer* — either a completed body or, under
+    /// ShedNewest, an immediate `Overloaded`. Returns best-of-`reps`
+    /// (ns per answered call, answered calls/s, completed, shed) — the
+    /// completed/shed split is from the best rep.
+    fn overload_storm(
+        shed: bool,
+        callers: u32,
+        per_caller: u64,
+        reps: u32,
+    ) -> (f64, f64, u64, u64) {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+
+        let rt = Runtime::threaded();
+        let obj = storm_object(&rt, shed);
+        let id = obj.entry_id("Work").unwrap();
+        for _ in 0..per_caller {
+            obj.call_id(id, argv![7i64]).unwrap(); // warm up
+        }
+        let mut best = (f64::INFINITY, 0.0, 0, 0);
+        for _ in 0..reps {
+            let done = Arc::new(AtomicU64::new(0));
+            let dropped = Arc::new(AtomicU64::new(0));
+            let t0 = Instant::now();
+            let hs: Vec<_> = (0..callers)
+                .map(|c| {
+                    let o2 = obj.clone();
+                    let (d2, s2) = (Arc::clone(&done), Arc::clone(&dropped));
+                    rt.spawn_with(Spawn::new(format!("storm-{c}")), move || {
+                        for _ in 0..per_caller {
+                            match o2.call_id(id, argv![7i64]) {
+                                Ok(_) => {
+                                    d2.fetch_add(1, Ordering::Relaxed);
+                                }
+                                Err(AlpsError::Overloaded { .. }) => {
+                                    s2.fetch_add(1, Ordering::Relaxed);
+                                }
+                                Err(e) => panic!("storm caller: {e}"),
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join().unwrap();
+            }
+            let total = callers as u64 * per_caller;
+            let ns = t0.elapsed().as_nanos() as f64 / total as f64;
+            if ns < best.0 {
+                best = (
+                    ns,
+                    1e9 / ns,
+                    done.load(Ordering::Relaxed),
+                    dropped.load(Ordering::Relaxed),
+                );
+            }
+        }
+        obj.shutdown();
+        rt.shutdown();
+        best
     }
 
     pub fn run(smoke: bool) {
@@ -329,6 +423,45 @@ mod bench_json {
         );
         println!("combining throughput, 16 callers vs 1: {combining_16_over_1:.2}x");
         println!("wrote BENCH_manager_batch.json");
+
+        // Overload: the same 16-caller storm against a deliberately slow
+        // serial manager, once with Block (every call parks until served)
+        // and once with ShedNewest (ring capped at 4, overflow answered
+        // Overloaded immediately). Shedding trades completed work for
+        // bounded time-to-answer, so answered-calls/s should be at least
+        // the Block figure and the shed split nonzero.
+        println!("overload:");
+        let per_caller = scale(4_000) / 16;
+        let (blk_ns, blk_ops, blk_done, blk_shed) = overload_storm(false, 16, per_caller, reps);
+        println!(
+            "  block/callers_16: {blk_ns:.0} ns/answer ({blk_ops:.0} answers/s, {blk_done} completed, {blk_shed} shed)"
+        );
+        let (sh_ns, sh_ops, sh_done, sh_shed) = overload_storm(true, 16, per_caller, reps);
+        println!(
+            "  shed_newest/callers_16: {sh_ns:.0} ns/answer ({sh_ops:.0} answers/s, {sh_done} completed, {sh_shed} shed)"
+        );
+        let total = 16 * per_caller;
+        let shed_frac = sh_shed as f64 / total as f64;
+        let answered_speedup = sh_ops / blk_ops;
+        let mut ojson = String::from("{\n  \"bench\": \"overload\",\n");
+        ojson.push_str(
+            "  \"unit\": {\"ns_per_answer\": \"wall nanoseconds per answered call (completed or shed) across 16 callers\", \"answers_per_sec\": \"aggregate answered calls per second\"},\n",
+        );
+        ojson.push_str(&format!(
+            "  \"block\": {{\"ns_per_answer\": {blk_ns:.1}, \"answers_per_sec\": {blk_ops:.0}, \"completed\": {blk_done}, \"shed\": {blk_shed}}},\n"
+        ));
+        ojson.push_str(&format!(
+            "  \"shed_newest\": {{\"ns_per_answer\": {sh_ns:.1}, \"answers_per_sec\": {sh_ops:.0}, \"completed\": {sh_done}, \"shed\": {sh_shed}, \"intake_capacity\": 4}},\n"
+        ));
+        ojson.push_str(&format!(
+            "  \"shed_fraction\": {shed_frac:.3},\n  \"answered_throughput_shed_over_block\": {answered_speedup:.2}\n}}\n"
+        ));
+        std::fs::write("BENCH_overload.json", &ojson).expect("write BENCH_overload.json");
+        println!(
+            "overload, 16 callers: shed_newest answers {answered_speedup:.2}x faster than block ({:.0}% shed)",
+            shed_frac * 100.0
+        );
+        println!("wrote BENCH_overload.json");
 
         // Seed baseline (commit b92eaac, the pre-fast-path protocol):
         // measured on this machine from a worktree of the seed with the

@@ -107,6 +107,26 @@ pub enum AlpsError {
         /// Object name.
         object: String,
     },
+    /// The object is restarting after an entry-body panic
+    /// ([`ObjectBuilder::supervise`](crate::ObjectBuilder::supervise)):
+    /// in-flight calls caught by the restart sweep are answered with this
+    /// error instead of hanging on a generation that no longer exists.
+    /// Transient by design — retry-worthy, see
+    /// [`ObjectHandle::call_retry`](crate::ObjectHandle::call_retry).
+    ObjectRestarting {
+        /// Object name.
+        object: String,
+    },
+    /// The object's intake is full and its
+    /// [`AdmissionPolicy`](crate::AdmissionPolicy) sheds rather than
+    /// blocks: the call was refused without being enqueued (or an older
+    /// queued call was evicted to make room). Transient by design —
+    /// retry-worthy, see
+    /// [`ObjectHandle::call_retry`](crate::ObjectHandle::call_retry).
+    Overloaded {
+        /// Object name.
+        object: String,
+    },
     /// An underlying runtime error.
     Runtime(RuntimeError),
     /// Application-defined failure raised inside an entry body.
@@ -160,6 +180,15 @@ impl fmt::Display for AlpsError {
             }
             AlpsError::ObjectPoisoned { object } => {
                 write!(f, "object `{object}` is poisoned (an entry body panicked)")
+            }
+            AlpsError::ObjectRestarting { object } => {
+                write!(f, "object `{object}` is restarting after a body panic")
+            }
+            AlpsError::Overloaded { object } => {
+                write!(
+                    f,
+                    "object `{object}` is overloaded (intake full, call shed)"
+                )
             }
             AlpsError::Runtime(e) => write!(f, "runtime error: {e}"),
             AlpsError::Custom(msg) => write!(f, "{msg}"),
@@ -221,6 +250,14 @@ mod tests {
             (
                 AlpsError::ObjectPoisoned { object: "X".into() },
                 "object `X` is poisoned (an entry body panicked)",
+            ),
+            (
+                AlpsError::ObjectRestarting { object: "X".into() },
+                "object `X` is restarting after a body panic",
+            ),
+            (
+                AlpsError::Overloaded { object: "X".into() },
+                "object `X` is overloaded (intake full, call shed)",
             ),
             (AlpsError::Custom("boom".into()), "boom"),
         ];

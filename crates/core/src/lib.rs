@@ -88,6 +88,7 @@ mod pool;
 mod proc_ctx;
 mod select;
 mod stats;
+mod supervise;
 mod value;
 
 pub use entry::{EntryBody, EntryDef, Intercept};
@@ -98,4 +99,5 @@ pub use pool::PoolMode;
 pub use proc_ctx::ProcCtx;
 pub use select::{Guard, GuardView, Selected};
 pub use stats::ObjectStats;
+pub use supervise::{AdmissionPolicy, Backoff, OnRestart, RestartPolicy, RetryPolicy};
 pub use value::{check_types, check_types_lazy, ChanValue, Ty, ValVec, Value, INLINE_VALS};

@@ -46,6 +46,11 @@ pub struct AcceptedCall {
     pub(crate) entry: usize,
     pub(crate) slot: usize,
     pub(crate) params: ValVec,
+    /// Restart generation the token was minted under. A supervised
+    /// restart sweeps the slot and answers the caller itself, so a
+    /// stale-generation token must not touch the slot (it may already
+    /// hold a new generation's call).
+    pub(crate) gen: u64,
     pub(crate) armed: bool,
 }
 
@@ -88,7 +93,13 @@ impl AcceptedCall {
 
 impl Drop for AcceptedCall {
     fn drop(&mut self) {
-        if !self.armed || self.obj.is_closed() {
+        if !self.armed
+            || self.obj.is_closed()
+            || self.obj.generation.load(Ordering::SeqCst) != self.gen
+        {
+            // A stale generation means a restart already swept the slot
+            // and answered the caller; the slot may hold a new
+            // generation's call now.
             return;
         }
         let obj = Arc::clone(&self.obj);
@@ -121,6 +132,9 @@ pub struct ReadyEntry {
     pub(crate) results: ValVec,
     pub(crate) hidden: ValVec,
     pub(crate) failure: Option<String>,
+    /// Restart generation the token was minted under (see
+    /// [`AcceptedCall::gen`]).
+    pub(crate) gen: u64,
     pub(crate) armed: bool,
 }
 
@@ -177,7 +191,10 @@ impl ReadyEntry {
 
 impl Drop for ReadyEntry {
     fn drop(&mut self) {
-        if !self.armed || self.obj.is_closed() {
+        if !self.armed
+            || self.obj.is_closed()
+            || self.obj.generation.load(Ordering::SeqCst) != self.gen
+        {
             return;
         }
         let obj = Arc::clone(&self.obj);
@@ -205,6 +222,7 @@ pub(crate) fn commit_accept(
     es: &mut EntryState,
     entry: usize,
     slot: usize,
+    gen: u64,
 ) -> AcceptedCall {
     let s = &mut es.slots[slot];
     let call = match std::mem::replace(s, Slot::Free) {
@@ -231,6 +249,7 @@ pub(crate) fn commit_accept(
         entry,
         slot,
         params,
+        gen,
         armed: true,
     }
 }
@@ -241,6 +260,7 @@ pub(crate) fn commit_await(
     es: &mut EntryState,
     entry: usize,
     slot: usize,
+    gen: u64,
 ) -> ReadyEntry {
     let s = &mut es.slots[slot];
     let (call, outcome) = match std::mem::replace(s, Slot::Free) {
@@ -267,6 +287,7 @@ pub(crate) fn commit_await(
                 results: prefix,
                 hidden,
                 failure: None,
+                gen,
                 armed: true,
             }
         }
@@ -282,6 +303,7 @@ pub(crate) fn commit_await(
                 results: ValVec::new(),
                 hidden: ValVec::new(),
                 failure: Some(msg),
+                gen,
                 armed: true,
             }
         }
@@ -293,6 +315,12 @@ pub(crate) fn commit_await(
 /// ManagerCtx` and typically runs `loop { match mgr.select(...)? { … } }`.
 pub struct ManagerCtx {
     obj: Arc<ObjectInner>,
+    /// Restart generation this manager body invocation serves. A
+    /// supervised restart bumps the object generation *before* sweeping,
+    /// so every blocking primitive of a stale-generation context fails
+    /// with [`AlpsError::ObjectRestarting`] instead of committing on a
+    /// swept (or reused) slot.
+    gen: u64,
 }
 
 impl fmt::Debug for ManagerCtx {
@@ -305,7 +333,8 @@ impl fmt::Debug for ManagerCtx {
 
 impl ManagerCtx {
     pub(crate) fn new(obj: Arc<ObjectInner>) -> ManagerCtx {
-        ManagerCtx { obj }
+        let gen = obj.generation.load(Ordering::SeqCst);
+        ManagerCtx { obj, gen }
     }
 
     /// The object's name.
@@ -328,6 +357,16 @@ impl ManagerCtx {
         self.obj.rt.sleep(ticks)
     }
 
+    /// Whether intake occupancy has crossed the
+    /// [`AdmissionPolicy::Cooperative`](crate::AdmissionPolicy::Cooperative)
+    /// high watermark without yet draining back to the low one. An
+    /// overloaded manager should prefer batch-draining work (`select`
+    /// with wide guards, combining) over anything that delays intake
+    /// drains. Always `false` under other admission policies.
+    pub fn overloaded(&self) -> bool {
+        self.obj.mgr_overloaded.load(Ordering::SeqCst)
+    }
+
     /// `#P` — pending calls to `entry` (paper §2.5.1). Reads an atomic
     /// index; takes no lock.
     ///
@@ -347,7 +386,7 @@ impl ManagerCtx {
     /// * [`AlpsError::ObjectClosed`] at shutdown;
     /// * [`AlpsError::UnknownEntry`] for bad entry names in guards.
     pub fn select(&self, guards: Vec<Guard<'_>>) -> Result<Selected> {
-        run_select(&self.obj, &guards)
+        run_select(&self.obj, &guards, self.gen)
     }
 
     /// `accept P` — block until a call to `entry` is attached, accept it.
@@ -410,7 +449,12 @@ impl ManagerCtx {
     /// As [`accept`](Self::accept), plus [`AlpsError::Timeout`].
     pub fn accept_deadline(&self, entry: &str, ticks: u64) -> Result<AcceptedCall> {
         let at = self.obj.rt.now().saturating_add(ticks);
-        match run_select_deadline(&self.obj, &[Guard::accept(entry)], Some((at, ticks))) {
+        match run_select_deadline(
+            &self.obj,
+            &[Guard::accept(entry)],
+            Some((at, ticks)),
+            self.gen,
+        ) {
             Ok(Selected::Accepted { call, .. }) => Ok(call),
             Ok(_) => unreachable!("single accept guard"),
             Err(AlpsError::Timeout { .. }) => Err(AlpsError::Timeout {
@@ -432,7 +476,12 @@ impl ManagerCtx {
     /// As [`await_done`](Self::await_done), plus [`AlpsError::Timeout`].
     pub fn await_deadline(&self, entry: &str, ticks: u64) -> Result<ReadyEntry> {
         let at = self.obj.rt.now().saturating_add(ticks);
-        match run_select_deadline(&self.obj, &[Guard::await_done(entry)], Some((at, ticks))) {
+        match run_select_deadline(
+            &self.obj,
+            &[Guard::await_done(entry)],
+            Some((at, ticks)),
+            self.gen,
+        ) {
             Ok(Selected::Ready { done, .. }) => Ok(done),
             Ok(_) => unreachable!("single await guard"),
             Err(AlpsError::Timeout { .. }) => Err(AlpsError::Timeout {
@@ -468,6 +517,9 @@ impl ManagerCtx {
     pub fn cancel(&self, entry: &str, slot: usize) -> Result<bool> {
         let idx = self.obj.entry_idx(entry)?;
         let obj = &self.obj;
+        if obj.generation.load(Ordering::SeqCst) != self.gen {
+            return Err(obj.restarting_err());
+        }
         let entry_name = obj.entries[idx].name.clone();
         let sync = &obj.estates[idx];
         let dispatch = {
@@ -573,9 +625,15 @@ impl ManagerCtx {
             let _ = acc.disarm();
             return Err(self.obj.closed_err());
         }
+        let tok_gen = acc.gen;
         let (obj, entry, slot, _) = acc.disarm();
         let full = {
             let mut es = obj.estates[entry].st.lock();
+            if obj.generation.load(Ordering::SeqCst) != tok_gen {
+                // A restart swept this call and answered its caller; the
+                // slot may belong to the new generation now.
+                return Err(obj.restarting_err());
+            }
             let s = &mut es.slots[slot];
             let call = match std::mem::replace(s, Slot::Free) {
                 Slot::Accepted { call } => call,
@@ -628,9 +686,13 @@ impl ManagerCtx {
             })?;
         }
         let entry_name = def.name.clone();
+        let tok_gen = done.gen;
         let (obj, entry, slot, _, failure) = done.disarm();
         let dispatch = {
             let mut es = obj.estates[entry].st.lock();
+            if obj.generation.load(Ordering::SeqCst) != tok_gen {
+                return Err(obj.restarting_err());
+            }
             let s = &mut es.slots[slot];
             let (call, remainder) = match std::mem::replace(s, Slot::Free) {
                 Slot::Awaited { call, remainder } => (call, remainder),
@@ -701,9 +763,13 @@ impl ManagerCtx {
         check_types_lazy(&def.results, &results, || {
             format!("combine {}.{} results", acc.obj.name, def.name)
         })?;
+        let tok_gen = acc.gen;
         let (obj, entry, slot, _) = acc.disarm();
         let dispatch = {
             let mut es = obj.estates[entry].st.lock();
+            if obj.generation.load(Ordering::SeqCst) != tok_gen {
+                return Err(obj.restarting_err());
+            }
             let s = &mut es.slots[slot];
             let call = match std::mem::replace(s, Slot::Free) {
                 Slot::Accepted { call } => call,
@@ -765,6 +831,7 @@ impl ManagerCtx {
         }
         let kr = ic.results;
         let pub_len = def.results.len();
+        let tok_gen = acc.gen;
         let (obj, entry, slot, _) = acc.disarm();
         // `start`: Accepted → Started — but the body runs right here in
         // the manager's process instead of being handed to the pool. The
@@ -774,6 +841,9 @@ impl ManagerCtx {
         // manager park, and a notifier round trip.
         let full = {
             let mut es = obj.estates[entry].st.lock();
+            if obj.generation.load(Ordering::SeqCst) != tok_gen {
+                return Err(obj.restarting_err());
+            }
             let s = &mut es.slots[slot];
             let call = match std::mem::replace(s, Slot::Free) {
                 Slot::Accepted { call } => call,
@@ -801,6 +871,17 @@ impl ManagerCtx {
         let s = &mut es.slots[slot];
         let call = match std::mem::replace(s, Slot::Free) {
             Slot::Started { call } => call,
+            // A supervised restart swept the slot mid-body: the caller
+            // was already answered `ObjectRestarting`, the computed
+            // outcome must be discarded (it belongs to the dead
+            // generation), and the manager body unwinds so the
+            // supervisor can re-enter it.
+            Slot::Abandoned => {
+                let dispatch = obj.free_slot_and_pull(&mut es, entry, slot);
+                debug_assert!(dispatch.is_none(), "intercepted entries never self-start");
+                drop(es);
+                return Err(obj.restarting_err());
+            }
             // Only shutdown can have swept the slot; the caller was
             // already answered with the shutdown error.
             other => {

@@ -56,6 +56,7 @@ use crate::manager::ManagerCtx;
 use crate::pool::{Job, Pool, PoolMode};
 use crate::proc_ctx::ProcCtx;
 use crate::stats::ObjectStats;
+use crate::supervise::{AdmissionPolicy, Backoff, OnRestart, RestartPolicy, RetryPolicy};
 use crate::value::{check_types_lazy, Ty, ValVec};
 
 /// The manager process body. It runs once, typically an endless
@@ -87,6 +88,15 @@ impl EntryId {
 
 /// Process-wide object uid source backing [`EntryId`] validity checks.
 static OBJECT_UID: AtomicU64 = AtomicU64::new(1);
+
+/// Installed supervision configuration
+/// ([`ObjectBuilder::supervise`] / [`on_restart`](ObjectBuilder::on_restart)
+/// / [`state_init`](ObjectBuilder::state_init)).
+pub(crate) struct SuperviseCfg {
+    policy: RestartPolicy,
+    on_restart: OnRestart,
+    state_init: Option<Box<dyn Fn() + Send + Sync + 'static>>,
+}
 
 const CALL_WAITING: u32 = 0;
 const CALL_DONE: u32 = 1;
@@ -385,6 +395,37 @@ pub(crate) struct ObjectInner {
     /// than one call in flight) cannot fake — and cleared after a dry
     /// poll budget in `wait_for_work`.
     pub(crate) mgr_poll: AtomicBool,
+    /// Restart generation: bumped at the start of every supervised
+    /// restart, *before* the in-flight sweep. Manager primitives capture
+    /// it at [`ManagerCtx`] creation and re-check it under the entry lock
+    /// before committing, so a pre-restart manager can never accept,
+    /// start, or finish into the post-restart object — stale replies are
+    /// refused with [`AlpsError::ObjectRestarting`] instead of delivered.
+    pub(crate) generation: AtomicU64,
+    /// Supervision configuration; `None` for unsupervised objects.
+    supervise: Option<SuperviseCfg>,
+    /// Serializes restarts and holds the timestamps the
+    /// [`RestartPolicy::RestartTransient`] budget window is judged
+    /// against. The supervisor loop in [`ObjectBuilder::spawn`] takes it
+    /// (empty critical section) as a barrier so the manager body never
+    /// re-enters while a sweep or state rebuild is still in progress.
+    pub(crate) restart_times: Mutex<Vec<u64>>,
+    /// A restart was refused — budget exhausted, injected `"restart"`
+    /// fault, [`RestartPolicy::Never`], or a panicking `state_init`. The
+    /// poison is permanent: callers get [`AlpsError::ObjectPoisoned`],
+    /// not the transient [`AlpsError::ObjectRestarting`].
+    perm_failed: AtomicBool,
+    /// What the call protocol does when the intake ring is full.
+    admission: AdmissionPolicy,
+    /// [`AdmissionPolicy::Cooperative`] watermark flag, read by
+    /// [`ManagerCtx::overloaded`](crate::ManagerCtx::overloaded): set when
+    /// a push leaves occupancy ≥ `high`, cleared when a drain leaves it
+    /// ≤ `low`.
+    pub(crate) mgr_overloaded: AtomicBool,
+    /// Epoch bumped whenever ring space frees (drain, shutdown sweep,
+    /// restart): `Block`/`Cooperative` producers facing a full ring park
+    /// here instead of yield-spinning.
+    space_notifier: Notifier,
 }
 
 impl fmt::Debug for ObjectInner {
@@ -425,6 +466,30 @@ impl ObjectInner {
     fn poisoned_err(&self) -> AlpsError {
         AlpsError::ObjectPoisoned {
             object: self.name.clone(),
+        }
+    }
+
+    pub(crate) fn restarting_err(&self) -> AlpsError {
+        AlpsError::ObjectRestarting {
+            object: self.name.clone(),
+        }
+    }
+
+    fn overloaded_err(&self) -> AlpsError {
+        AlpsError::Overloaded {
+            object: self.name.clone(),
+        }
+    }
+
+    /// The error a new call gets while the object is poisoned: transient
+    /// ([`AlpsError::ObjectRestarting`], retry-worthy) while a supervised
+    /// restart is still possible, permanent ([`AlpsError::ObjectPoisoned`])
+    /// otherwise.
+    fn poison_reject(&self) -> AlpsError {
+        if self.supervise.is_some() && !self.perm_failed.load(Ordering::SeqCst) {
+            self.restarting_err()
+        } else {
+            self.poisoned_err()
         }
     }
 
@@ -611,9 +676,14 @@ impl ObjectInner {
             Err(payload) => {
                 // A panic (not an error return) may have unwound the body
                 // mid-update: in a poisoning object, fail all future calls
-                // fast rather than letting them observe torn state.
-                if self.poison_on_panic {
+                // fast rather than letting them observe torn state. A
+                // supervised object additionally attempts a restart (which
+                // clears the poison again on success).
+                if self.poison_on_panic || self.supervise.is_some() {
                     self.poisoned.store(true, Ordering::SeqCst);
+                }
+                if self.supervise.is_some() {
+                    self.handle_body_panic();
                 }
                 Err(panic_message(payload.as_ref()))
             }
@@ -693,6 +763,104 @@ impl ObjectInner {
         }
     }
 
+    /// Publish `(entry, call)` to the intake ring, applying the object's
+    /// [`AdmissionPolicy`] when the ring is full. On success the
+    /// empty→non-empty notify contract is honored and the Cooperative
+    /// high watermark is checked. On a shed, the entry's `in_ring` count
+    /// is already rolled back and [`AlpsError::Overloaded`] returned — the
+    /// caller owns the (unpublished) cell and must release it.
+    fn push_intake(&self, entry: usize, call: &Arc<CallCell>) -> Result<()> {
+        let sync = &self.estates[entry];
+        sync.in_ring.fetch_add(1, Ordering::SeqCst);
+        let mut item = (entry as u32, Arc::clone(call));
+        // Backpressure epoch snapshot: `None` until the first full-ring
+        // encounter; a push retried after snapshotting that still finds
+        // the ring full parks until a drain moves the epoch past it.
+        let mut seen: Option<u64> = None;
+        loop {
+            match self.intake.push(item) {
+                Ok(was_empty) => {
+                    if was_empty {
+                        self.notifier.notify(&self.rt);
+                    }
+                    if let AdmissionPolicy::Cooperative { high, .. } = self.admission {
+                        if self.intake.len() >= high
+                            && !self.mgr_overloaded.swap(true, Ordering::SeqCst)
+                        {
+                            self.stats.on_overload_flip();
+                        }
+                    }
+                    return Ok(());
+                }
+                Err(back) => {
+                    // Ring full. No direct-attach fallback — that would
+                    // let this call overtake ring residents of the same
+                    // entry and break per-entry FIFO.
+                    if self.is_closed() {
+                        sync.in_ring.fetch_sub(1, Ordering::SeqCst);
+                        drop(back);
+                        return Err(self.closed_err());
+                    }
+                    item = back;
+                    match self.admission {
+                        AdmissionPolicy::ShedNewest => {
+                            sync.in_ring.fetch_sub(1, Ordering::SeqCst);
+                            self.stats.on_shed();
+                            return Err(self.overloaded_err());
+                        }
+                        AdmissionPolicy::ShedOldest => {
+                            // Evict the oldest undrained ring resident —
+                            // the head of its entry's FIFO, so per-entry
+                            // order still holds — and retry our push. The
+                            // drain lock makes us the cell's sole
+                            // completer.
+                            let _g = self.intake_drain.lock();
+                            if let Some((veidx, victim)) = self.intake.pop() {
+                                self.estates[veidx as usize]
+                                    .in_ring
+                                    .fetch_sub(1, Ordering::SeqCst);
+                                if victim.is_cancelled() {
+                                    if victim.claim_tombstone() {
+                                        self.stats.on_reap();
+                                    }
+                                    self.release_cell(victim);
+                                } else {
+                                    self.stats.on_shed();
+                                    self.complete(&victim, Err(self.overloaded_err()));
+                                }
+                            }
+                        }
+                        AdmissionPolicy::Block | AdmissionPolicy::Cooperative { .. } => {
+                            // A full ring IS the high watermark.
+                            if matches!(self.admission, AdmissionPolicy::Cooperative { .. })
+                                && !self.mgr_overloaded.swap(true, Ordering::SeqCst)
+                            {
+                                self.stats.on_overload_flip();
+                            }
+                            match seen {
+                                None => {
+                                    // First encounter: snapshot the space
+                                    // epoch, then yield once — the manager
+                                    // is often mid-drain already.
+                                    seen = Some(self.space_notifier.epoch());
+                                    self.rt.yield_now();
+                                }
+                                Some(s) => {
+                                    // The retry between snapshot and here
+                                    // closes the missed-wakeup race: any
+                                    // drain after the snapshot moves the
+                                    // epoch past `s`.
+                                    self.space_notifier.wait_past(&self.rt, s);
+                                    seen = None;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     /// The full blocking call protocol: validate, attach or queue, wait
     /// for the reply.
     pub(crate) fn call_protocol(
@@ -716,7 +884,7 @@ impl ObjectInner {
         }
         if self.is_poisoned() {
             self.stats.on_poison_reject();
-            return Err(self.poisoned_err());
+            return Err(self.poison_reject());
         }
         self.stats.on_call();
         let t_call = self.rt.now();
@@ -753,7 +921,6 @@ impl ObjectInner {
             // ring; the manager drains it in batches. Only the push that
             // flips the ring empty→non-empty notifies — that producer is
             // the one the (possibly parked) manager is owed a wakeup by.
-            let sync = &self.estates[entry];
             if self.rt.fault_point("intake_push") {
                 // Injected lost submission: the cell is never published.
                 // A deadline-bounded caller recovers via Timeout; a plain
@@ -762,32 +929,9 @@ impl ObjectInner {
                 self.release_cell(call);
                 return r;
             }
-            sync.in_ring.fetch_add(1, Ordering::SeqCst);
-            let mut item = (entry as u32, Arc::clone(&call));
-            loop {
-                match self.intake.push(item) {
-                    Ok(was_empty) => {
-                        if was_empty {
-                            self.notifier.notify(&self.rt);
-                        }
-                        break;
-                    }
-                    Err(back) => {
-                        // Ring full. No direct-attach fallback — that
-                        // would let this call overtake ring residents of
-                        // the same entry and break per-entry FIFO. Yield
-                        // until the manager drains (it always exists for
-                        // intercepted entries; enforced at build).
-                        if self.is_closed() {
-                            sync.in_ring.fetch_sub(1, Ordering::SeqCst);
-                            drop(back);
-                            self.release_cell(call);
-                            return Err(self.closed_err());
-                        }
-                        item = back;
-                        self.rt.yield_now();
-                    }
-                }
+            if let Err(e) = self.push_intake(entry, &call) {
+                self.release_cell(call);
+                return Err(e);
             }
             // Shutdown may have raced the push: its sweep can miss a slot
             // whose publish was still in this core's store buffer when it
@@ -900,7 +1044,7 @@ impl ObjectInner {
         }
         if self.is_poisoned() {
             self.stats.on_poison_reject();
-            return Err(self.poisoned_err());
+            return Err(self.poison_reject());
         }
         self.stats.on_call();
         let t_call = self.rt.now();
@@ -944,7 +1088,6 @@ impl ObjectInner {
 
         // Intercepted: same ring submission as the no-deadline path.
         let call = self.acquire_cell(args, self.rt.current(), t_call);
-        let sync = &self.estates[entry];
         if self.rt.fault_point("intake_push") {
             // Injected lost submission; the deadline converts the hang
             // into a Timeout.
@@ -952,27 +1095,9 @@ impl ObjectInner {
             self.release_cell(call);
             return r;
         }
-        sync.in_ring.fetch_add(1, Ordering::SeqCst);
-        let mut item = (entry as u32, Arc::clone(&call));
-        loop {
-            match self.intake.push(item) {
-                Ok(was_empty) => {
-                    if was_empty {
-                        self.notifier.notify(&self.rt);
-                    }
-                    break;
-                }
-                Err(back) => {
-                    if self.is_closed() {
-                        sync.in_ring.fetch_sub(1, Ordering::SeqCst);
-                        drop(back);
-                        self.release_cell(call);
-                        return Err(self.closed_err());
-                    }
-                    item = back;
-                    self.rt.yield_now();
-                }
-            }
+        if let Err(e) = self.push_intake(entry, &call) {
+            self.release_cell(call);
+            return Err(e);
         }
         std::sync::atomic::fence(Ordering::SeqCst);
         if self.is_closed() {
@@ -1135,6 +1260,14 @@ impl ObjectInner {
         }
         if drained > 0 {
             self.stats.on_drain(drained);
+            // Ring space freed: wake producers parked on a full ring
+            // (Block/Cooperative backpressure).
+            self.space_notifier.notify(&self.rt);
+            if let AdmissionPolicy::Cooperative { low, .. } = self.admission {
+                if self.mgr_overloaded.load(Ordering::SeqCst) && self.intake.len() <= low {
+                    self.mgr_overloaded.store(false, Ordering::SeqCst);
+                }
+            }
         }
         // A batch of ≥ 2 is proof of concurrent callers: promote the
         // manager to storm mode (yield-poll instead of park, see
@@ -1150,11 +1283,185 @@ impl ObjectInner {
     /// and producers that observed `closed` after their push).
     pub(crate) fn sweep_intake(&self) {
         let _g = self.intake_drain.lock();
+        let mut popped = false;
         while let Some((eidx, call)) = self.intake.pop() {
             self.estates[eidx as usize]
                 .in_ring
                 .fetch_sub(1, Ordering::SeqCst);
             self.complete(&call, Err(self.closed_err()));
+            popped = true;
+        }
+        if popped {
+            // Backpressured producers must not stay parked on a ring that
+            // will never drain again.
+            self.space_notifier.notify(&self.rt);
+        }
+    }
+
+    /// Supervision entry point, called from the panic arm of
+    /// [`exec_checked_body`](Self::exec_checked_body) with no locks held,
+    /// in whichever process ran the panicking body (pool worker, inline
+    /// caller, or the manager itself via `execute`).
+    ///
+    /// Under the restart lock: charge the restart budget (refusal ⇒
+    /// permanent poison), consult the `"restart"` fault point, bump the
+    /// generation, sweep in-flight calls per the [`OnRestart`] choice,
+    /// re-run `state_init`, clear the poison, and wake everyone with a
+    /// stake — the old-generation manager (whose next primitive fails with
+    /// [`AlpsError::ObjectRestarting`], sending the supervisor loop back
+    /// around), backpressured producers, and `when #P` guards.
+    ///
+    /// Cancellation of running bodies stays cooperative: a body in flight
+    /// at restart time keeps running against the old state (its slot is
+    /// abandoned and its outcome discarded). A `state_init` that must not
+    /// race such stragglers should swap in fresh state atomically (e.g.
+    /// replace the contents of an `Arc<Mutex<…>>`) rather than mutate in
+    /// place.
+    fn handle_body_panic(self: &Arc<Self>) {
+        let Some(cfg) = &self.supervise else { return };
+        // Serialize concurrent panics: each performs (or is refused) one
+        // restart, in panic order. The supervisor loop also takes this
+        // lock as its re-entry barrier.
+        let mut times = self.restart_times.lock();
+        if self.is_closed() || self.perm_failed.load(Ordering::SeqCst) {
+            return;
+        }
+        let now = self.rt.now();
+        let allowed = match cfg.policy {
+            RestartPolicy::Never => false,
+            RestartPolicy::AlwaysFresh => true,
+            RestartPolicy::RestartTransient {
+                max_restarts,
+                window_ticks,
+            } => {
+                times.retain(|t| now.saturating_sub(*t) < window_ticks);
+                (times.len() as u32) < max_restarts
+            }
+        };
+        // An injected `"restart"` Drop fails this attempt: the object
+        // stays permanently poisoned, as if the rebuild itself died.
+        if !allowed || self.rt.fault_point("restart") {
+            self.perm_failed.store(true, Ordering::SeqCst);
+            return;
+        }
+        times.push(now);
+        // Bump the generation FIRST: every manager primitive re-checks it
+        // under the entry lock, so no old-generation accept, start, or
+        // finish can commit once the sweep below begins.
+        self.generation.fetch_add(1, Ordering::SeqCst);
+        self.restart_sweep(cfg.on_restart);
+        // Rebuild user state. A panicking initializer fails the restart
+        // permanently (poison), not the process.
+        if let Some(init) = &cfg.state_init {
+            if std::panic::catch_unwind(std::panic::AssertUnwindSafe(&**init)).is_err() {
+                self.perm_failed.store(true, Ordering::SeqCst);
+                return;
+            }
+        }
+        self.stats.on_restart();
+        self.poisoned.store(false, Ordering::SeqCst);
+        drop(times);
+        self.notifier.notify(&self.rt);
+        self.space_notifier.notify(&self.rt);
+    }
+
+    /// The restart's in-flight sweep. Phase 1 empties the intake ring
+    /// under the drain lock (FailInFlight only — under Requeue the ring
+    /// holds exactly the calls no manager generation has seen, and the new
+    /// generation's first drain classifies them in FIFO order). Phase 2
+    /// walks each entry under its own lock — the drain lock is *not* held,
+    /// matching `drain_intake`'s intake_drain → entry-lock order — and
+    /// completes victims only after unlocking, mirroring `shutdown`.
+    fn restart_sweep(self: &Arc<Self>, on: OnRestart) {
+        let fail_unseen = matches!(on, OnRestart::FailInFlight);
+        if fail_unseen {
+            let _g = self.intake_drain.lock();
+            while let Some((eidx, call)) = self.intake.pop() {
+                self.estates[eidx as usize]
+                    .in_ring
+                    .fetch_sub(1, Ordering::SeqCst);
+                if call.is_cancelled() {
+                    if call.claim_tombstone() {
+                        self.stats.on_reap();
+                    }
+                    self.release_cell(call);
+                } else {
+                    self.complete(&call, Err(self.restarting_err()));
+                }
+            }
+        }
+        for (entry, sync) in self.estates.iter().enumerate() {
+            let mut victims: Vec<Arc<CallCell>> = Vec::new();
+            let mut dispatches: Vec<(usize, ValVec)> = Vec::new();
+            {
+                let mut es = sync.st.lock();
+                if fail_unseen {
+                    let n = es.waitq.len();
+                    victims.extend(es.waitq.drain(..));
+                    if n > 0 {
+                        sync.queued.fetch_sub(n, Ordering::SeqCst);
+                    }
+                }
+                for s in &mut es.slots {
+                    match std::mem::replace(s, Slot::Free) {
+                        Slot::Free => {}
+                        // An inline implicit body answers its own caller;
+                        // an already-abandoned body is somebody else's
+                        // cleanup. Both keep their slot.
+                        keep @ (Slot::InlineBusy | Slot::Abandoned) => *s = keep,
+                        Slot::Attached { call } => {
+                            if fail_unseen {
+                                sync.attached.fetch_sub(1, Ordering::SeqCst);
+                                victims.push(call);
+                            } else {
+                                // Requeue: attached-but-unaccepted calls
+                                // were never seen by the dead generation
+                                // and survive in place.
+                                *s = Slot::Attached { call };
+                            }
+                        }
+                        // The dead generation's bookkeeping owned these —
+                        // accepted, running, or holding a pre-restart
+                        // result that must never be delivered.
+                        Slot::Accepted { call } => victims.push(call),
+                        Slot::Started { call } => {
+                            // Cooperative: the body cannot be interrupted.
+                            // It keeps the slot as Abandoned; `body_done`
+                            // discards its outcome and frees it.
+                            *s = Slot::Abandoned;
+                            victims.push(call);
+                        }
+                        Slot::Ready { call, .. } => {
+                            sync.ready.fetch_sub(1, Ordering::SeqCst);
+                            victims.push(call);
+                        }
+                        Slot::Awaited { call, .. } => victims.push(call),
+                    }
+                }
+                if !fail_unseen {
+                    // Requeue: slots freed above (accepted/ready/awaited
+                    // victims) immediately re-attach surviving queued
+                    // calls, preserving per-entry FIFO.
+                    for i in 0..es.slots.len() {
+                        if !matches!(es.slots[i], Slot::Free) {
+                            continue;
+                        }
+                        let Some(next) = es.waitq.pop_front() else {
+                            break;
+                        };
+                        sync.queued.fetch_sub(1, Ordering::SeqCst);
+                        if let Some(d) = self.attach_to_slot(&mut es, entry, i, next) {
+                            dispatches.push(d);
+                        }
+                    }
+                }
+            }
+            for call in victims {
+                self.complete(&call, Err(self.restarting_err()));
+            }
+            for (i, params) in dispatches {
+                self.dispatch_body(entry, i, params);
+            }
         }
     }
 
@@ -1311,6 +1618,11 @@ pub struct ObjectBuilder {
     pool: PoolMode,
     manager_prio: Priority,
     poison_on_panic: bool,
+    supervise: Option<RestartPolicy>,
+    on_restart: OnRestart,
+    state_init: Option<Box<dyn Fn() + Send + Sync + 'static>>,
+    admission: AdmissionPolicy,
+    intake_capacity: Option<usize>,
 }
 
 impl fmt::Debug for ObjectBuilder {
@@ -1334,6 +1646,11 @@ impl ObjectBuilder {
             pool: PoolMode::default(),
             manager_prio: Priority::MANAGER,
             poison_on_panic: false,
+            supervise: None,
+            on_restart: OnRestart::default(),
+            state_init: None,
+            admission: AdmissionPolicy::default(),
+            intake_capacity: None,
         }
     }
 
@@ -1345,6 +1662,59 @@ impl ObjectBuilder {
     /// without invariant damage.
     pub fn poison_on_panic(mut self, yes: bool) -> Self {
         self.poison_on_panic = yes;
+        self
+    }
+
+    /// Supervise the object: an entry-body panic triggers the restart
+    /// machinery instead of (only) poisoning. Per `policy` the object is
+    /// swept of in-flight calls (see [`on_restart`](Self::on_restart)),
+    /// its user state is rebuilt by the [`state_init`](Self::state_init)
+    /// closure, its manager process body is re-entered at a bumped
+    /// generation, and the poison is cleared — the object serves calls
+    /// again. A refused restart (budget exhausted,
+    /// [`RestartPolicy::Never`]) leaves the object permanently poisoned,
+    /// exactly like [`poison_on_panic`](Self::poison_on_panic).
+    ///
+    /// While a restart is possible, rejected new calls and swept in-flight
+    /// calls fail with the *transient* [`AlpsError::ObjectRestarting`]
+    /// (retry-worthy — see [`ObjectHandle::call_retry`]) rather than the
+    /// permanent [`AlpsError::ObjectPoisoned`].
+    pub fn supervise(mut self, policy: RestartPolicy) -> Self {
+        self.supervise = Some(policy);
+        self
+    }
+
+    /// What a supervised restart does with in-flight calls (default:
+    /// [`OnRestart::FailInFlight`]). Only meaningful together with
+    /// [`supervise`](Self::supervise).
+    pub fn on_restart(mut self, choice: OnRestart) -> Self {
+        self.on_restart = choice;
+        self
+    }
+
+    /// Closure re-run on every supervised restart to rebuild the user
+    /// state shared with the entry bodies (typically: reset the contents
+    /// of the `Arc<Mutex<…>>` the bodies captured). Manager-closure-local
+    /// state needs no initializer — the manager body is a `FnMut` that is
+    /// simply re-entered from the top, rebuilding its own locals.
+    pub fn state_init(mut self, f: impl Fn() + Send + Sync + 'static) -> Self {
+        self.state_init = Some(Box::new(f));
+        self
+    }
+
+    /// What the call protocol does when the bounded intake ring is full
+    /// (default: [`AdmissionPolicy::Block`] — backpressure).
+    pub fn admission(mut self, policy: AdmissionPolicy) -> Self {
+        self.admission = policy;
+        self
+    }
+
+    /// Override the intake-ring capacity (rounded up to a power of two,
+    /// minimum 2). The default is sized from the total slot count; shed
+    /// policies usually want an explicit, small bound so overload is
+    /// reached — and tested — deterministically.
+    pub fn intake_capacity(mut self, n: usize) -> Self {
+        self.intake_capacity = Some(n);
         self
     }
 
@@ -1432,6 +1802,14 @@ impl ObjectBuilder {
         if let PoolMode::Shared(0) = self.pool {
             return Err(bad("shared pool must have at least one process".into()));
         }
+        if let AdmissionPolicy::Cooperative { high, low } = self.admission {
+            if high == 0 || low > high {
+                return Err(bad(format!(
+                    "cooperative admission watermarks must satisfy 0 < low ≤ high \
+                     (got high={high}, low={low})"
+                )));
+            }
+        }
         let mut slot_base = Vec::with_capacity(self.entries.len());
         let mut total = 0usize;
         for e in &self.entries {
@@ -1445,6 +1823,11 @@ impl ObjectBuilder {
             .collect();
         let full_results: Vec<Vec<Ty>> = self.entries.iter().map(|e| e.full_results()).collect();
         let pool = Pool::new(rt.clone(), self.name.clone(), self.pool, total);
+        let supervise = self.supervise.map(|policy| SuperviseCfg {
+            policy,
+            on_restart: self.on_restart,
+            state_init: self.state_init,
+        });
         let inner = Arc::new(ObjectInner {
             name: self.name.clone(),
             rt: rt.clone(),
@@ -1464,28 +1847,61 @@ impl ObjectBuilder {
             cell_cap: (total * 2).clamp(8, 256),
             full_results,
             // Sized so a storm of callers (far more than slots) rarely
-            // hits the full-ring yield-retry path, yet small enough to
-            // stay cache-resident.
-            intake: IntakeRing::with_capacity((total * 8).next_power_of_two().clamp(64, 1024)),
+            // hits the full-ring admission path, yet small enough to stay
+            // cache-resident; shed policies usually override the bound.
+            intake: IntakeRing::with_capacity(
+                self.intake_capacity
+                    .map(|n| n.next_power_of_two().max(2))
+                    .unwrap_or_else(|| (total * 8).next_power_of_two().clamp(64, 1024)),
+            ),
             intake_drain: Mutex::new(()),
             mgr_active: AtomicBool::new(true),
             mgr_poll: AtomicBool::new(false),
+            generation: AtomicU64::new(0),
+            supervise,
+            restart_times: Mutex::new(Vec::new()),
+            perm_failed: AtomicBool::new(false),
+            admission: self.admission,
+            mgr_overloaded: AtomicBool::new(false),
+            space_notifier: Notifier::new(),
         });
         if let Some(mut body) = self.manager {
             let mgr_inner = Arc::clone(&inner);
+            let supervised = mgr_inner.supervise.is_some();
+            // The supervisor loop: the body is a `FnMut`, so a supervised
+            // restart simply re-enters it from the top with a fresh
+            // generation-tagged context — its closure-local state (counts,
+            // free lists, …) rebuilds naturally.
             rt.spawn_with(
                 Spawn::new(format!("{}:manager", self.name))
                     .prio(self.manager_prio)
                     .daemon(true),
-                move || {
+                move || loop {
                     let mut ctx = ManagerCtx::new(Arc::clone(&mgr_inner));
                     match body(&mut ctx) {
                         Ok(())
                         | Err(AlpsError::ObjectClosed { .. })
-                        | Err(AlpsError::Runtime(_)) => {}
+                        | Err(AlpsError::Runtime(_)) => break,
+                        Err(AlpsError::ObjectRestarting { .. }) if supervised => {
+                            // A restart invalidated this generation. Wait
+                            // for the in-flight sweep and state rebuild to
+                            // complete (the restart holds this lock
+                            // throughout) before re-entering, so the new
+                            // generation never observes a half-swept
+                            // object — that barrier is what makes "zero
+                            // stale pre-restart replies" hold.
+                            drop(mgr_inner.restart_times.lock());
+                            // A restart whose rebuild failed leaves the
+                            // object permanently poisoned: nothing will
+                            // ever be admitted again, so don't re-enter.
+                            if mgr_inner.perm_failed.load(Ordering::SeqCst) {
+                                break;
+                            }
+                        }
                         Err(e) => {
                             *mgr_inner.manager_error.lock() = Some(e);
                             mgr_inner.shutdown();
+                            break;
                         }
                     }
                 },
@@ -1636,6 +2052,113 @@ impl ObjectHandle {
             });
         }
         inner.call_protocol_deadline(id.idx as usize, args.into(), true, ticks)
+    }
+
+    /// Like [`call_deadline`](Self::call_deadline), but retry *transient*
+    /// failures per `policy`: [`AlpsError::Overloaded`] (the intake shed
+    /// the call before enqueueing it), [`AlpsError::ObjectRestarting`] (a
+    /// supervised restart swept or refused it), and [`AlpsError::Timeout`].
+    /// Anything actually *delivered* — results, [`AlpsError::BodyFailed`],
+    /// [`AlpsError::Cancelled`] — is never retried: the body may have run,
+    /// and retrying would double-apply its effects.
+    ///
+    /// The policy's `budget_ticks` bounds the whole affair — attempts plus
+    /// backoff sleeps; each attempt's deadline is the remaining budget
+    /// split evenly over the remaining attempts. With
+    /// [`Backoff::ExpJitter`], delays are drawn from the runtime's
+    /// deterministic random stream
+    /// ([`Runtime::rand_u64`](alps_runtime::Runtime::rand_u64)), so a
+    /// seeded simulation replays the "random" backoff bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// As [`call_deadline`](Self::call_deadline); when every attempt fails
+    /// transiently, the *last* transient error is returned.
+    pub fn call_retry(
+        &self,
+        entry: &str,
+        args: Vec<Value>,
+        policy: RetryPolicy,
+    ) -> Result<Vec<Value>> {
+        let id = self.entry_id(entry)?;
+        self.call_id_retry(id, args, policy).map(Vec::from)
+    }
+
+    /// [`call_retry`](Self::call_retry) through an interned [`EntryId`]
+    /// (see [`call_id`](Self::call_id)).
+    ///
+    /// # Errors
+    ///
+    /// As [`call_retry`](Self::call_retry), plus
+    /// [`AlpsError::ForeignEntryId`].
+    pub fn call_id_retry(
+        &self,
+        id: EntryId,
+        args: impl Into<ValVec>,
+        policy: RetryPolicy,
+    ) -> Result<ValVec> {
+        let inner = &self.core.inner;
+        if id.obj != inner.uid {
+            return Err(AlpsError::ForeignEntryId {
+                object: inner.name.clone(),
+            });
+        }
+        let args: ValVec = args.into();
+        let attempts = policy.max_attempts.max(1);
+        let deadline = inner.rt.now().saturating_add(policy.budget_ticks.max(1));
+        let mut last = None;
+        for k in 0..attempts {
+            let remaining = deadline.saturating_sub(inner.rt.now());
+            if remaining == 0 {
+                break;
+            }
+            // Split the remaining budget evenly over the remaining
+            // attempts so one slow attempt cannot starve the rest.
+            let per = (remaining / u64::from(attempts - k)).max(1);
+            match inner.call_protocol_deadline(id.idx as usize, args.clone(), true, per) {
+                Ok(r) => return Ok(r),
+                Err(
+                    e @ (AlpsError::Overloaded { .. }
+                    | AlpsError::ObjectRestarting { .. }
+                    | AlpsError::Timeout { .. }),
+                ) => {
+                    last = Some(e);
+                    if k + 1 == attempts {
+                        break;
+                    }
+                    inner.stats.on_retry();
+                    let delay = match policy.backoff {
+                        Backoff::None => 0,
+                        Backoff::Fixed(t) => t,
+                        Backoff::ExpJitter { base, cap } => {
+                            let d = base.checked_shl(k).unwrap_or(u64::MAX).min(cap);
+                            // Uniform in [d/2, d].
+                            let lo = d / 2;
+                            lo + if d > lo {
+                                inner.rt.rand_u64() % (d - lo + 1)
+                            } else {
+                                0
+                            }
+                        }
+                    };
+                    let sleep = delay.min(deadline.saturating_sub(inner.rt.now()));
+                    if sleep > 0 {
+                        inner.rt.sleep(sleep);
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last.unwrap_or(AlpsError::Timeout {
+            what: inner.entries[id.idx as usize].name.clone(),
+            ticks: policy.budget_ticks,
+        }))
+    }
+
+    /// The object's restart generation: 0 at spawn, incremented by every
+    /// supervised restart ([`ObjectBuilder::supervise`]).
+    pub fn generation(&self) -> u64 {
+        self.core.inner.generation.load(Ordering::SeqCst)
     }
 
     /// Call a procedure *as if from inside the object*: local procedures

@@ -287,8 +287,15 @@ fn consider(best: &mut Option<Candidate>, c: Candidate) {
 }
 
 /// Run one select: block until a guard fires or all guards close.
-pub(crate) fn run_select(obj: &Arc<ObjectInner>, guards: &[Guard<'_>]) -> Result<Selected> {
-    run_select_deadline(obj, guards, None)
+/// `gen` is the restart generation of the selecting manager context; a
+/// supervised restart bumps it, failing the select with
+/// [`AlpsError::ObjectRestarting`] before any stale commit.
+pub(crate) fn run_select(
+    obj: &Arc<ObjectInner>,
+    guards: &[Guard<'_>],
+    gen: u64,
+) -> Result<Selected> {
+    run_select_deadline(obj, guards, None, gen)
 }
 
 /// [`run_select`] with an optional deadline: `(absolute expiry, budget)`.
@@ -301,6 +308,7 @@ pub(crate) fn run_select_deadline(
     obj: &Arc<ObjectInner>,
     guards: &[Guard<'_>],
     deadline: Option<(u64, u64)>,
+    gen: u64,
 ) -> Result<Selected> {
     if guards.is_empty() {
         return Err(AlpsError::SelectFailed);
@@ -332,13 +340,19 @@ pub(crate) fn run_select_deadline(
         if obj.is_closed() {
             return Err(obj.closed_err());
         }
+        // Checked every iteration (each wakeup), so a manager parked in
+        // select observes a restart promptly and unwinds to the
+        // supervisor instead of committing into the new generation.
+        if obj.generation.load(Ordering::SeqCst) != gen {
+            return Err(obj.restarting_err());
+        }
         // Epoch before drain: any push after this snapshot bumps the
         // epoch, so the wait below cannot sleep through it.
         let epoch = obj.notifier.epoch();
         obj.drain_intake();
         if single_fast {
             let entry = resolved[0].expect("resolved above");
-            if let Some(sel) = fused_single(obj, &guards[0], entry) {
+            if let Some(sel) = fused_single(obj, &guards[0], entry, gen) {
                 return Ok(sel);
             }
             // Accept/await guards never close while the object is open.
@@ -517,8 +531,11 @@ pub(crate) fn run_select_deadline(
                     // so only shutdown can have invalidated the candidate;
                     // the retry loop then reports ObjectClosed.
                     let mut es = obj.estates[entry].st.lock();
+                    if obj.generation.load(Ordering::SeqCst) != gen {
+                        return Err(obj.restarting_err());
+                    }
                     if matches!(es.slots[slot], Slot::Attached { .. }) {
-                        let call = crate::manager::commit_accept(obj, &mut es, entry, slot);
+                        let call = crate::manager::commit_accept(obj, &mut es, entry, slot, gen);
                         Some(Selected::Accepted {
                             guard: c.guard,
                             call,
@@ -529,8 +546,11 @@ pub(crate) fn run_select_deadline(
                 }
                 CandAction::Await { entry, slot } => {
                     let mut es = obj.estates[entry].st.lock();
+                    if obj.generation.load(Ordering::SeqCst) != gen {
+                        return Err(obj.restarting_err());
+                    }
                     if matches!(es.slots[slot], Slot::Ready { .. }) {
-                        let done = crate::manager::commit_await(obj, &mut es, entry, slot);
+                        let done = crate::manager::commit_await(obj, &mut es, entry, slot, gen);
                         Some(Selected::Ready {
                             guard: c.guard,
                             done,
@@ -616,7 +636,7 @@ fn wait_for_work_deadline(
 /// One-lock scan-and-commit for a single `accept`/`await` guard without
 /// `pri`: the first eligible slot (lowest index — same choice the general
 /// path makes for equal priorities) is committed in place.
-fn fused_single(obj: &Arc<ObjectInner>, g: &Guard<'_>, entry: usize) -> Option<Selected> {
+fn fused_single(obj: &Arc<ObjectInner>, g: &Guard<'_>, entry: usize, gen: u64) -> Option<Selected> {
     let sync = &obj.estates[entry];
     match &g.kind {
         GuardKind::Accept { slot, .. } => {
@@ -628,6 +648,11 @@ fn fused_single(obj: &Arc<ObjectInner>, g: &Guard<'_>, entry: usize) -> Option<S
                 .map(|ic| ic.params)
                 .unwrap_or(0);
             let mut es = sync.st.lock();
+            if obj.generation.load(Ordering::SeqCst) != gen {
+                // Let the outer loop's generation check report the
+                // restart instead of committing a stale accept.
+                return None;
+            }
             for i in 0..es.slots.len() {
                 if slot.is_some() && *slot != Some(i) {
                     continue;
@@ -644,7 +669,7 @@ fn fused_single(obj: &Arc<ObjectInner>, g: &Guard<'_>, entry: usize) -> Option<S
                     g.when.as_ref().map(|f| f(&view)).unwrap_or(true)
                 };
                 if eligible {
-                    let call = crate::manager::commit_accept(obj, &mut es, entry, i);
+                    let call = crate::manager::commit_accept(obj, &mut es, entry, i, gen);
                     return Some(Selected::Accepted { guard: 0, call });
                 }
             }
@@ -658,6 +683,9 @@ fn fused_single(obj: &Arc<ObjectInner>, g: &Guard<'_>, entry: usize) -> Option<S
             let kr = def.intercept.map(|ic| ic.results).unwrap_or(0);
             let pub_len = def.results.len();
             let mut es = sync.st.lock();
+            if obj.generation.load(Ordering::SeqCst) != gen {
+                return None;
+            }
             for i in 0..es.slots.len() {
                 if slot.is_some() && *slot != Some(i) {
                     continue;
@@ -683,7 +711,7 @@ fn fused_single(obj: &Arc<ObjectInner>, g: &Guard<'_>, entry: usize) -> Option<S
                     }
                 };
                 if eligible {
-                    let done = crate::manager::commit_await(obj, &mut es, entry, i);
+                    let done = crate::manager::commit_await(obj, &mut es, entry, i, gen);
                     return Some(Selected::Ready { guard: 0, done });
                 }
             }

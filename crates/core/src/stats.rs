@@ -37,6 +37,10 @@ struct StatsInner {
     cancels: Counter,
     reaps: Counter,
     poison_rejects: Counter,
+    restarts: Counter,
+    sheds: Counter,
+    retries: Counter,
+    overload_flips: Counter,
     /// EWMA of service time in ticks (α = 1/8), written under the entry
     /// lock on finish so a plain load/store suffices.
     ewma_service: AtomicU64,
@@ -136,6 +140,31 @@ impl ObjectStats {
     pub fn poison_rejects(&self) -> u64 {
         self.inner.poison_rejects.get()
     }
+    /// Supervised restarts completed — the object was rebuilt after an
+    /// entry-body panic ([`supervise`](crate::ObjectBuilder::supervise))
+    /// and serves calls again under a new generation.
+    pub fn restarts(&self) -> u64 {
+        self.inner.restarts.get()
+    }
+    /// Calls refused with [`Overloaded`](crate::AlpsError::Overloaded) by
+    /// a shedding [`AdmissionPolicy`](crate::AdmissionPolicy) — the
+    /// incoming call under `ShedNewest`, an evicted ring resident under
+    /// `ShedOldest`.
+    pub fn sheds(&self) -> u64 {
+        self.inner.sheds.get()
+    }
+    /// Re-attempts made by
+    /// [`call_retry`](crate::ObjectHandle::call_retry) (first attempts
+    /// are not counted).
+    pub fn retries(&self) -> u64 {
+        self.inner.retries.get()
+    }
+    /// Times the `Cooperative` admission watermark flipped the
+    /// `mgr_overloaded` flag on (it clears when occupancy drains below
+    /// the low watermark).
+    pub fn overload_flips(&self) -> u64 {
+        self.inner.overload_flips.get()
+    }
     /// Exponentially weighted moving average of entry service time in
     /// ticks (α = 1/8) — the signal the adaptive spin budgets are tuned
     /// by.
@@ -208,6 +237,18 @@ impl ObjectStats {
     pub(crate) fn on_poison_reject(&self) {
         self.inner.poison_rejects.incr();
     }
+    pub(crate) fn on_restart(&self) {
+        self.inner.restarts.incr();
+    }
+    pub(crate) fn on_shed(&self) {
+        self.inner.sheds.incr();
+    }
+    pub(crate) fn on_retry(&self) {
+        self.inner.retries.incr();
+    }
+    pub(crate) fn on_overload_flip(&self) {
+        self.inner.overload_flips.incr();
+    }
 }
 
 impl fmt::Display for ObjectStats {
@@ -217,7 +258,7 @@ impl fmt::Display for ObjectStats {
             "calls={} accepts={} starts={} finishes={} combines={} implicit={} failures={} \
              p50_latency={} p99_latency={} wakeups={} mean_batch={:.1} max_batch={} \
              spin_resolved={} park_resolved={} timeouts={} cancels={} reaps={} \
-             poison_rejects={}",
+             poison_rejects={} restarts={} sheds={} retries={} overload_flips={}",
             self.calls(),
             self.accepts(),
             self.starts(),
@@ -236,6 +277,10 @@ impl fmt::Display for ObjectStats {
             self.cancels(),
             self.reaps(),
             self.poison_rejects(),
+            self.restarts(),
+            self.sheds(),
+            self.retries(),
+            self.overload_flips(),
         )
     }
 }
@@ -308,6 +353,27 @@ mod tests {
         let shown = s.to_string();
         assert!(shown.contains("timeouts=2"), "{shown}");
         assert!(shown.contains("poison_rejects=1"), "{shown}");
+    }
+
+    #[test]
+    fn supervision_counters_accumulate() {
+        let s = ObjectStats::new();
+        s.on_restart();
+        s.on_shed();
+        s.on_shed();
+        s.on_retry();
+        s.on_retry();
+        s.on_retry();
+        s.on_overload_flip();
+        assert_eq!(s.restarts(), 1);
+        assert_eq!(s.sheds(), 2);
+        assert_eq!(s.retries(), 3);
+        assert_eq!(s.overload_flips(), 1);
+        let shown = s.to_string();
+        assert!(shown.contains("restarts=1"), "{shown}");
+        assert!(shown.contains("sheds=2"), "{shown}");
+        assert!(shown.contains("retries=3"), "{shown}");
+        assert!(shown.contains("overload_flips=1"), "{shown}");
     }
 
     #[test]

@@ -17,7 +17,10 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use alps_core::{vals, AlpsError, EntryDef, Guard, ObjectBuilder, Selected, Ty, Value};
+use alps_core::{
+    vals, AdmissionPolicy, AlpsError, EntryDef, Guard, ObjectBuilder, RestartPolicy, RetryPolicy,
+    Selected, Ty, Value,
+};
 use alps_runtime::{FaultPlan, SchedPolicy, SimRuntime, Spawn};
 
 /// Seeds to sweep, honouring the two environment overrides.
@@ -269,6 +272,139 @@ fn injected_body_panic_is_caught_and_replayable() {
             }
             assert_eq!(failures, 1, "exactly the 3rd body execution was killed");
             assert_eq!(obj.stats().body_failures(), 1);
+        })
+        .unwrap();
+    });
+}
+
+#[test]
+fn restart_during_drain_sweeps_cleanly_across_seeds() {
+    // Acceptance scenario: an injected panic kills the 3rd body execution
+    // of a supervised object while 8 retrying callers are in flight. Under
+    // EVERY schedule: each caller eventually succeeds (retry absorbs the
+    // transient restart error), every delivered result is tagged with the
+    // epoch of the generation that computed it — never a pre-restart
+    // value after the sweep — and the object restarts exactly once.
+    sweep("restart-during-drain", |seed| {
+        let sim = SimRuntime::with_policy(SchedPolicy::PriorityRandom(seed));
+        sim.set_fault_plan(FaultPlan::new().panic_at("body", 3));
+        sim.run(move |rt| {
+            // `state_init` bumps the epoch: generation g computes results
+            // tagged g*1000.
+            let epoch = Arc::new(AtomicU64::new(0));
+            let (e_body, e_init) = (Arc::clone(&epoch), Arc::clone(&epoch));
+            let obj = ObjectBuilder::new("SweptSup")
+                .entry(
+                    EntryDef::new("P")
+                        .params([Ty::Int])
+                        .results([Ty::Int])
+                        .intercepted()
+                        .body(move |ctx, args| {
+                            let v = args[0].as_int()?;
+                            ctx.sleep(10 + (v as u64 % 5) * 15);
+                            let tag = e_body.load(Ordering::SeqCst) as i64;
+                            Ok(vec![Value::Int(v * 2 + tag * 1000)])
+                        }),
+                )
+                .manager(|mgr| loop {
+                    let acc = mgr.accept("P")?;
+                    mgr.execute(acc)?;
+                })
+                .supervise(RestartPolicy::AlwaysFresh)
+                .state_init(move || {
+                    e_init.fetch_add(1, Ordering::SeqCst);
+                })
+                .spawn(rt)
+                .unwrap();
+            let mut joins = Vec::new();
+            for i in 0..8i64 {
+                let o2 = obj.clone();
+                joins.push(rt.spawn_with(Spawn::new(format!("caller{i}")), move || {
+                    let r = o2
+                        .call_retry("P", vals![i], RetryPolicy::new(10, 100_000))
+                        .unwrap_or_else(|e| panic!("caller {i}: {e:?}"));
+                    let v = r[0].as_int().unwrap();
+                    let (tag, base) = (v / 1000, v % 1000);
+                    assert_eq!(base, i * 2, "caller {i} got a wrong or torn result");
+                    assert!(tag <= 1, "caller {i}: result from impossible epoch {tag}");
+                }));
+            }
+            for j in joins {
+                j.join().unwrap();
+            }
+            let stats = obj.stats();
+            assert_eq!(stats.restarts(), 1, "exactly one restart");
+            assert_eq!(obj.generation(), 1);
+            assert!(
+                stats.retries() >= 1,
+                "the panicked call's caller must have retried"
+            );
+            // Post-restart service keeps working on the same handle.
+            let r = obj.call("P", vals![50i64]).unwrap();
+            assert_eq!(r[0].as_int().unwrap(), 50 * 2 + 1000);
+        })
+        .unwrap();
+    });
+}
+
+#[test]
+fn shed_under_storm_bounds_intake_across_seeds() {
+    // Acceptance scenario: 16 callers storm a ShedNewest object whose
+    // intake holds 4. Under EVERY schedule: no caller ever hangs, every
+    // refusal is an immediate `Overloaded` counted by the stats, every
+    // admitted call completes with the right result, and the object ends
+    // the storm alive.
+    sweep("shed-under-storm", |seed| {
+        let sim = SimRuntime::with_policy(SchedPolicy::PriorityRandom(seed));
+        sim.run(move |rt| {
+            let obj = ObjectBuilder::new("StormShed")
+                .entry(
+                    EntryDef::new("P")
+                        .params([Ty::Int])
+                        .results([Ty::Int])
+                        .intercepted()
+                        .body(|ctx, args| {
+                            ctx.sleep(40);
+                            Ok(vec![args[0].clone()])
+                        }),
+                )
+                .manager(|mgr| loop {
+                    let acc = mgr.accept("P")?;
+                    mgr.execute(acc)?;
+                })
+                .admission(AdmissionPolicy::ShedNewest)
+                .intake_capacity(4)
+                .spawn(rt)
+                .unwrap();
+            let tallies: Arc<parking_lot::Mutex<(u64, u64)>> =
+                Arc::new(parking_lot::Mutex::new((0, 0)));
+            let mut joins = Vec::new();
+            for i in 0..16i64 {
+                let (o2, t2) = (obj.clone(), Arc::clone(&tallies));
+                joins.push(rt.spawn_with(Spawn::new(format!("storm{i}")), move || {
+                    for k in 0..2i64 {
+                        match o2.call("P", vals![i * 10 + k]) {
+                            Ok(r) => {
+                                assert_eq!(r[0].as_int().unwrap(), i * 10 + k);
+                                t2.lock().0 += 1;
+                            }
+                            Err(AlpsError::Overloaded { .. }) => t2.lock().1 += 1,
+                            Err(e) => panic!("storm caller {i}: {e:?}"),
+                        }
+                    }
+                }));
+            }
+            for j in joins {
+                j.join().unwrap();
+            }
+            let (ok, shed) = *tallies.lock();
+            assert_eq!(ok + shed, 32, "every call was answered — no hangs");
+            assert!(ok >= 1, "admitted work is served even mid-storm");
+            assert!(shed >= 1, "16 callers against capacity 4 must shed");
+            let stats = obj.stats();
+            assert_eq!(stats.sheds(), shed, "stats account for every refusal");
+            assert_eq!(stats.finishes(), ok, "every admitted call completed");
+            assert!(!obj.is_closed(), "the storm never killed the object");
         })
         .unwrap();
     });

@@ -10,7 +10,8 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 
 use alps_core::{
-    argv, EntryDef, EntryId, Guard, ObjectBuilder, ObjectHandle, Result, Selected, Ty, Value,
+    argv, AdmissionPolicy, EntryDef, EntryId, Guard, ObjectBuilder, ObjectHandle, Result, Selected,
+    Ty, Value,
 };
 use alps_runtime::Runtime;
 use alps_sync::{Cond, Monitor};
@@ -60,10 +61,57 @@ impl AlpsBuffer {
     ///
     /// Propagates object-definition errors (none for valid `n`).
     pub fn spawn_with_copy_cost(rt: &Runtime, n: usize, copy_cost: u64) -> Result<AlpsBuffer> {
+        Self::build(rt, n, copy_cost, None)
+    }
+
+    /// Like [`spawn`](Self::spawn), but the object sheds load instead of
+    /// queueing it without bound: the manager's intake ring is capped at
+    /// `intake` pending calls and arrivals beyond that are answered
+    /// [`alps_core::AlpsError::Overloaded`]
+    /// ([`AdmissionPolicy::ShedNewest`]) instead of parking the caller.
+    /// Shed calls never touch the buffer; admitted calls keep the usual
+    /// FIFO and backpressure semantics, and the shed count is visible as
+    /// `object().stats().sheds()`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use alps_core::AlpsError;
+    /// use alps_paper::bounded_buffer::AlpsBuffer;
+    /// use alps_runtime::SimRuntime;
+    ///
+    /// let sim = SimRuntime::new();
+    /// let v = sim
+    ///     .run(|rt| {
+    ///         // Capacity 4, at most 2 calls waiting in the intake ring.
+    ///         let buf = AlpsBuffer::spawn_shedding(rt, 4, 2).unwrap();
+    ///         buf.deposit(rt, 7).unwrap();
+    ///         // An uncontended caller is always admitted; under a storm
+    ///         // the excess would see Err(AlpsError::Overloaded) instead
+    ///         // of parking forever.
+    ///         buf.remove(rt).unwrap()
+    ///     })
+    ///     .unwrap();
+    /// assert_eq!(v, 7);
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Propagates object-definition errors (none for valid `n`).
+    pub fn spawn_shedding(rt: &Runtime, n: usize, intake: usize) -> Result<AlpsBuffer> {
+        Self::build(rt, n, 0, Some(intake))
+    }
+
+    fn build(
+        rt: &Runtime,
+        n: usize,
+        copy_cost: u64,
+        shed_intake: Option<usize>,
+    ) -> Result<AlpsBuffer> {
         assert!(n > 0, "buffer capacity must be positive");
         let store: Arc<Mutex<VecDeque<Value>>> = Arc::new(Mutex::new(VecDeque::new()));
         let (s_dep, s_rem) = (Arc::clone(&store), Arc::clone(&store));
-        let obj = ObjectBuilder::new("Buffer")
+        let mut builder = ObjectBuilder::new("Buffer")
             .entry(
                 EntryDef::new("Deposit")
                     .params([Ty::Int])
@@ -111,8 +159,13 @@ impl AlpsBuffer {
                         _ => unreachable!("only accept guards"),
                     }
                 }
-            })
-            .spawn(rt)?;
+            });
+        if let Some(intake) = shed_intake {
+            builder = builder
+                .admission(AdmissionPolicy::ShedNewest)
+                .intake_capacity(intake);
+        }
+        let obj = builder.spawn(rt)?;
         // Intern the entry names once; every deposit/remove then takes
         // the call_id fast path.
         let deposit = obj.entry_id("Deposit")?;
@@ -298,6 +351,51 @@ mod tests {
                 assert_eq!(buf.remove(rt).unwrap(), want);
             }
             producer.join().unwrap();
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn shedding_buffer_answers_overload_instead_of_parking() {
+        use alps_core::AlpsError;
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        let sim = SimRuntime::new();
+        sim.run(|rt| {
+            // Slow bodies (copy_cost 40) keep the manager busy so the
+            // 2-deep intake ring actually fills under the storm.
+            let buf = AlpsBuffer::build(rt, 16, 40, Some(2)).unwrap();
+            let ok = Arc::new(AtomicU64::new(0));
+            let shed = Arc::new(AtomicU64::new(0));
+            let mut hs = Vec::new();
+            for i in 0..12 {
+                let (b2, rt2) = (buf.clone(), rt.clone());
+                let (ok2, shed2) = (Arc::clone(&ok), Arc::clone(&shed));
+                hs.push(rt.spawn_with(
+                    Spawn::new(format!("p{i}")),
+                    move || match b2.deposit(&rt2, i) {
+                        Ok(()) => {
+                            ok2.fetch_add(1, Ordering::SeqCst);
+                        }
+                        Err(AlpsError::Overloaded { .. }) => {
+                            shed2.fetch_add(1, Ordering::SeqCst);
+                        }
+                        Err(e) => panic!("unexpected error: {e}"),
+                    },
+                ));
+            }
+            for h in hs {
+                h.join().unwrap();
+            }
+            let (ok, shed) = (ok.load(Ordering::SeqCst), shed.load(Ordering::SeqCst));
+            // Every caller got an answer — admitted or shed, never hung.
+            assert_eq!(ok + shed, 12);
+            assert!(shed > 0, "storm should overflow the 2-deep intake");
+            assert_eq!(buf.object().stats().sheds(), shed);
+            // Admitted deposits really landed: drain them all back out.
+            for _ in 0..ok {
+                buf.remove(rt).unwrap();
+            }
         })
         .unwrap();
     }

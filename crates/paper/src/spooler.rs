@@ -9,7 +9,10 @@
 
 use std::sync::Arc;
 
-use alps_core::{vals, EntryDef, Guard, ObjectBuilder, ObjectHandle, Result, Selected, Ty, Value};
+use alps_core::{
+    vals, EntryDef, Guard, ObjectBuilder, ObjectHandle, RestartPolicy, Result, RetryPolicy,
+    Selected, Ty, Value,
+};
 use alps_runtime::metrics::{Counter, Histogram};
 use alps_runtime::Runtime;
 
@@ -62,13 +65,66 @@ impl Spooler {
     ///
     /// Propagates object-definition errors (none for valid configs).
     pub fn spawn(rt: &Runtime, cfg: SpoolerConfig) -> Result<Spooler> {
+        Self::build(rt, cfg, None)
+    }
+
+    /// Like [`spawn`](Self::spawn), but the object is supervised: when a
+    /// `Print` body panics (a wedged printer), the runtime sweeps the
+    /// in-flight calls, re-enters the manager from the top — which
+    /// rebuilds the free-printer list, since it lives in a manager-local
+    /// variable — and keeps serving. Swept callers see
+    /// [`alps_core::AlpsError::ObjectRestarting`] and can retry with
+    /// [`print_retry`](Self::print_retry).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use alps_core::{RestartPolicy, RetryPolicy};
+    /// use alps_paper::spooler::{Spooler, SpoolerConfig};
+    /// use alps_runtime::{FaultPlan, SimRuntime};
+    ///
+    /// let sim = SimRuntime::new();
+    /// // The very first print job panics inside the printer body.
+    /// sim.set_fault_plan(FaultPlan::new().panic_at("body", 1));
+    /// sim.run(|rt| {
+    ///     let sp = Spooler::spawn_supervised(
+    ///         rt,
+    ///         SpoolerConfig::default(),
+    ///         RestartPolicy::AlwaysFresh,
+    ///     )
+    ///     .unwrap();
+    ///     // The panic poisons the first attempt; the supervisor rebuilds
+    ///     // the spooler and the retry lands on the fresh generation.
+    ///     sp.print_retry(rt, "report.txt", 100, RetryPolicy::new(5, 100_000))
+    ///         .unwrap();
+    ///     assert_eq!(sp.object().stats().restarts(), 1);
+    /// })
+    /// .unwrap();
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Propagates object-definition errors (none for valid configs).
+    pub fn spawn_supervised(
+        rt: &Runtime,
+        cfg: SpoolerConfig,
+        policy: RestartPolicy,
+    ) -> Result<Spooler> {
+        Self::build(rt, cfg, Some(policy))
+    }
+
+    fn build(
+        rt: &Runtime,
+        cfg: SpoolerConfig,
+        supervise: Option<RestartPolicy>,
+    ) -> Result<Spooler> {
         let printers = cfg.printers.max(1);
         let jobs: Arc<Vec<Counter>> = Arc::new((0..printers).map(|_| Counter::new()).collect());
         let busy: Arc<Vec<Counter>> = Arc::new((0..printers).map(|_| Counter::new()).collect());
         let queue_wait = Arc::new(Histogram::new());
         let (jobs2, busy2) = (Arc::clone(&jobs), Arc::clone(&busy));
         let ticks_per_byte = cfg.ticks_per_byte;
-        let obj = ObjectBuilder::new("Spooler")
+        let builder = ObjectBuilder::new("Spooler")
             .entry(
                 EntryDef::new("Print")
                     .params([Ty::Str, Ty::Int]) // file name, size in bytes
@@ -110,8 +166,14 @@ impl Spooler {
                         _ => unreachable!(),
                     }
                 }
-            })
-            .spawn(rt)?;
+            });
+        // The free-printer list is a manager-local, so a supervised
+        // restart rebuilds it for free when the body is re-entered.
+        let obj = match supervise {
+            Some(policy) => builder.supervise(policy),
+            None => builder,
+        }
+        .spawn(rt)?;
         Ok(Spooler {
             obj,
             printers,
@@ -147,6 +209,29 @@ impl Spooler {
     pub fn print_deadline(&self, rt: &Runtime, file: &str, bytes: i64, ticks: u64) -> Result<()> {
         let t0 = rt.now();
         self.obj.call_deadline("Print", vals![file, bytes], ticks)?;
+        self.queue_wait.record(rt.now().saturating_sub(t0));
+        Ok(())
+    }
+
+    /// [`print`](Self::print) with caller-side retry: transient failures
+    /// — [`alps_core::AlpsError::ObjectRestarting`] from a supervised
+    /// restart, [`alps_core::AlpsError::Overloaded`] sheds, or per-attempt
+    /// timeouts — are retried under `policy`'s attempt and tick budget.
+    /// Delivered errors (a printer body that *ran* and failed) are not.
+    ///
+    /// # Errors
+    ///
+    /// As [`print`](Self::print), plus `Timeout` when the retry budget is
+    /// exhausted without a successful attempt.
+    pub fn print_retry(
+        &self,
+        rt: &Runtime,
+        file: &str,
+        bytes: i64,
+        policy: RetryPolicy,
+    ) -> Result<()> {
+        let t0 = rt.now();
+        self.obj.call_retry("Print", vals![file, bytes], policy)?;
         self.queue_wait.record(rt.now().saturating_sub(t0));
         Ok(())
     }
@@ -247,6 +332,51 @@ mod tests {
             two * 2 <= one + 1000,
             "two printers should halve the makespan: one={one} two={two}"
         );
+    }
+
+    #[test]
+    fn supervised_spooler_survives_a_wedged_printer() {
+        use alps_core::{RestartPolicy, RetryPolicy};
+        use alps_runtime::FaultPlan;
+
+        let sim = SimRuntime::new();
+        // The 2nd print body panics mid-job: the printer wedges, the
+        // supervisor sweeps and rebuilds the free list from scratch.
+        sim.set_fault_plan(FaultPlan::new().panic_at("body", 2));
+        let (stats, restarts) = sim
+            .run(|rt| {
+                let sp = Spooler::spawn_supervised(
+                    rt,
+                    SpoolerConfig {
+                        printers: 2,
+                        print_max: 4,
+                        ticks_per_byte: 1,
+                    },
+                    RestartPolicy::AlwaysFresh,
+                )
+                .unwrap();
+                let mut hs = Vec::new();
+                for i in 0..6 {
+                    let (sp2, rt2) = (sp.clone(), rt.clone());
+                    hs.push(rt.spawn_with(Spawn::new(format!("job{i}")), move || {
+                        sp2.print_retry(
+                            &rt2,
+                            &format!("file{i}"),
+                            40,
+                            RetryPolicy::new(8, 1_000_000),
+                        )
+                        .unwrap();
+                    }));
+                }
+                for h in hs {
+                    h.join().unwrap();
+                }
+                (sp.printer_stats(), sp.object().stats().restarts())
+            })
+            .unwrap();
+        assert_eq!(restarts, 1);
+        // Every job eventually printed (the panicked attempt retried).
+        assert!(stats.jobs.iter().sum::<u64>() >= 6, "{stats:?}");
     }
 
     #[test]

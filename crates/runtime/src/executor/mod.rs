@@ -55,6 +55,21 @@ pub(crate) trait ExecutorCore: Send + Sync {
         let _ = step;
         None
     }
+    /// Draw a pseudo-random 64-bit value. The simulation executor draws
+    /// from its seeded scheduler stream (deterministic per seed); the
+    /// threaded executor uses a process-wide splitmix64 counter, which is
+    /// well-distributed but not reproducible across runs.
+    fn rand_u64(&self) -> u64 {
+        // splitmix64 over a global Weyl sequence: each call advances the
+        // counter by the golden-gamma increment and scrambles it.
+        static RAND_CTR: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let mut z = RAND_CTR
+            .fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed)
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
 }
 
 /// Process-unique executor instance tokens. The thread-local [`CURRENT`]
@@ -249,6 +264,15 @@ impl Runtime {
             Some(FaultAction::Panic) => panic!("injected fault: {step}"),
             Some(FaultAction::Drop) => true,
         }
+    }
+
+    /// Draw a pseudo-random 64-bit value from the runtime's RNG. On a
+    /// [`SimRuntime`] the stream is the scheduler's seeded xorshift64*, so
+    /// every draw — e.g. retry-backoff jitter — is deterministic per seed
+    /// and a seeded replay reproduces it bit-for-bit. On the threaded
+    /// runtime the values are well-distributed but not reproducible.
+    pub fn rand_u64(&self) -> u64 {
+        self.core.rand_u64()
     }
 
     /// Debug name of a live process, if known.

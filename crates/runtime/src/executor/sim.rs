@@ -510,6 +510,13 @@ impl ExecutorCore for SimCore {
         }
         self.faults.lock().as_mut().and_then(|s| s.check(step))
     }
+
+    fn rand_u64(&self) -> u64 {
+        // Shares the scheduler's seeded stream: draws interleave with
+        // PriorityRandom scheduling decisions, but the combined sequence
+        // is still a pure function of the seed, so replays reproduce.
+        self.st.lock().next_rand()
+    }
 }
 
 /// A deterministic simulation runtime. Create one, then [`run`](Self::run)

@@ -88,6 +88,16 @@ impl FaultPlan {
         });
         self
     }
+
+    /// Make the `nth` (1-based) supervised restart *fail*: the object
+    /// stays permanently poisoned instead of coming back, as if the
+    /// rebuild itself died. Shorthand for `drop_at("restart", nth)` — the
+    /// supervision layer consults the `"restart"` step at the top of
+    /// every restart attempt (a `delay` rule there perturbs the restart
+    /// window instead).
+    pub fn fail_restart(self, nth: u64) -> FaultPlan {
+        self.drop_at("restart", nth)
+    }
 }
 
 /// Installed plan plus per-step hit counters.
