@@ -87,6 +87,7 @@ mod object;
 mod pool;
 mod proc_ctx;
 mod select;
+mod shard;
 mod stats;
 mod supervise;
 mod value;
@@ -98,6 +99,7 @@ pub use object::{EntryId, ManagerBody, ObjectBuilder, ObjectHandle};
 pub use pool::PoolMode;
 pub use proc_ctx::ProcCtx;
 pub use select::{Guard, GuardView, Selected};
+pub use shard::{hash_values, spread, ShardEntryId, ShardedBuilder, ShardedHandle, ShardedStats};
 pub use stats::ObjectStats;
 pub use supervise::{AdmissionPolicy, Backoff, OnRestart, RestartPolicy, RetryPolicy};
 pub use value::{check_types, check_types_lazy, ChanValue, Ty, ValVec, Value, INLINE_VALS};

@@ -47,7 +47,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use alps_runtime::{IntakeRing, Notifier, Priority, ProcId, Runtime, Spawn, SpinWait};
+use alps_runtime::{tuning, IntakeRing, Notifier, Priority, ProcId, Runtime, Spawn, SpinWait};
 use parking_lot::Mutex;
 
 use crate::entry::EntryDef;
@@ -975,7 +975,7 @@ impl ObjectInner {
     /// where a blocked process can never observe progress by spinning.
     fn wait_for_reply(&self, call: &Arc<CallCell>, adaptive: bool) -> Result<ValVec> {
         if adaptive && !self.rt.is_sim() {
-            let mut sw = SpinWait::new(4);
+            let mut sw = SpinWait::new(tuning::CALLER_SPIN_ROUNDS);
             while sw.spin() {
                 if let Some(r) = call.try_take() {
                     self.stats.on_spin_resolved();
@@ -986,7 +986,7 @@ impl ObjectInner {
             // each yield hands it the CPU (single-core) or leaves it
             // draining (multi-core). Budget scales with how long one
             // service round is expected to take (EWMA is in ticks = µs).
-            let budget = (4 + 2 * self.stats.ewma_service_ticks()).min(64);
+            let budget = tuning::caller_yield_budget(self.stats.ewma_service_ticks());
             let mut spent = 0;
             while spent < budget && self.mgr_active.load(Ordering::SeqCst) {
                 if let Some(r) = call.try_take() {

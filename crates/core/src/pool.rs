@@ -21,7 +21,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Weak};
 
 use alps_runtime::metrics::Counter;
-use alps_runtime::{ProcId, Runtime, Spawn, SpinWait};
+use alps_runtime::{tuning, ProcId, Runtime, Spawn, SpinWait};
 use parking_lot::Mutex;
 
 use crate::object::ObjectInner;
@@ -170,7 +170,11 @@ impl Pool {
         let rt = self.rt.clone();
         let executed = self.executed.clone();
         let name = format!("{}:worker[{key}]", self.name);
-        let spin_rounds = if self.rt.is_sim() { 0 } else { 4 };
+        let spin_rounds = if self.rt.is_sim() {
+            0
+        } else {
+            tuning::POOL_SLOT_SPIN_ROUNDS
+        };
         self.rt
             .spawn_with(Spawn::new(name).daemon(true), move || loop {
                 // Brief spin for a job dispatched while the previous one

@@ -37,7 +37,7 @@ use std::fmt;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
-use alps_runtime::WaitOutcome;
+use alps_runtime::{tuning, WaitOutcome};
 
 use crate::error::{AlpsError, Result};
 use crate::manager::{AcceptedCall, ReadyEntry};
@@ -739,11 +739,11 @@ fn wait_for_work(obj: &ObjectInner, epoch: u64) {
     // hands the CPU to a waking caller, whose push needs no notify
     // syscall (we never register as a waiter) and whose reply wait stays
     // in its yield phase (`mgr_active` stays true). One dry budget — no
-    // work after `MGR_POLL_BUDGET` yields — demotes back to parking.
-    // Pointless in simulation, where only one process runs at a time.
-    const MGR_POLL_BUDGET: u32 = 64;
+    // work after `tuning::MGR_POLL_BUDGET` yields — demotes back to
+    // parking. Pointless in simulation, where only one process runs at a
+    // time.
     if obj.mgr_poll.load(Ordering::SeqCst) && !obj.rt.is_sim() {
-        for _ in 0..MGR_POLL_BUDGET {
+        for _ in 0..tuning::MGR_POLL_BUDGET {
             if !obj.intake.is_empty() || obj.notifier.epoch() != epoch {
                 obj.stats.on_mgr_wakeup();
                 obj.stats.on_spin_resolved();
@@ -762,7 +762,9 @@ fn wait_for_work(obj: &ObjectInner, epoch: u64) {
     // Spin rounds are pure CPU hints (no yields): they only pay when a
     // producer is mid-call on another core; `wait_past_spin` skips them
     // in simulation.
-    let out = obj.notifier.wait_past_spin(&obj.rt, epoch, 6);
+    let out = obj
+        .notifier
+        .wait_past_spin(&obj.rt, epoch, tuning::MGR_IDLE_SPIN_ROUNDS);
     obj.mgr_active.store(true, Ordering::SeqCst);
     obj.stats.on_mgr_wakeup();
     match out {

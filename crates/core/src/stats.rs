@@ -41,8 +41,9 @@ struct StatsInner {
     sheds: Counter,
     retries: Counter,
     overload_flips: Counter,
-    /// EWMA of service time in ticks (α = 1/8), written under the entry
-    /// lock on finish so a plain load/store suffices.
+    /// EWMA of service time in ticks (α = 1/8). Updated with a Relaxed
+    /// CAS loop: pooled bodies finish concurrently, so the RMW must be
+    /// atomic, but the value is advisory and orders nothing.
     ewma_service: AtomicU64,
 }
 
@@ -199,16 +200,21 @@ impl ObjectStats {
     }
     pub(crate) fn on_service(&self, ticks: u64) {
         self.inner.service_time.record(ticks);
-        // EWMA with α = 1/8: ewma += (sample - ewma) / 8, saturating so a
-        // pathological sample cannot wrap. Races between concurrent
-        // finishes can only lose an update, never corrupt the value.
-        let prev = self.inner.ewma_service.load(Ordering::Relaxed);
-        let next = if ticks >= prev {
-            prev + (ticks - prev) / 8
-        } else {
-            prev - (prev - ticks) / 8
-        };
-        self.inner.ewma_service.store(next, Ordering::Relaxed);
+        // EWMA with α = 1/8: ewma += (sample - ewma) / 8. Bodies of a
+        // pooled entry finish concurrently, so the read-modify-write must
+        // be a CAS loop — a plain load/store pair here raced and dropped
+        // samples under contention. Relaxed ordering is fine: the value is
+        // an advisory spin-budget signal, never synchronizes other data.
+        let _ =
+            self.inner
+                .ewma_service
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |prev| {
+                    Some(if ticks >= prev {
+                        prev + (ticks - prev) / 8
+                    } else {
+                        prev - (prev - ticks) / 8
+                    })
+                });
     }
     pub(crate) fn on_complete(&self, latency: u64) {
         self.inner.call_latency.record(latency);

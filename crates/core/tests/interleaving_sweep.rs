@@ -348,6 +348,84 @@ fn restart_during_drain_sweeps_cleanly_across_seeds() {
 }
 
 #[test]
+fn restart_with_pooled_bodies_queued_across_seeds() {
+    // Acceptance scenario for the shared-pool executor path: a supervised
+    // object runs its bodies on a Shared(2) pool behind an array(4) entry,
+    // so at the moment the injected panic kills the 3rd body execution
+    // there are sibling bodies started-but-unfinished on pool workers and
+    // more calls queued behind them. Under EVERY schedule: the restart
+    // sweeps the started generation cleanly (no hung caller, no torn
+    // result), retrying callers ride out the transient errors, the object
+    // restarts exactly once, and the new generation's pool serves again.
+    sweep("restart-pooled-drain", |seed| {
+        let sim = SimRuntime::with_policy(SchedPolicy::PriorityRandom(seed));
+        sim.set_fault_plan(FaultPlan::new().panic_at("body", 3));
+        sim.run(move |rt| {
+            let epoch = Arc::new(AtomicU64::new(0));
+            let (e_body, e_init) = (Arc::clone(&epoch), Arc::clone(&epoch));
+            let obj = ObjectBuilder::new("SweptPool")
+                .entry(
+                    EntryDef::new("P")
+                        .params([Ty::Int])
+                        .results([Ty::Int])
+                        .array(4)
+                        .intercepted()
+                        .body(move |ctx, args| {
+                            let v = args[0].as_int()?;
+                            // Spread service times so several bodies are
+                            // in flight when the fault fires.
+                            ctx.sleep(15 + (v as u64 % 4) * 25);
+                            let tag = e_body.load(Ordering::SeqCst) as i64;
+                            Ok(vec![Value::Int(v * 2 + tag * 1000)])
+                        }),
+                )
+                .pool(alps_core::PoolMode::Shared(2))
+                .manager(|mgr| loop {
+                    match mgr.select(vec![Guard::accept("P"), Guard::await_done("P")])? {
+                        Selected::Accepted { call, .. } => mgr.start_as_is(call)?,
+                        Selected::Ready { done, .. } => mgr.finish_as_is(done)?,
+                        _ => unreachable!(),
+                    }
+                })
+                .supervise(RestartPolicy::AlwaysFresh)
+                .state_init(move || {
+                    e_init.fetch_add(1, Ordering::SeqCst);
+                })
+                .spawn(rt)
+                .unwrap();
+            let mut joins = Vec::new();
+            for i in 0..8i64 {
+                let o2 = obj.clone();
+                joins.push(rt.spawn_with(Spawn::new(format!("caller{i}")), move || {
+                    let r = o2
+                        .call_retry("P", vals![i], RetryPolicy::new(12, 400_000))
+                        .unwrap_or_else(|e| panic!("caller {i}: {e:?}"));
+                    let v = r[0].as_int().unwrap();
+                    let (tag, base) = (v / 1000, v % 1000);
+                    assert_eq!(base, i * 2, "caller {i} got a wrong or torn result");
+                    assert!(tag <= 1, "caller {i}: result from impossible epoch {tag}");
+                }));
+            }
+            for j in joins {
+                j.join().unwrap();
+            }
+            let stats = obj.stats();
+            assert_eq!(stats.restarts(), 1, "exactly one restart");
+            assert_eq!(obj.generation(), 1);
+            assert!(
+                stats.retries() >= 1,
+                "at least the panicked call's caller retried"
+            );
+            // The fresh generation's pool executes bodies again.
+            let r = obj.call("P", vals![30i64]).unwrap();
+            assert_eq!(r[0].as_int().unwrap(), 30 * 2 + 1000);
+            assert!(obj.pool_jobs_executed() >= 1);
+        })
+        .unwrap();
+    });
+}
+
+#[test]
 fn shed_under_storm_bounds_intake_across_seeds() {
     // Acceptance scenario: 16 callers storm a ShedNewest object whose
     // intake holds 4. Under EVERY schedule: no caller ever hangs, every

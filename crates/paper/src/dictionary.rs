@@ -10,8 +10,8 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use alps_core::{
-    argv, AcceptedCall, EntryDef, EntryId, Guard, ObjectBuilder, ObjectHandle, Result, Selected,
-    Ty, Value,
+    argv, hash_values, spread, AcceptedCall, EntryDef, EntryId, Guard, ObjectBuilder, ObjectHandle,
+    Result, Selected, ShardEntryId, ShardedBuilder, ShardedHandle, Ty, Value,
 };
 use alps_runtime::Runtime;
 use parking_lot::Mutex;
@@ -57,68 +57,7 @@ impl Dictionary {
         cfg: DictConfig,
         entries: HashMap<String, String>,
     ) -> Result<Dictionary> {
-        let store = Arc::new(entries);
-        let store2 = Arc::clone(&store);
-        let lookup_cost = cfg.lookup_cost;
-        let combining = cfg.combining;
-        let obj = ObjectBuilder::new("Dictionary")
-            .entry(
-                EntryDef::new("Search")
-                    .params([Ty::Str])
-                    .results([Ty::Str])
-                    .array(cfg.search_max.max(1))
-                    .intercept_params(1)
-                    .intercept_results(1)
-                    .body(move |ctx, args| {
-                        let word = args[0].as_str()?;
-                        ctx.sleep(lookup_cost); // model the search
-                        let meaning = store2
-                            .get(word)
-                            .cloned()
-                            .unwrap_or_else(|| format!("<no entry for {word}>"));
-                        Ok(vec![Value::from(meaning)])
-                    }),
-            )
-            .manager(move |mgr| {
-                // word currently being searched -> calls combined onto it
-                let mut waiting: HashMap<String, Vec<AcceptedCall>> = HashMap::new();
-                // slot -> word it is searching
-                let mut in_flight: HashMap<usize, String> = HashMap::new();
-                loop {
-                    let sel =
-                        mgr.select(vec![Guard::accept("Search"), Guard::await_done("Search")])?;
-                    match sel {
-                        Selected::Accepted { call, .. } => {
-                            let word = call.params()[0].as_str()?.to_string();
-                            if combining {
-                                if let Some(q) = waiting.get_mut(&word) {
-                                    // "record that Word is now being
-                                    // searched on behalf of Search[i]"
-                                    q.push(call);
-                                    continue;
-                                }
-                                waiting.insert(word.clone(), Vec::new());
-                            }
-                            in_flight.insert(call.slot(), word);
-                            mgr.start_as_is(call)?;
-                        }
-                        Selected::Ready { done, .. } => {
-                            let word = in_flight
-                                .remove(&done.slot())
-                                .expect("every start was recorded");
-                            let meaning = done.results()[0].clone();
-                            mgr.finish_as_is(done)?;
-                            if combining {
-                                for acc in waiting.remove(&word).unwrap_or_default() {
-                                    mgr.finish_accepted(acc, vec![meaning.clone()])?;
-                                }
-                            }
-                        }
-                        _ => unreachable!(),
-                    }
-                }
-            })
-            .spawn(rt)?;
+        let obj = dict_builder("Dictionary", &cfg, Arc::new(entries)).spawn(rt)?;
         let search = obj.entry_id("Search")?;
         Ok(Dictionary { obj, search })
     }
@@ -136,6 +75,160 @@ impl Dictionary {
     /// The underlying object handle (stats expose starts vs combines).
     pub fn object(&self) -> &ObjectHandle {
         &self.obj
+    }
+}
+
+/// Build one dictionary object over `store`: the §2.7.1 combining
+/// manager, shared verbatim by the single [`Dictionary`] and every
+/// shard of a [`ShardedDictionary`].
+fn dict_builder(
+    name: impl Into<String>,
+    cfg: &DictConfig,
+    store: Arc<HashMap<String, String>>,
+) -> ObjectBuilder {
+    let lookup_cost = cfg.lookup_cost;
+    let combining = cfg.combining;
+    ObjectBuilder::new(name)
+        .entry(
+            EntryDef::new("Search")
+                .params([Ty::Str])
+                .results([Ty::Str])
+                .array(cfg.search_max.max(1))
+                .intercept_params(1)
+                .intercept_results(1)
+                .body(move |ctx, args| {
+                    let word = args[0].as_str()?;
+                    ctx.sleep(lookup_cost); // model the search
+                    let meaning = store
+                        .get(word)
+                        .cloned()
+                        .unwrap_or_else(|| format!("<no entry for {word}>"));
+                    Ok(vec![Value::from(meaning)])
+                }),
+        )
+        .manager(move |mgr| {
+            // word currently being searched -> calls combined onto it
+            let mut waiting: HashMap<String, Vec<AcceptedCall>> = HashMap::new();
+            // slot -> word it is searching
+            let mut in_flight: HashMap<usize, String> = HashMap::new();
+            loop {
+                let sel = mgr.select(vec![Guard::accept("Search"), Guard::await_done("Search")])?;
+                match sel {
+                    Selected::Accepted { call, .. } => {
+                        let word = call.params()[0].as_str()?.to_string();
+                        if combining {
+                            if let Some(q) = waiting.get_mut(&word) {
+                                // "record that Word is now being
+                                // searched on behalf of Search[i]"
+                                q.push(call);
+                                continue;
+                            }
+                            waiting.insert(word.clone(), Vec::new());
+                        }
+                        in_flight.insert(call.slot(), word);
+                        mgr.start_as_is(call)?;
+                    }
+                    Selected::Ready { done, .. } => {
+                        let word = in_flight
+                            .remove(&done.slot())
+                            .expect("every start was recorded");
+                        let meaning = done.results()[0].clone();
+                        mgr.finish_as_is(done)?;
+                        if combining {
+                            for acc in waiting.remove(&word).unwrap_or_default() {
+                                mgr.finish_accepted(acc, vec![meaning.clone()])?;
+                            }
+                        }
+                    }
+                    _ => unreachable!(),
+                }
+            }
+        })
+}
+
+/// Configuration for [`ShardedDictionary`]: the per-shard dictionary
+/// config plus the shard count.
+#[derive(Debug, Clone)]
+pub struct ShardedDictConfig {
+    /// Number of dictionary shards (replica objects).
+    pub shards: usize,
+    /// Per-shard dictionary settings (array size, lookup cost,
+    /// per-manager combining).
+    pub dict: DictConfig,
+}
+
+impl Default for ShardedDictConfig {
+    fn default() -> Self {
+        ShardedDictConfig {
+            shards: 4,
+            dict: DictConfig::default(),
+        }
+    }
+}
+
+/// The dictionary of §2.7.1 scaled past one manager: the word→meaning
+/// store is partitioned over `S` shard objects with the *same* routing
+/// hash the group uses for calls, so every `Search(word)` lands on the
+/// shard holding `word`. Each shard keeps the paper's combining
+/// manager; [`search_combined`](Self::search_combined) additionally
+/// dedupes duplicate in-flight words on the *caller* side, before they
+/// reach any shard's intake (cross-shard request combining, extending
+/// §2.7).
+#[derive(Debug, Clone)]
+pub struct ShardedDictionary {
+    group: ShardedHandle,
+    search: ShardEntryId,
+}
+
+impl ShardedDictionary {
+    /// Partition `entries` and spawn the shard objects.
+    ///
+    /// # Errors
+    ///
+    /// Propagates object-definition errors (none for valid configs).
+    pub fn spawn(
+        rt: &Runtime,
+        cfg: ShardedDictConfig,
+        entries: HashMap<String, String>,
+    ) -> Result<ShardedDictionary> {
+        let shards = cfg.shards.max(1);
+        let mut parts: Vec<HashMap<String, String>> = vec![HashMap::new(); shards];
+        for (word, meaning) in entries {
+            let h = hash_values(&[Value::str(&word)]);
+            parts[spread(h, shards)].insert(word, meaning);
+        }
+        let parts: Vec<Arc<HashMap<String, String>>> = parts.into_iter().map(Arc::new).collect();
+        let group = ShardedBuilder::new("ShardedDictionary", shards).spawn(rt, |i| {
+            dict_builder(format!("Dictionary#{i}"), &cfg.dict, Arc::clone(&parts[i]))
+        })?;
+        let search = group.entry_id("Search")?;
+        Ok(ShardedDictionary { group, search })
+    }
+
+    /// Look up a word on the shard that owns it.
+    ///
+    /// # Errors
+    ///
+    /// [`alps_core::AlpsError::ObjectClosed`] after shutdown.
+    pub fn search(&self, word: &str) -> Result<String> {
+        let r = self.group.call_id(self.search, argv![word])?;
+        Ok(r[0].as_str()?.to_string())
+    }
+
+    /// Look up a word with cross-shard combining: duplicate in-flight
+    /// lookups of the same word share one execution group-wide.
+    ///
+    /// # Errors
+    ///
+    /// As [`search`](Self::search).
+    pub fn search_combined(&self, word: &str) -> Result<String> {
+        let r = self.group.call_id_combined(self.search, argv![word])?;
+        Ok(r[0].as_str()?.to_string())
+    }
+
+    /// The underlying sharded group (aggregated stats, shard handles).
+    pub fn group(&self) -> &ShardedHandle {
+        &self.group
     }
 }
 
@@ -214,6 +307,86 @@ mod tests {
     fn missing_words_get_placeholder() {
         let (answers, _, _) = run_queries(true, &["nope"]);
         assert_eq!(answers[0], "<no entry for nope>");
+    }
+
+    #[test]
+    fn sharded_partitioning_matches_routing() {
+        // Every word must be findable: the store partition and the call
+        // routing use the same hash, so no lookup can land on a shard
+        // that does not own its word.
+        let sim = SimRuntime::new();
+        sim.run(|rt| {
+            let dict = ShardedDictionary::spawn(
+                rt,
+                ShardedDictConfig {
+                    shards: 4,
+                    dict: DictConfig {
+                        lookup_cost: 10,
+                        ..DictConfig::default()
+                    },
+                },
+                synthetic_store(64),
+            )
+            .unwrap();
+            for i in 0..64 {
+                assert_eq!(
+                    dict.search(&format!("word-{i}")).unwrap(),
+                    format!("meaning-{i}")
+                );
+            }
+            let s = dict.group().stats();
+            assert_eq!(s.shards, 4);
+            assert_eq!(s.calls, 64);
+            // The load actually spread: no shard served everything.
+            for i in 0..4 {
+                assert!(
+                    dict.group().shard_stats(i).calls() < 64,
+                    "shard {i} served every call"
+                );
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn sharded_combined_search_executes_once_per_burst() {
+        // Deterministic under the sim scheduler: the leader's body
+        // sleeps in virtual time, so all seven duplicates arrive and
+        // join the combining cell before it completes. Per-manager
+        // combining is OFF — the dedup observed is purely the group's
+        // cross-shard combining.
+        let sim = SimRuntime::new();
+        sim.run(|rt| {
+            let dict = ShardedDictionary::spawn(
+                rt,
+                ShardedDictConfig {
+                    shards: 4,
+                    dict: DictConfig {
+                        search_max: 8,
+                        lookup_cost: 200,
+                        combining: false,
+                    },
+                },
+                synthetic_store(8),
+            )
+            .unwrap();
+            let hs: Vec<_> = (0..8)
+                .map(|i| {
+                    let d = dict.clone();
+                    rt.spawn_with(Spawn::new(format!("q{i}")), move || {
+                        d.search_combined("word-3").unwrap()
+                    })
+                })
+                .collect();
+            for h in hs {
+                assert_eq!(h.join().unwrap(), "meaning-3");
+            }
+            let s = dict.group().stats();
+            assert_eq!(s.starts, 1, "one execution for eight duplicate lookups");
+            assert_eq!(s.combined_leads, 1);
+            assert_eq!(s.combined_follows, 7);
+        })
+        .unwrap();
     }
 
     #[test]

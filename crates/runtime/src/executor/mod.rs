@@ -14,6 +14,8 @@
 //!   detected** (all live processes parked with no pending timer).
 
 mod sim;
+#[cfg(target_arch = "x86_64")]
+mod steal;
 mod thread;
 
 pub use sim::{SchedPolicy, SimRuntime};
@@ -53,6 +55,13 @@ pub(crate) trait ExecutorCore: Send + Sync {
     /// executor never has one) at a named protocol step.
     fn fault(&self, step: &str) -> Option<FaultAction> {
         let _ = step;
+        None
+    }
+    /// OS threads this executor occupies, when that number is *bounded*
+    /// regardless of how many processes are spawned (the work-stealing
+    /// pool: K workers + 1 timer). `None` for thread-per-process and
+    /// simulation executors, where the question is moot or unbounded.
+    fn os_threads(&self) -> Option<u64> {
         None
     }
     /// Draw a pseudo-random 64-bit value. The simulation executor draws
@@ -147,6 +156,30 @@ impl Runtime {
         Runtime {
             core: Arc::new(thread::ThreadCore::new()),
         }
+    }
+
+    /// Create a work-stealing shared runtime: spawned processes are
+    /// stackful green tasks multiplexed onto `workers` long-lived OS
+    /// workers (plus one timer thread), with per-worker LIFO deques, a
+    /// global injector, and steal-half batching. The park/unpark/
+    /// `park_timeout` contract is identical to [`Runtime::threaded`];
+    /// the OS-thread count stays fixed no matter how many processes are
+    /// spawned (see [`Runtime::os_threads`]).
+    ///
+    /// x86_64 only (hand-written context switch); other targets fall
+    /// back to the threaded executor.
+    #[cfg(target_arch = "x86_64")]
+    pub fn thread_pool(workers: usize) -> Runtime {
+        Runtime {
+            core: Arc::new(steal::StealCore::new(workers)),
+        }
+    }
+
+    /// Fallback for non-x86_64 targets: a plain threaded runtime.
+    #[cfg(not(target_arch = "x86_64"))]
+    pub fn thread_pool(workers: usize) -> Runtime {
+        let _ = workers;
+        Runtime::threaded()
     }
 
     /// Spawn a process with default options (name `"proc"`, normal
@@ -245,6 +278,14 @@ impl Runtime {
     /// Whether this is a deterministic simulation runtime.
     pub fn is_sim(&self) -> bool {
         self.core.is_sim()
+    }
+
+    /// OS threads this runtime occupies, when that number is bounded
+    /// independently of the number of spawned processes (the
+    /// work-stealing pool reports `Some(workers + 1)`); `None` for the
+    /// thread-per-process and simulation executors.
+    pub fn os_threads(&self) -> Option<u64> {
+        self.core.os_threads()
     }
 
     /// Fault-injection hook for instrumented protocol steps (see

@@ -48,6 +48,7 @@ pub mod metrics;
 mod notifier;
 mod par;
 mod process;
+pub mod tuning;
 
 pub use chan::{Chan, IntakeRing, RecvHalf, SendHalf};
 pub use error::{Aborted, RuntimeError};

@@ -1,5 +1,19 @@
 //! Lightweight measurement utilities used by the benchmark harness and by
 //! property tests that validate scheduling invariants from event logs.
+//!
+//! # Memory ordering
+//!
+//! Every atomic in this module uses `Ordering::Relaxed`, and that is a
+//! deliberate contract, not an oversight: all updates are single-location
+//! atomic RMWs (`fetch_add` / `fetch_max`), so no increment can be lost
+//! regardless of ordering — Relaxed only permits *reordering* against
+//! other memory, never torn or dropped RMWs. Nothing here is used to
+//! publish data: readers treat the values as advisory telemetry, and a
+//! multi-field read (e.g. [`Histogram::mean`], which divides `sum` by the
+//! bucket total) may observe a momentarily inconsistent cross-field
+//! snapshot while writers race. Code that needs a happens-before edge
+//! must get it from the runtime's own synchronization (parking, channel
+//! handoff), never from these counters.
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -98,6 +112,8 @@ impl Histogram {
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
         if v != 0 {
             self.sum.fetch_add(v, Ordering::Relaxed);
+            // The load is only a contention filter; correctness rests on
+            // the fetch_max, which is an atomic RMW even under Relaxed.
             if v > self.max.load(Ordering::Relaxed) {
                 self.max.fetch_max(v, Ordering::Relaxed);
             }
