@@ -1,0 +1,344 @@
+//! Adaptive single-producer fast lane for the call intake path.
+//!
+//! The MPSC intake ring ([`IntakeRing`](alps_runtime::chan::IntakeRing))
+//! pays full multi-producer generality — a CAS-claimed slot plus a
+//! sequence-stamp publish — on every push, even when one synchronous
+//! caller dominates an object, which is exactly the warm single-client
+//! workload of the paper's call protocol (§2.2). This module provides the
+//! two pieces the object layer combines into an *adaptive* private lane
+//! for that caller:
+//!
+//! * [`SpscLane`]: a Lamport ring — plain head/tail loads and stores, no
+//!   CAS anywhere on push or pop. Safe only under exactly one producer
+//!   and one consumer at a time.
+//! * [`LaneOwner`]: the single atomic word that *makes* the lane SPSC.
+//!   It encodes `(producer + 1) << 1 | pushing_bit`; every transition is
+//!   a compare-exchange, so the three parties (the owning producer, a
+//!   would-be promoting manager, a demoting manager or restart sweep)
+//!   can never disagree about who may touch the ring:
+//!
+//!   - The producer brackets each push with `begin_push` (sets the
+//!     pushing bit; failure means ownership was lost → fall back to the
+//!     MPSC ring) and `end_push` (clears it).
+//!   - Demotion (`try_release`) CAS-es `owner → FREE` and *fails while
+//!     the pushing bit is set*, so the lane is never reclaimed under a
+//!     producer's feet; the push window is a handful of straight-line
+//!     instructions, so demoters simply retry.
+//!   - Promotion (`promote`) CAS-es `FREE → owner` and therefore cannot
+//!     race an unfinished demotion.
+//!
+//! The object layer (see `object.rs`) decides *when* to promote and
+//! demote — from the same per-entry producer-streak statistics the drain
+//! loop already keeps — and drains the lane ahead of the shared ring so
+//! per-producer FIFO order is preserved across promote/demote/handoff.
+//! Restart-generation checks also live there: the lane stores the same
+//! `(entry, cell)` pairs as the ring, and a restart sweep classifies them
+//! with the same generation logic.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Lane owner word: `FREE`, or `(pid + 1) << 1 | pushing`.
+///
+/// The `+ 1` keeps the encoding non-zero for every possible process id,
+/// so `FREE == 0` is unambiguous.
+const FREE: u64 = 0;
+
+#[inline]
+fn encode(pid: u64) -> u64 {
+    (pid + 1) << 1
+}
+
+/// Outcome of [`LaneOwner::try_release`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Release {
+    /// The lane was already free.
+    WasFree,
+    /// The lane was released; the previous owner's process id.
+    Released(u64),
+    /// The owner is inside a `begin_push`/`end_push` window; retry after
+    /// its (tiny, straight-line) push completes.
+    Busy,
+}
+
+/// The ownership word of an [`SpscLane`]. See the module docs for the
+/// full protocol.
+///
+/// All operations are `SeqCst`: the word participates in the object
+/// layer's lost-wakeup handshakes (producer's post-push `mgr_active`
+/// re-check, manager's pre-park lane re-check), which are store-buffering
+/// patterns that weaker orderings do not close.
+#[derive(Debug)]
+pub(crate) struct LaneOwner(AtomicU64);
+
+impl LaneOwner {
+    pub(crate) fn new() -> LaneOwner {
+        LaneOwner(AtomicU64::new(FREE))
+    }
+
+    /// Whether some producer currently owns the lane.
+    pub(crate) fn is_active(&self) -> bool {
+        self.0.load(Ordering::SeqCst) != FREE
+    }
+
+    /// The owning process id, if any (pushing bit ignored).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn owner(&self) -> Option<u64> {
+        match self.0.load(Ordering::SeqCst) {
+            FREE => None,
+            w => Some((w >> 1) - 1),
+        }
+    }
+
+    /// Whether `pid` currently owns the lane.
+    pub(crate) fn is(&self, pid: u64) -> bool {
+        let w = self.0.load(Ordering::SeqCst);
+        w & !1 == encode(pid)
+    }
+
+    /// Claim a free lane for `pid`. Callers (the manager's drain loop)
+    /// only promote while holding the drain lock, so two concurrent
+    /// promotions cannot both succeed — but the CAS makes that a checked
+    /// fact rather than an assumption.
+    pub(crate) fn promote(&self, pid: u64) -> bool {
+        self.0
+            .compare_exchange(FREE, encode(pid), Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+
+    /// Enter the push window: `owner → owner|pushing`. Returns `false`
+    /// when `pid` no longer owns the lane (demoted, or someone else owns
+    /// it) — the caller must fall back to the shared MPSC ring.
+    pub(crate) fn begin_push(&self, pid: u64) -> bool {
+        let clean = encode(pid);
+        self.0
+            .compare_exchange(clean, clean | 1, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+
+    /// Leave the push window. Only callable after a successful
+    /// [`begin_push`](Self::begin_push); while the pushing bit is set no
+    /// other party writes the word, so a plain store suffices.
+    pub(crate) fn end_push(&self, pid: u64) {
+        debug_assert_eq!(self.0.load(Ordering::SeqCst), encode(pid) | 1);
+        self.0.store(encode(pid), Ordering::SeqCst);
+    }
+
+    /// Attempt to free the lane, whoever owns it. Fails with
+    /// [`Release::Busy`] while the owner is mid-push.
+    pub(crate) fn try_release(&self) -> Release {
+        let w = self.0.load(Ordering::SeqCst);
+        if w == FREE {
+            return Release::WasFree;
+        }
+        if w & 1 != 0 {
+            return Release::Busy;
+        }
+        match self
+            .0
+            .compare_exchange(w, FREE, Ordering::SeqCst, Ordering::SeqCst)
+        {
+            Ok(_) => Release::Released((w >> 1) - 1),
+            Err(FREE) => Release::WasFree,
+            Err(_) => Release::Busy,
+        }
+    }
+}
+
+/// Lamport single-producer / single-consumer ring.
+///
+/// `head` is owned by the consumer, `tail` by the producer; each side
+/// does one plain load of its own index, one `Acquire` load of the
+/// other's, and one `Release` store to publish. The `Release` tail store
+/// publishes the slot write (pop's `Acquire` tail load synchronizes with
+/// it); the `Release` head store publishes slot *vacancy* (push's
+/// `Acquire` head load synchronizes with that, so a slot is never
+/// overwritten while the consumer still reads it).
+///
+/// Exclusivity of each side is the caller's obligation — in this crate
+/// it is enforced by [`LaneOwner`] on the producer side and by the
+/// object's `intake_drain` mutex on the consumer side.
+pub(crate) struct SpscLane<T> {
+    mask: usize,
+    head: AtomicUsize,
+    tail: AtomicUsize,
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+}
+
+unsafe impl<T: Send> Send for SpscLane<T> {}
+unsafe impl<T: Send> Sync for SpscLane<T> {}
+
+impl<T> SpscLane<T> {
+    /// A lane with capacity `cap` rounded up to a power of two (min 2).
+    pub(crate) fn with_capacity(cap: usize) -> SpscLane<T> {
+        let cap = cap.max(2).next_power_of_two();
+        SpscLane {
+            mask: cap - 1,
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+            slots: (0..cap)
+                .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+                .collect(),
+        }
+    }
+
+    /// Producer side: append `item`, or hand it back when the lane is
+    /// full (the object layer overflows to the shared ring — safe for
+    /// FIFO because a lane producer is synchronous and thus has at most
+    /// one call in flight).
+    ///
+    /// Returns `Ok(was_empty)` like the MPSC ring, so the caller can
+    /// reuse its notify-on-transition logic.
+    pub(crate) fn push(&self, item: T) -> Result<bool, T> {
+        let t = self.tail.load(Ordering::Relaxed);
+        let h = self.head.load(Ordering::Acquire);
+        if t.wrapping_sub(h) > self.mask {
+            return Err(item);
+        }
+        unsafe {
+            (*self.slots[t & self.mask].get()).write(item);
+        }
+        self.tail.store(t.wrapping_add(1), Ordering::Release);
+        Ok(t == h)
+    }
+
+    /// Consumer side: take the oldest item, if any.
+    pub(crate) fn pop(&self) -> Option<T> {
+        let h = self.head.load(Ordering::Relaxed);
+        if self.tail.load(Ordering::Acquire) == h {
+            return None;
+        }
+        let item = unsafe { (*self.slots[h & self.mask].get()).assume_init_read() };
+        self.head.store(h.wrapping_add(1), Ordering::Release);
+        Some(item)
+    }
+
+    /// Whether the lane is empty. Exact for the consumer; a racy
+    /// snapshot for anyone else (used only as an advisory re-check in
+    /// the manager's pre-park handshake, where a stale `false` costs one
+    /// extra drain pass and a stale `true` is excluded by the `SeqCst`
+    /// fences of that handshake).
+    pub(crate) fn is_empty(&self) -> bool {
+        self.tail.load(Ordering::Acquire) == self.head.load(Ordering::Acquire)
+    }
+
+    /// Queued item count (same snapshot caveat as
+    /// [`is_empty`](Self::is_empty)).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn len(&self) -> usize {
+        self.tail
+            .load(Ordering::Acquire)
+            .wrapping_sub(self.head.load(Ordering::Acquire))
+    }
+}
+
+impl<T> Drop for SpscLane<T> {
+    fn drop(&mut self) {
+        while self.pop().is_some() {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn spsc_fifo_and_capacity() {
+        let lane: SpscLane<u32> = SpscLane::with_capacity(4);
+        assert!(lane.is_empty());
+        assert_eq!(lane.push(1), Ok(true), "first push reports was_empty");
+        assert_eq!(lane.push(2), Ok(false));
+        assert_eq!(lane.push(3), Ok(false));
+        assert_eq!(lane.push(4), Ok(false));
+        assert_eq!(lane.push(5), Err(5), "full lane hands the item back");
+        assert_eq!(lane.len(), 4);
+        assert_eq!(lane.pop(), Some(1));
+        assert_eq!(lane.pop(), Some(2));
+        assert_eq!(lane.push(5), Ok(false), "space reclaimed after pops");
+        assert_eq!(lane.pop(), Some(3));
+        assert_eq!(lane.pop(), Some(4));
+        assert_eq!(lane.pop(), Some(5));
+        assert_eq!(lane.pop(), None);
+        assert!(lane.is_empty());
+    }
+
+    #[test]
+    fn spsc_survives_index_wraparound() {
+        let lane: SpscLane<usize> = SpscLane::with_capacity(2);
+        for i in 0..1000 {
+            assert!(lane.push(i).is_ok());
+            assert_eq!(lane.pop(), Some(i));
+        }
+    }
+
+    #[test]
+    fn spsc_drop_releases_queued_items() {
+        let lane: SpscLane<Arc<u32>> = SpscLane::with_capacity(4);
+        let item = Arc::new(7u32);
+        lane.push(Arc::clone(&item)).unwrap();
+        lane.push(Arc::clone(&item)).unwrap();
+        assert_eq!(Arc::strong_count(&item), 3);
+        drop(lane);
+        assert_eq!(Arc::strong_count(&item), 1);
+    }
+
+    #[test]
+    fn spsc_two_thread_stress_preserves_order() {
+        let lane: Arc<SpscLane<u64>> = Arc::new(SpscLane::with_capacity(8));
+        let producer = {
+            let lane = Arc::clone(&lane);
+            std::thread::spawn(move || {
+                for i in 0..100_000u64 {
+                    let mut v = i;
+                    loop {
+                        match lane.push(v) {
+                            Ok(_) => break,
+                            Err(back) => {
+                                v = back;
+                                std::hint::spin_loop();
+                            }
+                        }
+                    }
+                }
+            })
+        };
+        let mut expect = 0u64;
+        while expect < 100_000 {
+            if let Some(v) = lane.pop() {
+                assert_eq!(v, expect);
+                expect += 1;
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        producer.join().unwrap();
+        assert!(lane.is_empty());
+    }
+
+    #[test]
+    fn owner_word_transitions() {
+        let o = LaneOwner::new();
+        assert!(!o.is_active());
+        assert_eq!(o.owner(), None);
+        assert_eq!(o.try_release(), Release::WasFree);
+
+        assert!(o.promote(0), "pid 0 encodes distinctly from FREE");
+        assert!(o.is_active());
+        assert_eq!(o.owner(), Some(0));
+        assert!(o.is(0));
+        assert!(!o.is(1));
+        assert!(!o.promote(1), "occupied lane rejects promotion");
+
+        assert!(o.begin_push(0));
+        assert!(!o.begin_push(1), "non-owner cannot enter push window");
+        assert_eq!(o.try_release(), Release::Busy, "mid-push blocks release");
+        assert_eq!(o.owner(), Some(0), "owner visible through pushing bit");
+        o.end_push(0);
+        assert_eq!(o.try_release(), Release::Released(0));
+        assert!(!o.begin_push(0), "released owner lost the lane");
+        assert!(o.promote(1));
+        assert_eq!(o.owner(), Some(1));
+    }
+}

@@ -82,6 +82,7 @@
 
 mod entry;
 mod error;
+mod lane;
 mod manager;
 mod object;
 mod pool;

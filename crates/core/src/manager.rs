@@ -241,8 +241,9 @@ pub(crate) fn commit_accept(
         .map(|ic| ic.params)
         .unwrap_or(0);
     // Only the intercepted prefix is copied out (paper §2.6); inline —
-    // heap-free — for prefixes of ≤ 4 values.
-    let params = ValVec::from_slice(&call.args[..k]);
+    // heap-free — for prefixes of ≤ 4 values. The suffix stays in the
+    // cell until `start`/`execute` moves it into the body.
+    let params = ValVec::from_slice(&call.args()[..k]);
     es.slots[slot] = Slot::Accepted { call };
     AcceptedCall {
         obj: Arc::clone(obj),
@@ -275,10 +276,14 @@ pub(crate) fn commit_await(
     let kr = def.intercept.map(|ic| ic.results).unwrap_or(0);
     let pub_len = def.results.len();
     match outcome {
-        Ok(full) => {
-            let hidden = ValVec::from_slice(&full[pub_len..]);
-            let prefix = ValVec::from_slice(&full[..kr]);
-            let remainder = ValVec::from_slice(&full[kr..pub_len]);
+        Ok(mut full) => {
+            // Split the full result list `[prefix | remainder | hidden]`
+            // by move — no element is cloned; the remainder parks in the
+            // slot until `finish` stitches it back onto the (possibly
+            // rewritten) prefix.
+            let hidden = full.split_off(pub_len);
+            let remainder = full.split_off(kr);
+            let prefix = full;
             es.slots[slot] = Slot::Awaited { call, remainder };
             ReadyEntry {
                 obj: Arc::clone(obj),
@@ -648,7 +653,10 @@ impl ManagerCtx {
             call.t_start.store(obj.rt.now(), Ordering::Relaxed);
             obj.stats.on_start();
             let mut full = prefix;
-            full.extend(call.args[ic.params..].iter().cloned());
+            // Move the non-intercepted argument suffix out of the cell
+            // (the prefix copy was taken at accept; nothing reads `args`
+            // once the slot is `Started`).
+            full.extend(call.take_args().split_off(ic.params));
             full.extend(hidden);
             es.slots[slot] = Slot::Started { call };
             full
@@ -858,7 +866,9 @@ impl ManagerCtx {
             call.t_start.store(obj.rt.now(), Ordering::Relaxed);
             obj.stats.on_start();
             let mut full = prefix;
-            full.extend(call.args[ic.params..].iter().cloned());
+            // As in `start`: the argument suffix moves; `args` is dead
+            // past this point.
+            full.extend(call.take_args().split_off(ic.params));
             full.extend(hidden);
             es.slots[slot] = Slot::Started { call };
             full
@@ -893,10 +903,15 @@ impl ManagerCtx {
         obj.stats.on_service(done_at.saturating_sub(t_started));
         obj.stats.on_finish();
         let ret = match outcome {
-            Ok(full_results) => {
+            Ok(mut full_results) => {
+                // In-place reply: the hidden suffix splits off by move,
+                // the intercepted prefix is the only copy (inline for
+                // kr ≤ 4), and the public result list moves straight
+                // into the cell's reply slot — the caller wakes and
+                // takes it without another copy.
+                let hidden_out = full_results.split_off(pub_len);
                 let ret_prefix = ValVec::from_slice(&full_results[..kr]);
-                let hidden_out = ValVec::from_slice(&full_results[pub_len..]);
-                obj.complete(&call, Ok(ValVec::from_slice(&full_results[..pub_len])));
+                obj.complete(&call, Ok(full_results));
                 Ok((ret_prefix.into(), hidden_out.into()))
             }
             Err(message) => {

@@ -52,6 +52,7 @@ use parking_lot::Mutex;
 
 use crate::entry::EntryDef;
 use crate::error::{AlpsError, Result};
+use crate::lane::{LaneOwner, Release, SpscLane};
 use crate::manager::ManagerCtx;
 use crate::pool::{Job, Pool, PoolMode};
 use crate::proc_ctx::ProcCtx;
@@ -142,7 +143,11 @@ const CALL_TOMBSTONE: u32 = 3;
 /// ([`ObjectInner::release_cell`]); a cell is only reset when its `Arc` is
 /// unique, so no stale reader can observe the reset.
 pub(crate) struct CallCell {
-    pub(crate) args: ValVec,
+    /// Argument tuple. Interior-mutable so the start path can *move* the
+    /// arguments into the body instead of cloning them out of a shared
+    /// `Arc` — see [`args`](Self::args) / [`take_args`](Self::take_args)
+    /// for the ownership discipline that makes the `&self` access sound.
+    args: UnsafeCell<ValVec>,
     pub(crate) caller: ProcId,
     pub(crate) t_call: u64,
     pub(crate) t_attach: AtomicU64,
@@ -154,13 +159,18 @@ pub(crate) struct CallCell {
 
 // SAFETY: `result` is written once by the unique completer before the
 // Release store on `state` and read once by the caller after an Acquire
-// load; all other fields are immutable-after-acquire or atomic.
+// load. `args` is written before the cell is published (unique
+// ownership in `new`/`reset`) and afterwards touched only by the
+// protocol side that currently owns the cell's slot/queue position —
+// manager select/accept/start, all serialized by the entry lock — never
+// by the caller, and never after `take_args`. All other fields are
+// immutable-after-publish or atomic.
 unsafe impl Sync for CallCell {}
 
 impl CallCell {
     fn new(args: ValVec, caller: ProcId, t_call: u64) -> CallCell {
         CallCell {
-            args,
+            args: UnsafeCell::new(args),
             caller,
             t_call,
             t_attach: AtomicU64::new(0),
@@ -169,6 +179,34 @@ impl CallCell {
             waiting: AtomicBool::new(false),
             result: UnsafeCell::new(None),
         }
+    }
+
+    /// Borrow the argument tuple.
+    ///
+    /// Sound because every reader is on the protocol side of the cell —
+    /// guard evaluation over `Attached` slots, intercept-prefix
+    /// extraction at accept — and those all run in the object's single
+    /// manager process under the entry lock; the caller never reads
+    /// `args` after submitting the cell.
+    pub(crate) fn args(&self) -> &ValVec {
+        // SAFETY: see above — reads are serialized by the entry lock and
+        // `take_args` (the only mutation) runs under that same lock, in
+        // the same manager process, at the `Accepted → Started`
+        // transition after which no reader looks at `args` again.
+        unsafe { &*self.args.get() }
+    }
+
+    /// Move the argument tuple out, leaving an empty one. Called exactly
+    /// once per call round, at the `Attached/Accepted → Started`
+    /// transition (implicit start, `start`, or `execute`), under the
+    /// entry lock, by the manager that owns the slot. The restart and
+    /// shutdown sweeps never read `args`, so a taken tuple is never
+    /// missed.
+    pub(crate) fn take_args(&self) -> ValVec {
+        // SAFETY: unique protocol-side accessor under the entry lock; no
+        // `args()` borrow is live across this call (borrows end before
+        // the slot-state transition that reaches here).
+        unsafe { std::mem::take(&mut *self.args.get()) }
     }
 
     /// Deliver the result. Must be called at most once per call round, by
@@ -238,7 +276,7 @@ impl CallCell {
 
     /// Reset for reuse. Requires unique ownership (`Arc::get_mut`).
     fn reset(&mut self, args: ValVec, caller: ProcId, t_call: u64) {
-        self.args = args;
+        *self.args.get_mut() = args;
         self.caller = caller;
         self.t_call = t_call;
         *self.t_attach.get_mut() = 0;
@@ -383,6 +421,28 @@ pub(crate) struct ObjectInner {
     /// Serializes ring consumers (manager drain, shutdown sweep, a
     /// producer's post-close self-sweep) so each cell has one completer.
     intake_drain: Mutex<()>,
+    /// The adaptive SPSC fast lane (see [`crate::lane`]): a private
+    /// single-producer queue for the one caller currently holding
+    /// `lane_owner`. The drain loop empties it *before* the shared ring
+    /// on every pass; `in_ring` accounting covers lane residents too, so
+    /// `#P` and shutdown semantics are identical on both routes.
+    pub(crate) lane: SpscLane<(u32, Arc<CallCell>)>,
+    /// Ownership word of the fast lane — who may push, and the mutual
+    /// exclusion between a push in progress and a demotion.
+    pub(crate) lane_owner: LaneOwner,
+    /// Streak bookkeeping driving promotion, written only by the drain
+    /// loop (under `intake_drain`): the last ring producer seen, stored
+    /// as `pid + 1` (0 = none), and how many consecutive ring pops it
+    /// has supplied.
+    lane_last_producer: AtomicU64,
+    lane_streak: AtomicU32,
+    /// Consecutive manager passes that reached the pre-park path with an
+    /// active-but-empty lane; at [`tuning::LANE_IDLE_DEMOTE_PASSES`] the
+    /// lane is released (see `wait_for_work`).
+    pub(crate) lane_dry: AtomicU32,
+    /// Promotion threshold ([`ObjectBuilder::lane_promote_after`];
+    /// default [`tuning::LANE_PROMOTE_STREAK`], `u32::MAX` disables).
+    lane_promote_streak: u32,
     /// True while the manager is between wakeup and its pre-park
     /// condition re-check; callers use it to decide whether yielding (the
     /// manager will service the ring soon) beats parking (it will not).
@@ -593,11 +653,11 @@ impl ObjectInner {
         } else {
             // Implicit start (paper §2.3: calls to procedures not listed
             // in the intercepts clause are started implicitly). The
-            // intercept prefix is empty, so the body needs the full
-            // argument tuple; copy it out of the shared cell (inline —
-            // heap-free — for arity ≤ 4).
+            // intercept prefix is empty, so the body takes the full
+            // argument tuple — moved out of the cell, not cloned: nobody
+            // reads `args` once the slot is `Started`.
             call.t_start.store(now, Ordering::Relaxed);
-            let params = ValVec::from_slice(&call.args);
+            let params = call.take_args();
             es.slots[i] = Slot::Started { call };
             self.stats.on_implicit_start();
             Some((i, params))
@@ -861,6 +921,53 @@ impl ObjectInner {
         }
     }
 
+    /// Whether any submitted call is awaiting drain — in the shared
+    /// intake ring *or* the SPSC fast lane. Every manager-side "is there
+    /// work" check (pre-park re-check, poll loop, drain early-out) must
+    /// use this rather than `intake.is_empty()` alone, or a lane push
+    /// could be parked past and lost.
+    pub(crate) fn has_intake_work(&self) -> bool {
+        !self.intake.is_empty() || !self.lane.is_empty()
+    }
+
+    /// Submit an intercepted call: over the private SPSC lane when this
+    /// caller currently owns it, otherwise the shared MPSC intake ring.
+    /// The lane path is the tail-shaving fast route — no CAS retry loop,
+    /// no admission machinery — and is correct because `begin_push`
+    /// fails the instant ownership is lost, falling back to the ring.
+    fn submit_call(&self, entry: usize, call: &Arc<CallCell>) -> Result<()> {
+        let me = call.caller.as_u64();
+        if self.entries[entry].fast_lane && self.lane_owner.is(me) && self.lane_owner.begin_push(me)
+        {
+            let sync = &self.estates[entry];
+            sync.in_ring.fetch_add(1, Ordering::SeqCst);
+            match self.lane.push((entry as u32, Arc::clone(call))) {
+                Ok(was_empty) => {
+                    self.lane_owner.end_push(me);
+                    self.stats.on_lane_push();
+                    if was_empty {
+                        self.notifier.notify(&self.rt);
+                    }
+                    return Ok(());
+                }
+                Err(_) => {
+                    // Lane full — only reachable when this caller
+                    // abandoned earlier calls on deadline while the
+                    // manager stalled. Demote ourselves *before* the
+                    // ring fallback: the drain empties the lane first,
+                    // so our older lane items still replay before this
+                    // one and per-caller FIFO holds.
+                    sync.in_ring.fetch_sub(1, Ordering::SeqCst);
+                    self.lane_owner.end_push(me);
+                    if matches!(self.lane_owner.try_release(), Release::Released(_)) {
+                        self.stats.on_lane_demote();
+                    }
+                }
+            }
+        }
+        self.push_intake(entry, call)
+    }
+
     /// The full blocking call protocol: validate, attach or queue, wait
     /// for the reply.
     pub(crate) fn call_protocol(
@@ -929,7 +1036,7 @@ impl ObjectInner {
                 self.release_cell(call);
                 return r;
             }
-            if let Err(e) = self.push_intake(entry, &call) {
+            if let Err(e) = self.submit_call(entry, &call) {
                 self.release_cell(call);
                 return Err(e);
             }
@@ -1095,7 +1202,7 @@ impl ObjectInner {
             self.release_cell(call);
             return r;
         }
-        if let Err(e) = self.push_intake(entry, &call) {
+        if let Err(e) = self.submit_call(entry, &call) {
             self.release_cell(call);
             return Err(e);
         }
@@ -1197,66 +1304,123 @@ impl ObjectInner {
     /// right after draining. Per-entry FIFO holds because ring pop order
     /// is ring push order and a cell is queued — never slot-attached —
     /// whenever earlier cells of its entry are still queued.
+    /// Classify one popped intake item — from the shared ring or the
+    /// fast lane, the protocol is identical — into its entry's slot
+    /// array or wait queue. Runs under the `intake_drain` lock.
+    fn drain_classify(&self, now: u64, eidx: u32, call: Arc<CallCell>) {
+        let entry = eidx as usize;
+        let sync = &self.estates[entry];
+        // A cancelled cell is a tombstone, not a stale call: the
+        // caller's deadline expired between its push and this drain.
+        // Acknowledge, drop the ring accounting, and recycle — it must
+        // never reach a slot or the wait queue.
+        if call.is_cancelled() {
+            sync.in_ring.fetch_sub(1, Ordering::SeqCst);
+            if call.claim_tombstone() {
+                self.stats.on_reap();
+            }
+            self.release_cell(call);
+            return;
+        }
+        if self.rt.fault_point("drain") {
+            // Injected lost drain: the cell vanishes undelivered. Its
+            // caller recovers via deadline (or deadlocks, detectably).
+            sync.in_ring.fetch_sub(1, Ordering::SeqCst);
+            return;
+        }
+        let mut es = sync.st.lock();
+        if self.is_closed() {
+            // Entry-lock mutual exclusion with shutdown's sweep makes
+            // either ordering safe: whoever holds the cell fails it.
+            drop(es);
+            sync.in_ring.fetch_sub(1, Ordering::SeqCst);
+            self.complete(&call, Err(self.closed_err()));
+            return;
+        }
+        call.t_attach.store(now, Ordering::Relaxed);
+        self.stats.on_attach(now.saturating_sub(call.t_call));
+        let free = if es.waitq.is_empty() {
+            es.slots.iter().position(|s| matches!(s, Slot::Free))
+        } else {
+            // Earlier calls of this entry are queued; going to a slot
+            // now would overtake them.
+            None
+        };
+        match free {
+            Some(i) => {
+                es.slots[i] = Slot::Attached { call };
+                sync.attached.fetch_add(1, Ordering::SeqCst);
+            }
+            None => {
+                es.waitq.push_back(call);
+                sync.queued.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        // After the attach/queue increment so `#P` never transiently
+        // under-counts this call.
+        sync.in_ring.fetch_sub(1, Ordering::SeqCst);
+    }
+
     pub(crate) fn drain_intake(&self) {
-        if self.intake.is_empty() {
+        if !self.has_intake_work() {
             return;
         }
         let _g = self.intake_drain.lock();
         let now = self.rt.now();
         let mut drained = 0u64;
+        // Lane first, ring second — always. An owner that overflowed to
+        // the ring demoted itself *before* its ring push, so emptying
+        // the lane here keeps that caller's items in push order.
+        while let Some((eidx, call)) = self.lane.pop() {
+            drained += 1;
+            self.lane_dry.store(0, Ordering::SeqCst);
+            self.drain_classify(now, eidx, call);
+        }
+        let mut foreign_ring_pop = false;
         while let Some((eidx, call)) = self.intake.pop() {
             drained += 1;
-            let entry = eidx as usize;
-            let sync = &self.estates[entry];
-            // A cancelled cell is a tombstone, not a stale call: the
-            // caller's deadline expired between its push and this drain.
-            // Acknowledge, drop the ring accounting, and recycle — it must
-            // never reach a slot or the wait queue.
-            if call.is_cancelled() {
-                sync.in_ring.fetch_sub(1, Ordering::SeqCst);
-                if call.claim_tombstone() {
-                    self.stats.on_reap();
+            // Same-producer streak tracking drives lane promotion; any
+            // ring traffic while the lane is active means a competing
+            // producer (the owner itself never uses the ring while it
+            // holds the lane, except after self-demoting).
+            if self.lane_owner.is_active() {
+                foreign_ring_pop = true;
+            } else if self.entries[eidx as usize].fast_lane {
+                let tag = call.caller.as_u64().wrapping_add(1);
+                if self.lane_last_producer.load(Ordering::Relaxed) == tag {
+                    let s = self.lane_streak.load(Ordering::Relaxed).saturating_add(1);
+                    self.lane_streak.store(s, Ordering::Relaxed);
+                } else {
+                    self.lane_last_producer.store(tag, Ordering::Relaxed);
+                    self.lane_streak.store(1, Ordering::Relaxed);
                 }
-                self.release_cell(call);
-                continue;
-            }
-            if self.rt.fault_point("drain") {
-                // Injected lost drain: the cell vanishes undelivered. Its
-                // caller recovers via deadline (or deadlocks, detectably).
-                sync.in_ring.fetch_sub(1, Ordering::SeqCst);
-                continue;
-            }
-            let mut es = sync.st.lock();
-            if self.is_closed() {
-                // Entry-lock mutual exclusion with shutdown's sweep makes
-                // either ordering safe: whoever holds the cell fails it.
-                drop(es);
-                sync.in_ring.fetch_sub(1, Ordering::SeqCst);
-                self.complete(&call, Err(self.closed_err()));
-                continue;
-            }
-            call.t_attach.store(now, Ordering::Relaxed);
-            self.stats.on_attach(now.saturating_sub(call.t_call));
-            let free = if es.waitq.is_empty() {
-                es.slots.iter().position(|s| matches!(s, Slot::Free))
             } else {
-                // Earlier calls of this entry are queued; going to a slot
-                // now would overtake them.
-                None
-            };
-            match free {
-                Some(i) => {
-                    es.slots[i] = Slot::Attached { call };
-                    sync.attached.fetch_add(1, Ordering::SeqCst);
-                }
-                None => {
-                    es.waitq.push_back(call);
-                    sync.queued.fetch_add(1, Ordering::SeqCst);
-                }
+                self.lane_last_producer.store(0, Ordering::Relaxed);
+                self.lane_streak.store(0, Ordering::Relaxed);
             }
-            // After the attach/queue increment so `#P` never transiently
-            // under-counts this call.
-            sync.in_ring.fetch_sub(1, Ordering::SeqCst);
+            self.drain_classify(now, eidx, call);
+        }
+        // Lane control, still under the drain lock so promote/demote
+        // have a single serialized site.
+        if foreign_ring_pop {
+            // Competition detected: fall back to the one shared queue.
+            // `Busy` (owner mid-push) just retries on the next pass —
+            // the competitor keeps pushing, so another pass is coming.
+            if matches!(self.lane_owner.try_release(), Release::Released(_)) {
+                self.stats.on_lane_demote();
+            }
+            self.lane_last_producer.store(0, Ordering::Relaxed);
+            self.lane_streak.store(0, Ordering::Relaxed);
+        } else if !self.lane_owner.is_active()
+            && !self.is_closed()
+            && self.lane_streak.load(Ordering::Relaxed) >= self.lane_promote_streak
+        {
+            let tag = self.lane_last_producer.load(Ordering::Relaxed);
+            if tag != 0 && self.lane_owner.promote(tag - 1) {
+                self.stats.on_lane_promote();
+                self.lane_streak.store(0, Ordering::Relaxed);
+                self.lane_dry.store(0, Ordering::SeqCst);
+            }
         }
         if drained > 0 {
             self.stats.on_drain(drained);
@@ -1284,6 +1448,13 @@ impl ObjectInner {
     pub(crate) fn sweep_intake(&self) {
         let _g = self.intake_drain.lock();
         let mut popped = false;
+        while let Some((eidx, call)) = self.lane.pop() {
+            self.estates[eidx as usize]
+                .in_ring
+                .fetch_sub(1, Ordering::SeqCst);
+            self.complete(&call, Err(self.closed_err()));
+            popped = true;
+        }
         while let Some((eidx, call)) = self.intake.pop() {
             self.estates[eidx as usize]
                 .in_ring
@@ -1291,6 +1462,11 @@ impl ObjectInner {
             self.complete(&call, Err(self.closed_err()));
             popped = true;
         }
+        // The lane will never be drained again; best-effort release so
+        // ownership state doesn't outlive the object's service life. A
+        // `Busy` owner mid-push is fine: it observes `closed` after its
+        // own fence and re-enters this sweep for its item.
+        let _ = self.lane_owner.try_release();
         if popped {
             // Backpressured producers must not stay parked on a ring that
             // will never drain again.
@@ -1376,6 +1552,19 @@ impl ObjectInner {
         let fail_unseen = matches!(on, OnRestart::FailInFlight);
         if fail_unseen {
             let _g = self.intake_drain.lock();
+            while let Some((eidx, call)) = self.lane.pop() {
+                self.estates[eidx as usize]
+                    .in_ring
+                    .fetch_sub(1, Ordering::SeqCst);
+                if call.is_cancelled() {
+                    if call.claim_tombstone() {
+                        self.stats.on_reap();
+                    }
+                    self.release_cell(call);
+                } else {
+                    self.complete(&call, Err(self.restarting_err()));
+                }
+            }
             while let Some((eidx, call)) = self.intake.pop() {
                 self.estates[eidx as usize]
                     .in_ring
@@ -1389,6 +1578,11 @@ impl ObjectInner {
                     self.complete(&call, Err(self.restarting_err()));
                 }
             }
+            // Demote across the restart: the post-restart world starts
+            // from the plain MPSC route and re-earns the lane. A `Busy`
+            // owner's straggler push linearizes after the restart and is
+            // classified by the new generation's first drain.
+            let _ = self.lane_owner.try_release();
         }
         for (entry, sync) in self.estates.iter().enumerate() {
             let mut victims: Vec<Arc<CallCell>> = Vec::new();
@@ -1623,6 +1817,8 @@ pub struct ObjectBuilder {
     state_init: Option<Box<dyn Fn() + Send + Sync + 'static>>,
     admission: AdmissionPolicy,
     intake_capacity: Option<usize>,
+    affinity_hint: Option<usize>,
+    lane_promote_after: Option<u32>,
 }
 
 impl fmt::Debug for ObjectBuilder {
@@ -1651,7 +1847,40 @@ impl ObjectBuilder {
             state_init: None,
             admission: AdmissionPolicy::default(),
             intake_capacity: None,
+            affinity_hint: None,
+            lane_promote_after: None,
         }
+    }
+
+    /// Prefer scheduling this object's manager and pool workers on
+    /// worker `worker % K` of a work-stealing runtime
+    /// ([`Runtime::thread_pool`](alps_runtime::Runtime::thread_pool)).
+    /// A *soft* hint: the processes land in that worker's deque instead
+    /// of the global injector — keeping a shard's manager and entry
+    /// bodies on one worker's cache — but remain fully stealable.
+    /// Ignored by the threaded and simulation executors.
+    pub fn affinity_hint(mut self, worker: usize) -> Self {
+        self.affinity_hint = Some(worker);
+        self
+    }
+
+    /// Set the affinity hint only when the user did not choose one —
+    /// `ShardedBuilder` spreads shard `i` onto worker `i % K` by
+    /// default, but an explicit per-shard choice from the factory wins.
+    pub(crate) fn default_affinity_hint(mut self, worker: usize) -> Self {
+        self.affinity_hint.get_or_insert(worker);
+        self
+    }
+
+    /// Override how many consecutive intake-ring pushes from the same
+    /// producer promote that caller to the private SPSC fast lane
+    /// (default [`tuning::LANE_PROMOTE_STREAK`]). Tests use small values
+    /// to force promotion deterministically; `u32::MAX` disables the
+    /// lane for the whole object. See also [`EntryDef::fast_lane`] for
+    /// the per-entry switch.
+    pub fn lane_promote_after(mut self, streak: u32) -> Self {
+        self.lane_promote_after = Some(streak);
+        self
     }
 
     /// Poison the object when an entry body panics: subsequent calls fail
@@ -1822,7 +2051,13 @@ impl ObjectBuilder {
             .map(|e| EntrySync::new(e.array))
             .collect();
         let full_results: Vec<Vec<Ty>> = self.entries.iter().map(|e| e.full_results()).collect();
-        let pool = Pool::new(rt.clone(), self.name.clone(), self.pool, total);
+        let pool = Pool::new(
+            rt.clone(),
+            self.name.clone(),
+            self.pool,
+            total,
+            self.affinity_hint,
+        );
         let supervise = self.supervise.map(|policy| SuperviseCfg {
             policy,
             on_restart: self.on_restart,
@@ -1855,6 +2090,14 @@ impl ObjectBuilder {
                     .unwrap_or_else(|| (total * 8).next_power_of_two().clamp(64, 1024)),
             ),
             intake_drain: Mutex::new(()),
+            lane: SpscLane::with_capacity(tuning::LANE_CAP),
+            lane_owner: LaneOwner::new(),
+            lane_last_producer: AtomicU64::new(0),
+            lane_streak: AtomicU32::new(0),
+            lane_dry: AtomicU32::new(0),
+            lane_promote_streak: self
+                .lane_promote_after
+                .unwrap_or(tuning::LANE_PROMOTE_STREAK),
             mgr_active: AtomicBool::new(true),
             mgr_poll: AtomicBool::new(false),
             generation: AtomicU64::new(0),
@@ -1872,40 +2115,41 @@ impl ObjectBuilder {
             // restart simply re-enters it from the top with a fresh
             // generation-tagged context — its closure-local state (counts,
             // free lists, …) rebuilds naturally.
-            rt.spawn_with(
-                Spawn::new(format!("{}:manager", self.name))
-                    .prio(self.manager_prio)
-                    .daemon(true),
-                move || loop {
-                    let mut ctx = ManagerCtx::new(Arc::clone(&mgr_inner));
-                    match body(&mut ctx) {
-                        Ok(())
-                        | Err(AlpsError::ObjectClosed { .. })
-                        | Err(AlpsError::Runtime(_)) => break,
-                        Err(AlpsError::ObjectRestarting { .. }) if supervised => {
-                            // A restart invalidated this generation. Wait
-                            // for the in-flight sweep and state rebuild to
-                            // complete (the restart holds this lock
-                            // throughout) before re-entering, so the new
-                            // generation never observes a half-swept
-                            // object — that barrier is what makes "zero
-                            // stale pre-restart replies" hold.
-                            drop(mgr_inner.restart_times.lock());
-                            // A restart whose rebuild failed leaves the
-                            // object permanently poisoned: nothing will
-                            // ever be admitted again, so don't re-enter.
-                            if mgr_inner.perm_failed.load(Ordering::SeqCst) {
-                                break;
-                            }
-                        }
-                        Err(e) => {
-                            *mgr_inner.manager_error.lock() = Some(e);
-                            mgr_inner.shutdown();
+            let mut opts = Spawn::new(format!("{}:manager", self.name))
+                .prio(self.manager_prio)
+                .daemon(true);
+            if let Some(a) = self.affinity_hint {
+                opts = opts.affinity(a);
+            }
+            rt.spawn_with(opts, move || loop {
+                let mut ctx = ManagerCtx::new(Arc::clone(&mgr_inner));
+                match body(&mut ctx) {
+                    Ok(()) | Err(AlpsError::ObjectClosed { .. }) | Err(AlpsError::Runtime(_)) => {
+                        break
+                    }
+                    Err(AlpsError::ObjectRestarting { .. }) if supervised => {
+                        // A restart invalidated this generation. Wait
+                        // for the in-flight sweep and state rebuild to
+                        // complete (the restart holds this lock
+                        // throughout) before re-entering, so the new
+                        // generation never observes a half-swept
+                        // object — that barrier is what makes "zero
+                        // stale pre-restart replies" hold.
+                        drop(mgr_inner.restart_times.lock());
+                        // A restart whose rebuild failed leaves the
+                        // object permanently poisoned: nothing will
+                        // ever be admitted again, so don't re-enter.
+                        if mgr_inner.perm_failed.load(Ordering::SeqCst) {
                             break;
                         }
                     }
-                },
-            );
+                    Err(e) => {
+                        *mgr_inner.manager_error.lock() = Some(e);
+                        mgr_inner.shutdown();
+                        break;
+                    }
+                }
+            });
         }
         Ok(ObjectHandle {
             core: Arc::new(HandleCore { inner }),

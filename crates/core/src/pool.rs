@@ -124,13 +124,24 @@ pub(crate) struct Pool {
     spawned: Counter,
     executed: Counter,
     closed: AtomicBool,
+    /// Soft worker-affinity hint applied to every worker this pool
+    /// spawns, so an object's entry bodies prefer the same
+    /// work-stealing worker as its manager
+    /// ([`crate::ObjectBuilder::affinity_hint`]).
+    affinity: Option<usize>,
 }
 
 impl Pool {
     /// Create the pool and eagerly spawn preallocated workers.
     /// `total_slots` is the sum of all procedure-array sizes of the object
     /// (used by [`PoolMode::PerSlot`]).
-    pub(crate) fn new(rt: Runtime, name: String, mode: PoolMode, total_slots: usize) -> Pool {
+    pub(crate) fn new(
+        rt: Runtime,
+        name: String,
+        mode: PoolMode,
+        total_slots: usize,
+        affinity: Option<usize>,
+    ) -> Pool {
         let mut pool = Pool {
             rt,
             name,
@@ -140,6 +151,7 @@ impl Pool {
             spawned: Counter::new(),
             executed: Counter::new(),
             closed: AtomicBool::new(false),
+            affinity,
         };
         match mode {
             PoolMode::PerCall => {}
@@ -165,6 +177,16 @@ impl Pool {
         pool
     }
 
+    /// Spawn options for a pool worker: daemon, plus the pool's affinity
+    /// hint when one is configured.
+    fn worker_opts(&self, name: String) -> Spawn {
+        let mut opts = Spawn::new(name).daemon(true);
+        if let Some(a) = self.affinity {
+            opts = opts.affinity(a);
+        }
+        opts
+    }
+
     fn spawn_slot_worker(&self, key: usize, sb: Arc<SlotBox>) {
         self.spawned.incr();
         let rt = self.rt.clone();
@@ -175,41 +197,40 @@ impl Pool {
         } else {
             tuning::POOL_SLOT_SPIN_ROUNDS
         };
-        self.rt
-            .spawn_with(Spawn::new(name).daemon(true), move || loop {
-                // Brief spin for a job dispatched while the previous one
-                // was winding down — skips a park/unpark round trip when
-                // the manager restarts this slot back-to-back.
-                let mut sw = SpinWait::new(spin_rounds);
-                while sw.spin() {
-                    if sb.has_job.load(Ordering::SeqCst) {
-                        break;
-                    }
+        self.rt.spawn_with(self.worker_opts(name), move || loop {
+            // Brief spin for a job dispatched while the previous one
+            // was winding down — skips a park/unpark round trip when
+            // the manager restarts this slot back-to-back.
+            let mut sw = SpinWait::new(spin_rounds);
+            while sw.spin() {
+                if sb.has_job.load(Ordering::SeqCst) {
+                    break;
                 }
-                let job = {
-                    let mut st = sb.st.lock();
-                    match st.job.take() {
-                        Some(j) => {
-                            sb.has_job.store(false, Ordering::SeqCst);
-                            Some(j)
-                        }
-                        None => {
-                            if sb.closed.load(Ordering::SeqCst) {
-                                return;
-                            }
-                            st.waiter = Some(rt.current());
-                            None
-                        }
-                    }
-                };
-                match job {
+            }
+            let job = {
+                let mut st = sb.st.lock();
+                match st.job.take() {
                     Some(j) => {
-                        executed.incr();
-                        j.run();
+                        sb.has_job.store(false, Ordering::SeqCst);
+                        Some(j)
                     }
-                    None => rt.park(),
+                    None => {
+                        if sb.closed.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        st.waiter = Some(rt.current());
+                        None
+                    }
                 }
-            });
+            };
+            match job {
+                Some(j) => {
+                    executed.incr();
+                    j.run();
+                }
+                None => rt.park(),
+            }
+        });
     }
 
     fn spawn_shared_worker(&self, i: usize, q: Arc<SharedQ>) {
@@ -217,32 +238,31 @@ impl Pool {
         let rt = self.rt.clone();
         let executed = self.executed.clone();
         let name = format!("{}:pool[{i}]", self.name);
-        self.rt
-            .spawn_with(Spawn::new(name).daemon(true), move || loop {
-                let job = {
-                    let mut st = q.q.lock();
-                    match st.jobs.pop_front() {
-                        Some(j) => Some(j),
-                        None => {
-                            if q.closed.load(Ordering::SeqCst) {
-                                return;
-                            }
-                            let me = rt.current();
-                            if !st.idle.contains(&me) {
-                                st.idle.push(me);
-                            }
-                            None
+        self.rt.spawn_with(self.worker_opts(name), move || loop {
+            let job = {
+                let mut st = q.q.lock();
+                match st.jobs.pop_front() {
+                    Some(j) => Some(j),
+                    None => {
+                        if q.closed.load(Ordering::SeqCst) {
+                            return;
                         }
+                        let me = rt.current();
+                        if !st.idle.contains(&me) {
+                            st.idle.push(me);
+                        }
+                        None
                     }
-                };
-                match job {
-                    Some(j) => {
-                        executed.incr();
-                        j.run();
-                    }
-                    None => rt.park(),
                 }
-            });
+            };
+            match job {
+                Some(j) => {
+                    executed.incr();
+                    j.run();
+                }
+                None => rt.park(),
+            }
+        });
     }
 
     /// Hand a started call's execution to a worker. `slot_key` identifies
@@ -259,7 +279,7 @@ impl Pool {
                 self.executed.incr();
                 let name = format!("{}:call", self.name);
                 self.rt
-                    .spawn_with(Spawn::new(name).daemon(true), move || job.run());
+                    .spawn_with(self.worker_opts(name), move || job.run());
             }
             PoolMode::PerSlot => {
                 let sb = &self.per_slot[slot_key];
@@ -351,7 +371,7 @@ mod tests {
     fn run_jobs(mode: PoolMode, slots: usize, jobs: usize) -> (u64, u64) {
         let sim = SimRuntime::new();
         sim.run(move |rt| {
-            let pool = Pool::new(rt.clone(), "t".into(), mode, slots);
+            let pool = Pool::new(rt.clone(), "t".into(), mode, slots, None);
             let done = Arc::new(AtomicUsize::new(0));
             // Dispatch in waves of `slots`, mirroring the object layer's
             // guarantee that a slot is restarted only after its previous
@@ -411,7 +431,7 @@ mod tests {
     fn dispatch_after_shutdown_is_dropped() {
         let sim = SimRuntime::new();
         sim.run(|rt| {
-            let pool = Pool::new(rt.clone(), "t".into(), PoolMode::Shared(1), 1);
+            let pool = Pool::new(rt.clone(), "t".into(), PoolMode::Shared(1), 1, None);
             pool.shutdown();
             pool.dispatch(0, Job::Task(Box::new(|| panic!("must not run"))));
             rt.yield_now();

@@ -393,7 +393,7 @@ pub(crate) fn run_select_deadline(
                         };
                         let view = GuardView {
                             slot: i,
-                            values: &call.args[..k],
+                            values: &call.args()[..k],
                             obj,
                         };
                         if g.when.as_ref().map(|f| f(&view)).unwrap_or(true) {
@@ -619,7 +619,7 @@ fn wait_for_work_deadline(
     }
     // Same lost-wakeup handshake as `wait_for_work` (see its comment).
     obj.mgr_active.store(false, Ordering::SeqCst);
-    if !obj.intake.is_empty() {
+    if obj.has_intake_work() {
         obj.mgr_active.store(true, Ordering::SeqCst);
         obj.rt.yield_now();
         return Ok(());
@@ -663,7 +663,7 @@ fn fused_single(obj: &Arc<ObjectInner>, g: &Guard<'_>, entry: usize, gen: u64) -
                     };
                     let view = GuardView {
                         slot: i,
-                        values: &call.args[..k],
+                        values: &call.args()[..k],
                         obj,
                     };
                     g.when.as_ref().map(|f| f(&view)).unwrap_or(true)
@@ -742,9 +742,13 @@ fn wait_for_work(obj: &ObjectInner, epoch: u64) {
     // work after `tuning::MGR_POLL_BUDGET` yields — demotes back to
     // parking. Pointless in simulation, where only one process runs at a
     // time.
-    if obj.mgr_poll.load(Ordering::SeqCst) && !obj.rt.is_sim() {
+    // An active SPSC lane keeps the manager in poll mode too: the lane
+    // exists precisely so a lone dominant caller (which never produces
+    // the ≥ 2 batches storm mode keys on) gets the same futex-free
+    // submit→serve→reply rotation.
+    if (obj.mgr_poll.load(Ordering::SeqCst) || obj.lane_owner.is_active()) && !obj.rt.is_sim() {
         for _ in 0..tuning::MGR_POLL_BUDGET {
-            if !obj.intake.is_empty() || obj.notifier.epoch() != epoch {
+            if obj.has_intake_work() || obj.notifier.epoch() != epoch {
                 obj.stats.on_mgr_wakeup();
                 obj.stats.on_spin_resolved();
                 return;
@@ -753,8 +757,31 @@ fn wait_for_work(obj: &ObjectInner, epoch: u64) {
         }
         obj.mgr_poll.store(false, Ordering::SeqCst);
     }
+    // Lane idle accounting: reaching this point means a full dry poll
+    // budget (or, in simulation, a drain that found nothing). An owner
+    // that lets the manager get this far has gone quiet; after
+    // `tuning::LANE_IDLE_DEMOTE_PASSES` consecutive dry passes the lane
+    // is released so the object parks like a plain MPSC object again. A
+    // `Busy` release (owner mid-push) or a non-empty lane resets the
+    // count — work is coming.
+    if obj.lane_owner.is_active() {
+        if obj.lane.is_empty() {
+            let dry = obj.lane_dry.fetch_add(1, Ordering::SeqCst) + 1;
+            if dry >= tuning::LANE_IDLE_DEMOTE_PASSES {
+                obj.lane_dry.store(0, Ordering::SeqCst);
+                if matches!(
+                    obj.lane_owner.try_release(),
+                    crate::lane::Release::Released(_)
+                ) {
+                    obj.stats.on_lane_demote();
+                }
+            }
+        } else {
+            obj.lane_dry.store(0, Ordering::SeqCst);
+        }
+    }
     obj.mgr_active.store(false, Ordering::SeqCst);
-    if !obj.intake.is_empty() {
+    if obj.has_intake_work() {
         obj.mgr_active.store(true, Ordering::SeqCst);
         obj.rt.yield_now();
         return;

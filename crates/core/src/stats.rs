@@ -41,6 +41,9 @@ struct StatsInner {
     sheds: Counter,
     retries: Counter,
     overload_flips: Counter,
+    lane_pushes: Counter,
+    lane_promotes: Counter,
+    lane_demotes: Counter,
     /// EWMA of service time in ticks (α = 1/8). Updated with a Relaxed
     /// CAS loop: pooled bodies finish concurrently, so the RMW must be
     /// atomic, but the value is advisory and orders nothing.
@@ -166,6 +169,20 @@ impl ObjectStats {
     pub fn overload_flips(&self) -> u64 {
         self.inner.overload_flips.get()
     }
+    /// Calls submitted over the SPSC fast lane instead of the shared
+    /// intake ring (a dominant caller was holding the lane).
+    pub fn lane_pushes(&self) -> u64 {
+        self.inner.lane_pushes.get()
+    }
+    /// Times the drain loop promoted a dominant caller to the fast lane.
+    pub fn lane_promotes(&self) -> u64 {
+        self.inner.lane_promotes.get()
+    }
+    /// Times an active lane was released — a second producer appeared,
+    /// the owner went idle, it overflowed, or a restart swept it.
+    pub fn lane_demotes(&self) -> u64 {
+        self.inner.lane_demotes.get()
+    }
     /// Exponentially weighted moving average of entry service time in
     /// ticks (α = 1/8) — the signal the adaptive spin budgets are tuned
     /// by.
@@ -255,6 +272,15 @@ impl ObjectStats {
     pub(crate) fn on_overload_flip(&self) {
         self.inner.overload_flips.incr();
     }
+    pub(crate) fn on_lane_push(&self) {
+        self.inner.lane_pushes.incr();
+    }
+    pub(crate) fn on_lane_promote(&self) {
+        self.inner.lane_promotes.incr();
+    }
+    pub(crate) fn on_lane_demote(&self) {
+        self.inner.lane_demotes.incr();
+    }
 }
 
 impl fmt::Display for ObjectStats {
@@ -262,9 +288,10 @@ impl fmt::Display for ObjectStats {
         write!(
             f,
             "calls={} accepts={} starts={} finishes={} combines={} implicit={} failures={} \
-             p50_latency={} p99_latency={} wakeups={} mean_batch={:.1} max_batch={} \
-             spin_resolved={} park_resolved={} timeouts={} cancels={} reaps={} \
-             poison_rejects={} restarts={} sheds={} retries={} overload_flips={}",
+             p50_latency={} p99_latency={} p999_latency={} wakeups={} mean_batch={:.1} \
+             max_batch={} spin_resolved={} park_resolved={} timeouts={} cancels={} reaps={} \
+             poison_rejects={} restarts={} sheds={} retries={} overload_flips={} \
+             lane_pushes={} lane_promotes={} lane_demotes={}",
             self.calls(),
             self.accepts(),
             self.starts(),
@@ -274,6 +301,7 @@ impl fmt::Display for ObjectStats {
             self.body_failures(),
             self.call_latency().percentile(50.0),
             self.call_latency().percentile(99.0),
+            self.call_latency().percentile(99.9),
             self.mgr_wakeups(),
             self.drain_batch().mean(),
             self.drain_batch().max(),
@@ -287,6 +315,9 @@ impl fmt::Display for ObjectStats {
             self.sheds(),
             self.retries(),
             self.overload_flips(),
+            self.lane_pushes(),
+            self.lane_promotes(),
+            self.lane_demotes(),
         )
     }
 }
@@ -380,6 +411,22 @@ mod tests {
         assert!(shown.contains("sheds=2"), "{shown}");
         assert!(shown.contains("retries=3"), "{shown}");
         assert!(shown.contains("overload_flips=1"), "{shown}");
+    }
+
+    #[test]
+    fn lane_counters_accumulate() {
+        let s = ObjectStats::new();
+        s.on_lane_push();
+        s.on_lane_push();
+        s.on_lane_promote();
+        s.on_lane_demote();
+        assert_eq!(s.lane_pushes(), 2);
+        assert_eq!(s.lane_promotes(), 1);
+        assert_eq!(s.lane_demotes(), 1);
+        let shown = s.to_string();
+        assert!(shown.contains("lane_pushes=2"), "{shown}");
+        assert!(shown.contains("lane_promotes=1"), "{shown}");
+        assert!(shown.contains("p999_latency=0"), "{shown}");
     }
 
     #[test]

@@ -441,6 +441,35 @@ impl ValVec {
     pub fn is_inline(&self) -> bool {
         matches!(self, ValVec::Inline { .. })
     }
+
+    /// Split the tuple at `at`: `self` keeps `[..at]`, the returned tuple
+    /// takes `[at..]` — both by move, the zero-copy analogue of a pair of
+    /// [`from_slice`](Self::from_slice) calls. Inline tuples split
+    /// without allocating; heap tuples defer to [`Vec::split_off`], whose
+    /// allocation only exists for arities past [`INLINE_VALS`], outside
+    /// the warm-path zero-allocation contract.
+    ///
+    /// # Panics
+    ///
+    /// If `at > self.len()`.
+    pub fn split_off(&mut self, at: usize) -> ValVec {
+        match self {
+            ValVec::Inline { buf, len } => {
+                let n = *len as usize;
+                assert!(at <= n, "split_off at {at} out of bounds of len {n}");
+                let mut tail = [UNIT; INLINE_VALS];
+                for (slot, v) in tail.iter_mut().zip(buf[at..n].iter_mut()) {
+                    *slot = std::mem::replace(v, UNIT);
+                }
+                *len = at as u8;
+                ValVec::Inline {
+                    buf: tail,
+                    len: (n - at) as u8,
+                }
+            }
+            ValVec::Heap(h) => ValVec::Heap(h.split_off(at)),
+        }
+    }
 }
 
 impl Default for ValVec {
@@ -796,5 +825,49 @@ mod tests {
         assert_eq!(v.len(), 4);
         let empty = vals![];
         assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn valvec_split_off_moves_the_tail() {
+        // Inline stays inline on both sides.
+        let mut v: ValVec = vals![1i64, 2i64, 3i64, 4i64].into_iter().collect();
+        let tail = v.split_off(1);
+        assert!(v.is_inline() && tail.is_inline());
+        assert_eq!(v.as_slice(), &[Value::Int(1)]);
+        assert_eq!(
+            tail.as_slice(),
+            &[Value::Int(2), Value::Int(3), Value::Int(4)]
+        );
+
+        // Boundary splits.
+        let mut v: ValVec = vals![1i64, 2i64].into_iter().collect();
+        assert!(v.split_off(2).is_empty());
+        assert_eq!(v.len(), 2);
+        let tail = v.split_off(0);
+        assert!(v.is_empty());
+        assert_eq!(tail.len(), 2);
+
+        // Heap tuples split via Vec::split_off; an Arc-backed string
+        // moves rather than clones.
+        let s = Value::str("shared");
+        let arc = match &s {
+            Value::Str(a) => std::sync::Arc::clone(a),
+            _ => unreachable!(),
+        };
+        let mut v: ValVec = (0..5).map(Value::from).chain([s]).collect();
+        assert!(!v.is_inline());
+        let tail = v.split_off(5);
+        assert_eq!(v.len(), 5);
+        assert_eq!(tail.len(), 1);
+        drop(v);
+        drop(tail);
+        assert_eq!(std::sync::Arc::strong_count(&arc), 1, "moved, not cloned");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn valvec_split_off_past_len_panics() {
+        let mut v: ValVec = vals![1i64].into_iter().collect();
+        let _ = v.split_off(2);
     }
 }

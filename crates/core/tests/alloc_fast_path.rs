@@ -9,9 +9,15 @@
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
 
-use alps_core::{argv, EntryDef, ObjectBuilder, Value};
+use alps_core::{argv, EntryDef, ObjectBuilder, RetryPolicy, Value};
 use alps_runtime::Runtime;
+
+/// The `COUNTING` flag is process-global, so concurrently running tests
+/// would count each other's allocations. Each test holds this for its
+/// whole body.
+static SERIAL: Mutex<()> = Mutex::new(());
 
 struct CountingAlloc;
 
@@ -43,6 +49,7 @@ static A: CountingAlloc = CountingAlloc;
 
 #[test]
 fn warm_implicit_call_id_allocates_nothing() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     let rt = Runtime::threaded();
     let obj = ObjectBuilder::new("Plain")
         .entry(
@@ -74,6 +81,88 @@ fn warm_implicit_call_id_allocates_nothing() {
     assert_eq!(
         n, 0,
         "warm call_id on an implicit arity-1 entry must not allocate; saw {n} allocations over 1000 calls"
+    );
+
+    obj.shutdown();
+    rt.shutdown();
+}
+
+#[test]
+fn warm_call_id_deadline_happy_path_allocates_nothing() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let rt = Runtime::threaded();
+    let obj = ObjectBuilder::new("Deadline")
+        .entry(
+            EntryDef::new("Echo")
+                .params([alps_core::Ty::Int])
+                .results([alps_core::Ty::Int])
+                .body(|_ctx, args| Ok(argv![args[0].clone()])),
+        )
+        .spawn(&rt)
+        .unwrap();
+    let id = obj.entry_id("Echo").unwrap();
+
+    for _ in 0..64 {
+        let r = obj.call_id_deadline(id, argv![7i64], 1_000_000).unwrap();
+        assert_eq!(r[0], Value::Int(7));
+    }
+
+    ALLOCS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    for _ in 0..1000 {
+        let r = obj.call_id_deadline(id, argv![7i64], 1_000_000).unwrap();
+        assert_eq!(r[0], Value::Int(7));
+    }
+    COUNTING.store(false, Ordering::SeqCst);
+    let n = ALLOCS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        n, 0,
+        "warm call_id_deadline happy path (deadline never fires) must not \
+         allocate; saw {n} allocations over 1000 calls"
+    );
+
+    obj.shutdown();
+    rt.shutdown();
+}
+
+#[test]
+fn warm_call_id_retry_happy_path_allocates_nothing() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let rt = Runtime::threaded();
+    let obj = ObjectBuilder::new("Retry")
+        .entry(
+            EntryDef::new("Echo")
+                .params([alps_core::Ty::Int])
+                .results([alps_core::Ty::Int])
+                .body(|_ctx, args| Ok(argv![args[0].clone()])),
+        )
+        .spawn(&rt)
+        .unwrap();
+    let id = obj.entry_id("Echo").unwrap();
+    // First attempt succeeds, so only the per-attempt `args.clone()`
+    // (inline — heap-free for arity ≤ 4) rides on top of the deadline
+    // path; no backoff machinery runs.
+    let policy = RetryPolicy::new(3, 10_000_000);
+
+    for _ in 0..64 {
+        let r = obj.call_id_retry(id, argv![7i64], policy).unwrap();
+        assert_eq!(r[0], Value::Int(7));
+    }
+
+    ALLOCS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    for _ in 0..1000 {
+        let r = obj.call_id_retry(id, argv![7i64], policy).unwrap();
+        assert_eq!(r[0], Value::Int(7));
+    }
+    COUNTING.store(false, Ordering::SeqCst);
+    let n = ALLOCS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        n, 0,
+        "warm call_id_retry happy path (first attempt succeeds) must not \
+         allocate; saw {n} allocations over 1000 calls"
     );
 
     obj.shutdown();

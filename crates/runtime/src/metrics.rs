@@ -14,6 +14,16 @@
 //! snapshot while writers race. Code that needs a happens-before edge
 //! must get it from the runtime's own synchronization (parking, channel
 //! handoff), never from these counters.
+//!
+//! A second contract covers the *conditional* updates ([`Histogram`]'s
+//! running maximum, and the EWMA in the object layer's stats): those use
+//! `fetch_update(Relaxed, Relaxed, ..)` — a CAS loop whose closure reads
+//! only the prior value of the same location it writes. Relaxed is
+//! sufficient for the same single-location reason as above: CAS failure
+//! reloads the current value, so a racing update can make the loop
+//! retry but never publish a value computed from a stale read, and the
+//! success/failure orderings need not fence anything because no *other*
+//! location's data is being published through the word.
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -112,11 +122,17 @@ impl Histogram {
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
         if v != 0 {
             self.sum.fetch_add(v, Ordering::Relaxed);
-            // The load is only a contention filter; correctness rests on
-            // the fetch_max, which is an atomic RMW even under Relaxed.
-            if v > self.max.load(Ordering::Relaxed) {
-                self.max.fetch_max(v, Ordering::Relaxed);
-            }
+            // Conditional-update idiom (see the module doc's second
+            // ordering contract): the closure returns `None` when the
+            // current max already covers `v`, which skips the write —
+            // and the RMW — entirely on the common path; a losing race
+            // reloads and re-decides, so no larger value is ever
+            // overwritten by a smaller one.
+            let _ = self
+                .max
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |prev| {
+                    (v > prev).then_some(v)
+                });
         }
     }
 

@@ -65,6 +65,26 @@ pub const POOL_SLOT_SPIN_ROUNDS: u32 = 4;
 /// "nothing locally, maybe a producer is mid-publish" waits.
 pub const WORKER_IDLE_SPIN_ROUNDS: u32 = 6;
 
+/// Consecutive intake-ring pushes from the *same* producer before the
+/// manager promotes that producer to the private SPSC fast lane. High
+/// enough that a transient solo burst from a multi-caller workload does
+/// not thrash promote/demote; low enough that a steady single caller is
+/// promoted within a few microseconds of warming up.
+pub const LANE_PROMOTE_STREAK: u32 = 32;
+
+/// Consecutive *empty* manager drain passes (lane and ring both dry,
+/// manager about to park) before an active lane is demoted back to the
+/// shared ring. A parked owner costs nothing while the lane is held, but
+/// holding it keeps the manager in poll mode, so idle lanes are released
+/// quickly.
+pub const LANE_IDLE_DEMOTE_PASSES: u32 = 2;
+
+/// Capacity of the SPSC fast lane. Small by design: the lane exists for
+/// a synchronous dominant caller (≤ 1 call in flight per producer), so
+/// depth beyond a handful of slots only delays the overflow-to-ring
+/// fallback that signals real concurrency.
+pub const LANE_CAP: usize = 8;
+
 #[cfg(test)]
 mod tests {
     use super::*;
