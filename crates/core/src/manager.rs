@@ -70,6 +70,14 @@ impl AcceptedCall {
         &self.obj.entries[self.entry].name
     }
 
+    /// Index of the entry in builder declaration order — the same index
+    /// [`Guard::accept_idx`](crate::Guard::accept_idx) takes. Compiled
+    /// managers key their token tables by this instead of hashing
+    /// [`entry_name`](AcceptedCall::entry_name).
+    pub fn entry_index(&self) -> usize {
+        self.entry
+    }
+
     /// Procedure-array element the call is attached to (0-based).
     pub fn slot(&self) -> usize {
         self.slot
@@ -154,6 +162,12 @@ impl ReadyEntry {
     /// Name of the terminating entry.
     pub fn entry_name(&self) -> &str {
         &self.obj.entries[self.entry].name
+    }
+
+    /// Index of the entry in builder declaration order (see
+    /// [`AcceptedCall::entry_index`]).
+    pub fn entry_index(&self) -> usize {
+        self.entry
     }
 
     /// Procedure-array element (0-based).
@@ -381,6 +395,22 @@ impl ManagerCtx {
     pub fn pending(&self, entry: &str) -> Result<usize> {
         let idx = self.obj.entry_idx(entry)?;
         Ok(self.obj.pending(idx))
+    }
+
+    /// [`pending`](Self::pending) through a pre-resolved entry index
+    /// (builder declaration order) — the compiled manager's `#P`.
+    ///
+    /// # Errors
+    ///
+    /// [`AlpsError::UnknownEntry`] when the index is out of range.
+    pub fn pending_idx(&self, entry: usize) -> Result<usize> {
+        if entry >= self.obj.entries.len() {
+            return Err(AlpsError::UnknownEntry {
+                object: self.obj.name.clone(),
+                entry: format!("entry#{entry}"),
+            });
+        }
+        Ok(self.obj.pending(entry))
     }
 
     /// Block on a guarded nondeterministic select (paper §2.4).

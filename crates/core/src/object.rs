@@ -2420,6 +2420,24 @@ impl ObjectHandle {
         inner.call_protocol(idx, args.into(), false).map(Vec::from)
     }
 
+    /// [`call_from_inside`](Self::call_from_inside) through an interned
+    /// [`EntryId`] — the compiled-program path for intercepted sibling
+    /// calls, with zero per-call name resolution and inline tuples.
+    ///
+    /// # Errors
+    ///
+    /// As [`call_id`](Self::call_id), except local procedures are
+    /// permitted.
+    pub fn call_from_inside_id(&self, id: EntryId, args: impl Into<ValVec>) -> Result<ValVec> {
+        let inner = &self.core.inner;
+        if id.obj != inner.uid {
+            return Err(AlpsError::ForeignEntryId {
+                object: inner.name.clone(),
+            });
+        }
+        inner.call_protocol(id.idx as usize, args.into(), false)
+    }
+
     /// `#P` for an entry: calls attached-but-unaccepted plus queued
     /// (paper §2.5.1; Ada `COUNT` / SR `?` analogue). Lock-free.
     ///

@@ -93,16 +93,68 @@ impl GuardView<'_> {
             .unwrap_or_else(|e| panic!("GuardView::pending: {e}"));
         self.obj.pending(idx)
     }
+
+    /// [`pending`](GuardView::pending) through a pre-resolved entry index
+    /// (builder declaration order) — no string hash on the guard path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range.
+    pub fn pending_idx(&self, entry: usize) -> usize {
+        assert!(
+            entry < self.obj.entries.len(),
+            "GuardView::pending_idx: entry #{entry} out of range"
+        );
+        self.obj.pending(entry)
+    }
 }
 
 type WhenFn<'a> = Box<dyn Fn(&GuardView<'_>) -> bool + 'a>;
 type PriFn<'a> = Box<dyn Fn(&GuardView<'_>) -> i64 + 'a>;
 
+/// How a guard designates its entry: by name (resolved to an index once
+/// per select) or by a pre-resolved index (compiled managers; the select
+/// pass then never hashes a string).
+pub(crate) enum EntrySel {
+    Name(String),
+    Idx(usize),
+}
+
+impl EntrySel {
+    fn label(&self) -> String {
+        match self {
+            EntrySel::Name(n) => n.clone(),
+            EntrySel::Idx(i) => format!("entry#{i}"),
+        }
+    }
+
+    fn resolve(&self, obj: &ObjectInner) -> Result<usize> {
+        match self {
+            EntrySel::Name(n) => obj.entry_idx(n),
+            EntrySel::Idx(i) if *i < obj.entries.len() => Ok(*i),
+            EntrySel::Idx(i) => Err(AlpsError::UnknownEntry {
+                object: obj.name.clone(),
+                entry: format!("entry#{i}"),
+            }),
+        }
+    }
+}
+
 pub(crate) enum GuardKind {
-    Accept { entry: String, slot: Option<usize> },
-    AwaitDone { entry: String, slot: Option<usize> },
-    Receive { chan: ChanValue },
-    When { cond: bool },
+    Accept {
+        entry: EntrySel,
+        slot: Option<usize>,
+    },
+    AwaitDone {
+        entry: EntrySel,
+        slot: Option<usize>,
+    },
+    Receive {
+        chan: ChanValue,
+    },
+    When {
+        cond: bool,
+    },
 }
 
 /// One guarded alternative of a [`select`](crate::ManagerCtx::select).
@@ -130,8 +182,8 @@ pub struct Guard<'a> {
 impl fmt::Debug for Guard<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let kind = match &self.kind {
-            GuardKind::Accept { entry, slot } => format!("accept {entry}{slot:?}"),
-            GuardKind::AwaitDone { entry, slot } => format!("await {entry}{slot:?}"),
+            GuardKind::Accept { entry, slot } => format!("accept {}{slot:?}", entry.label()),
+            GuardKind::AwaitDone { entry, slot } => format!("await {}{slot:?}", entry.label()),
             GuardKind::Receive { chan } => format!("receive {}", chan.name()),
             GuardKind::When { cond } => format!("when {cond}"),
         };
@@ -155,7 +207,7 @@ impl<'a> Guard<'a> {
     /// `accept P` over any element of P's hidden procedure array.
     pub fn accept(entry: impl Into<String>) -> Guard<'a> {
         Guard::new(GuardKind::Accept {
-            entry: entry.into(),
+            entry: EntrySel::Name(entry.into()),
             slot: None,
         })
     }
@@ -163,7 +215,28 @@ impl<'a> Guard<'a> {
     /// `accept P[i]` for a specific array element.
     pub fn accept_slot(entry: impl Into<String>, slot: usize) -> Guard<'a> {
         Guard::new(GuardKind::Accept {
-            entry: entry.into(),
+            entry: EntrySel::Name(entry.into()),
+            slot: Some(slot),
+        })
+    }
+
+    /// [`accept`](Guard::accept) through a pre-resolved entry index (the
+    /// position of the entry in [`ObjectBuilder`](crate::ObjectBuilder)
+    /// declaration order). Skips per-select name resolution entirely —
+    /// compiled managers use this so the warm select path never hashes a
+    /// string.
+    pub fn accept_idx(entry: usize) -> Guard<'a> {
+        Guard::new(GuardKind::Accept {
+            entry: EntrySel::Idx(entry),
+            slot: None,
+        })
+    }
+
+    /// [`accept_slot`](Guard::accept_slot) through a pre-resolved entry
+    /// index.
+    pub fn accept_slot_idx(entry: usize, slot: usize) -> Guard<'a> {
+        Guard::new(GuardKind::Accept {
+            entry: EntrySel::Idx(entry),
             slot: Some(slot),
         })
     }
@@ -171,7 +244,7 @@ impl<'a> Guard<'a> {
     /// `await P` — some element of P is ready to terminate.
     pub fn await_done(entry: impl Into<String>) -> Guard<'a> {
         Guard::new(GuardKind::AwaitDone {
-            entry: entry.into(),
+            entry: EntrySel::Name(entry.into()),
             slot: None,
         })
     }
@@ -179,7 +252,25 @@ impl<'a> Guard<'a> {
     /// `await P[i]` for a specific array element.
     pub fn await_slot(entry: impl Into<String>, slot: usize) -> Guard<'a> {
         Guard::new(GuardKind::AwaitDone {
-            entry: entry.into(),
+            entry: EntrySel::Name(entry.into()),
+            slot: Some(slot),
+        })
+    }
+
+    /// [`await_done`](Guard::await_done) through a pre-resolved entry
+    /// index.
+    pub fn await_idx(entry: usize) -> Guard<'a> {
+        Guard::new(GuardKind::AwaitDone {
+            entry: EntrySel::Idx(entry),
+            slot: None,
+        })
+    }
+
+    /// [`await_slot`](Guard::await_slot) through a pre-resolved entry
+    /// index.
+    pub fn await_slot_idx(entry: usize, slot: usize) -> Guard<'a> {
+        Guard::new(GuardKind::AwaitDone {
+            entry: EntrySel::Idx(entry),
             slot: Some(slot),
         })
     }
@@ -318,7 +409,7 @@ pub(crate) fn run_select_deadline(
     for g in guards {
         match &g.kind {
             GuardKind::Accept { entry, .. } | GuardKind::AwaitDone { entry, .. } => {
-                resolved.push(Some(obj.entry_idx(entry)?));
+                resolved.push(Some(entry.resolve(obj)?));
             }
             _ => resolved.push(None),
         }

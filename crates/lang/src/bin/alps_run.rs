@@ -1,31 +1,38 @@
 //! `alps-run` — execute an ALPS program.
 //!
 //! ```text
-//! alps-run [--threaded] [--check-only] <file.alps>
+//! alps-run [--threaded] [--compiled] [--check-only] <file.alps>
 //! ```
 //!
 //! Programs run on the deterministic simulator by default (virtual time,
 //! reproducible scheduling, deadlock detection); `--threaded` uses OS
-//! threads instead.
+//! threads instead. `--compiled` lowers the program to direct core
+//! objects (interned entry ids, flat frames) instead of interpreting the
+//! AST — same observable behaviour, near-embedded speed.
 
 use std::process::ExitCode;
 use std::sync::Arc;
 
 use alps_lang::check::check;
+use alps_lang::compile::run_compiled;
 use alps_lang::interp::{run_checked, Output};
 use alps_lang::parser::parse;
 use alps_runtime::{Runtime, SimRuntime};
 
+const USAGE: &str = "usage: alps-run [--threaded] [--compiled] [--check-only] <file.alps>";
+
 fn main() -> ExitCode {
     let mut threaded = false;
+    let mut compiled = false;
     let mut check_only = false;
     let mut file = None;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--threaded" => threaded = true,
+            "--compiled" => compiled = true,
             "--check-only" => check_only = true,
             "--help" | "-h" => {
-                println!("usage: alps-run [--threaded] [--check-only] <file.alps>");
+                println!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
             other if other.starts_with('-') => {
@@ -36,7 +43,7 @@ fn main() -> ExitCode {
         }
     }
     let Some(file) = file else {
-        eprintln!("usage: alps-run [--threaded] [--check-only] <file.alps>");
+        eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
     let src = match std::fs::read_to_string(&file) {
@@ -64,14 +71,21 @@ fn main() -> ExitCode {
         println!("{file}: ok");
         return ExitCode::SUCCESS;
     }
+    let run = move |rt: &Runtime| {
+        if compiled {
+            run_compiled(rt, &checked, Output::Stdout)
+        } else {
+            run_checked(rt, &checked, Output::Stdout)
+        }
+    };
     let result = if threaded {
         let rt = Runtime::threaded();
-        let r = run_checked(&rt, &checked, Output::Stdout);
+        let r = run(&rt);
         rt.shutdown();
         r
     } else {
         let sim = SimRuntime::new();
-        match sim.run(move |rt| run_checked(rt, &checked, Output::Stdout)) {
+        match sim.run(move |rt| run(rt)) {
             Ok(inner) => inner,
             Err(e) => {
                 eprintln!("{file}: {e}");

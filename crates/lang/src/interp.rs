@@ -9,11 +9,11 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use alps_core::{
-    AcceptedCall, AlpsError, ChanValue, EntryDef, Guard, ManagerCtx, ObjectBuilder, ObjectHandle,
-    PoolMode, ReadyEntry, Selected, Ty, Value,
+    AcceptedCall, AlpsError, ChanValue, EntryDef, EntryId, Guard, ManagerCtx, ObjectBuilder,
+    ObjectHandle, PoolMode, ReadyEntry, Selected, Ty, Value,
 };
 use alps_runtime::Runtime;
 use parking_lot::Mutex;
@@ -48,7 +48,7 @@ impl Output {
         (Output::Buffer(Arc::clone(&b)), b)
     }
 
-    fn line(&self, s: &str) {
+    pub(crate) fn line(&self, s: &str) {
         match self {
             Output::Stdout => println!("{s}"),
             Output::Buffer(b) => {
@@ -92,7 +92,7 @@ impl From<AlpsError> for RunError {
     }
 }
 
-fn conv_ty(t: &TypeExpr) -> Ty {
+pub(crate) fn conv_ty(t: &TypeExpr) -> Ty {
     match t {
         TypeExpr::Int => Ty::Int,
         TypeExpr::Bool => Ty::Bool,
@@ -114,14 +114,23 @@ fn default_value(t: &TypeExpr, name: &str) -> Value {
     }
 }
 
-fn rerr(pos: Pos, msg: impl Into<String>) -> AlpsError {
+pub(crate) fn rerr(pos: Pos, msg: impl Into<String>) -> AlpsError {
     AlpsError::Custom(format!("{pos}: {}", msg.into()))
 }
 
 /// Shared state of a running program.
 struct Vm {
     checked: Arc<Checked>,
-    objects: Mutex<HashMap<String, ObjectHandle>>,
+    /// Spawned handles indexed by object index (`Checked::obj_idx` order).
+    /// A `OnceLock` read is a plain atomic load, so warm-path calls no
+    /// longer take a global mutex or hash the object name against a
+    /// `HashMap<String, ObjectHandle>` on every entry call.
+    objects: Vec<OnceLock<ObjectHandle>>,
+    /// Interned entry ids, flat over `flat_base[obj] + entry_index`;
+    /// filled right after each object spawns. Lets entry calls go through
+    /// `call_id` instead of re-hashing the entry name in the core.
+    entry_ids: Vec<OnceLock<EntryId>>,
+    flat_base: Vec<usize>,
     envs: Vec<Arc<Mutex<HashMap<String, Value>>>>,
     rt: Runtime,
     out: Output,
@@ -200,13 +209,48 @@ impl<'v> Interp<'v> {
         self.cur_obj.map(|i| &self.vm.envs[i])
     }
 
-    fn handle(&self, name: &str, pos: Pos) -> Result<ObjectHandle, AlpsError> {
-        self.vm
-            .objects
-            .lock()
-            .get(name)
-            .cloned()
-            .ok_or_else(|| rerr(pos, format!("object `{name}` is not available")))
+    fn handle_at(&self, oi: usize, pos: Pos) -> Result<&ObjectHandle, AlpsError> {
+        self.vm.objects[oi].get().ok_or_else(|| {
+            rerr(
+                pos,
+                format!(
+                    "object `{}` is not available",
+                    self.vm.checked.objects[oi].name
+                ),
+            )
+        })
+    }
+
+    /// Interned id of `obj.entry`; falls back to an error only before the
+    /// object has spawned (same availability rule as [`Interp::handle`]).
+    fn entry_id_of(&self, oi: usize, entry: &str, pos: Pos) -> Result<EntryId, AlpsError> {
+        let info = &self.vm.checked.objects[oi];
+        let ei = info
+            .entry_idx
+            .get(entry)
+            .copied()
+            .ok_or_else(|| rerr(pos, format!("unknown procedure `{}.{entry}`", info.name)))?;
+        self.vm.entry_ids[self.vm.flat_base[oi] + ei]
+            .get()
+            .copied()
+            .ok_or_else(|| rerr(pos, format!("object `{}` is not available", info.name)))
+    }
+
+    /// Resolve an `Obj.Entry` call target to its handle and interned id.
+    fn resolve_entry(
+        &self,
+        obj: &str,
+        entry: &str,
+        pos: Pos,
+    ) -> Result<(&ObjectHandle, EntryId), AlpsError> {
+        let oi = self
+            .vm
+            .checked
+            .obj_idx
+            .get(obj)
+            .copied()
+            .ok_or_else(|| rerr(pos, format!("object `{obj}` is not available")))?;
+        Ok((self.handle_at(oi, pos)?, self.entry_id_of(oi, entry, pos)?))
     }
 
     // ---- variables ----------------------------------------------------
@@ -343,8 +387,8 @@ impl<'v> Interp<'v> {
                 for a in args {
                     vals.push(self.eval1(sc, pend, a)?);
                 }
-                let h = self.handle(obj, pos)?;
-                h.call(entry, vals)
+                let (h, id) = self.resolve_entry(obj, entry, pos)?;
+                Ok(h.call_id(id, vals)?.into_iter().collect())
             }
             CallTarget::Plain(name) => {
                 if let Some(r) = self.eval_builtin(sc, pend, name, args, pos)? {
@@ -359,9 +403,10 @@ impl<'v> Interp<'v> {
                 if e.intercept.is_some() {
                     // Goes through the manager (paper §2.3: intercepting
                     // local procedures).
-                    let info = self.info().expect("entry_info succeeded");
-                    let h = self.handle(&info.name, pos)?;
-                    h.call_from_inside(name, vals)
+                    let oi = self.cur_obj.expect("entry_info succeeded");
+                    let h = self.handle_at(oi, pos)?;
+                    let id = self.entry_id_of(oi, name, pos)?;
+                    Ok(h.call_from_inside_id(id, vals)?.into_iter().collect())
                 } else {
                     // Inline interpretation in the current process.
                     self.run_proc_inline(name, vals, pos)
@@ -709,9 +754,9 @@ impl<'v> Interp<'v> {
                             vals.push(self.eval1(&mut sc, &pend!(), a)?);
                         }
                     }
-                    let h = self.handle(obj, *pos)?;
-                    let entry = entry.clone();
-                    branches.push(Box::new(move || h.call(&entry, vals).map(|_| ())));
+                    let (h, id) = self.resolve_entry(obj, entry, *pos)?;
+                    let h = h.clone();
+                    branches.push(Box::new(move || h.call_id(id, vals).map(|_| ())));
                 }
                 let results =
                     alps_runtime::par(&self.vm.rt, branches).map_err(AlpsError::Runtime)?;
@@ -747,9 +792,9 @@ impl<'v> Interp<'v> {
                             vals.push(self.eval1(&mut sc, &pend!(), arg)?);
                         }
                     }
-                    let h = self.handle(obj, *pos)?;
-                    let entry = entry.clone();
-                    branches.push(Box::new(move || h.call(&entry, vals).map(|_| ())));
+                    let (h, id) = self.resolve_entry(obj, entry, *pos)?;
+                    let h = h.clone();
+                    branches.push(Box::new(move || h.call_id(id, vals).map(|_| ())));
                 }
                 let results =
                     alps_runtime::par(&self.vm.rt, branches).map_err(AlpsError::Runtime)?;
@@ -1162,14 +1207,14 @@ enum SelectOutcome {
     AllClosed,
 }
 
-fn to_slot0(i: i64, pos: Pos) -> Result<usize, AlpsError> {
+pub(crate) fn to_slot0(i: i64, pos: Pos) -> Result<usize, AlpsError> {
     if i < 1 {
         return Err(rerr(pos, format!("slot index {i} out of range (1-based)")));
     }
     Ok((i - 1) as usize)
 }
 
-fn binop(op: BinOp, a: Value, b: Value, pos: Pos) -> Result<Value, AlpsError> {
+pub(crate) fn binop(op: BinOp, a: Value, b: Value, pos: Pos) -> Result<Value, AlpsError> {
     use BinOp::*;
     Ok(match (op, &a, &b) {
         (Add, Value::Int(x), Value::Int(y)) => Value::Int(x.wrapping_add(*y)),
@@ -1234,9 +1279,23 @@ pub fn run_checked_with_pool(
     out: Output,
     pool: PoolMode,
 ) -> Result<(), RunError> {
+    let flat_base: Vec<usize> = checked
+        .objects
+        .iter()
+        .scan(0usize, |acc, info| {
+            let base = *acc;
+            *acc += info.entries.len();
+            Some(base)
+        })
+        .collect();
+    let total_entries: usize = checked.objects.iter().map(|o| o.entries.len()).sum();
     let vm = Arc::new(Vm {
         checked: Arc::clone(checked),
-        objects: Mutex::new(HashMap::new()),
+        objects: (0..checked.objects.len())
+            .map(|_| OnceLock::new())
+            .collect(),
+        entry_ids: (0..total_entries).map(|_| OnceLock::new()).collect(),
+        flat_base,
         envs: checked
             .objects
             .iter()
@@ -1341,7 +1400,14 @@ pub fn run_checked_with_pool(
             });
         }
         let handle = builder.spawn(rt).map_err(RunError::Run)?;
-        vm.objects.lock().insert(info.name.clone(), handle);
+        // Intern the entry ids first: the handle `OnceLock` gates
+        // availability, so ids are always present once the handle is.
+        let base = vm.flat_base[oi];
+        for (ei, e) in info.entries.iter().enumerate() {
+            let id = handle.entry_id(&e.name).map_err(RunError::Run)?;
+            let _ = vm.entry_ids[base + ei].set(id);
+        }
+        let _ = vm.objects[oi].set(handle);
     }
     // Run main.
     let result = if let Some(main) = &checked.program.main {
@@ -1362,8 +1428,10 @@ pub fn run_checked_with_pool(
         Ok(())
     };
     // Tear the objects down.
-    for (_, h) in vm.objects.lock().drain() {
-        h.shutdown();
+    for slot in &vm.objects {
+        if let Some(h) = slot.get() {
+            h.shutdown();
+        }
     }
     result
 }

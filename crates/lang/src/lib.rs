@@ -43,15 +43,20 @@
 
 pub mod ast;
 pub mod check;
+pub mod compile;
 pub mod error;
 pub mod interp;
+pub mod ir;
 pub mod lexer;
+pub mod lower;
 pub mod parser;
 pub mod pretty;
 pub mod token;
 
 pub use check::{check, Checked};
+pub use compile::{run_compiled, run_source_compiled, spawn_compiled, Compiled};
 pub use error::LangError;
 pub use interp::{run_checked, run_source, Output, RunError};
+pub use lower::lower;
 pub use parser::parse;
 pub use pretty::pretty;

@@ -1,0 +1,402 @@
+//! Generative round-trip property for the pretty-printer: random ASTs,
+//! rendered to canonical source, must re-parse to a program that renders
+//! to *exactly the same* canonical source. Because `pretty` is
+//! position-free and canonical, string fixed-point equality
+//! (`pretty(parse(pretty(g))) == pretty(g)`) is the whole oracle — no
+//! Debug-dump scrubbing needed.
+//!
+//! The build environment is offline, so instead of `proptest` this uses
+//! the repo's deterministic splitmix64 generator: every case is a pure
+//! function of its seed, and a failure prints the seed plus the rendered
+//! program for exact reproduction.
+
+use alps_lang::ast::*;
+use alps_lang::parser::parse;
+use alps_lang::pretty::pretty;
+use alps_lang::token::Pos;
+
+const CASES: u64 = 64;
+
+/// Deterministic splitmix64 — the reproducible randomness source.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`.
+    fn pick(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    fn flip(&mut self) -> bool {
+        self.pick(2) == 0
+    }
+}
+
+fn p() -> Pos {
+    Pos::default()
+}
+
+/// Identifiers drawn from fixed keyword-free pools: the parser only sees
+/// syntax, so names never need to resolve — they just must not collide
+/// with the (lowercase) keyword set.
+fn var_name(rng: &mut Rng) -> String {
+    format!("v{}", rng.pick(8))
+}
+
+fn proc_name(rng: &mut Rng) -> String {
+    format!("P{}", rng.pick(4))
+}
+
+fn obj_name(rng: &mut Rng) -> String {
+    format!("Obj{}", rng.pick(3))
+}
+
+fn type_expr(rng: &mut Rng, depth: u32) -> TypeExpr {
+    match rng.pick(if depth == 0 { 4 } else { 6 }) {
+        0 => TypeExpr::Int,
+        1 => TypeExpr::Bool,
+        2 => TypeExpr::Float,
+        3 => TypeExpr::Str,
+        4 => TypeExpr::List(Box::new(type_expr(rng, depth - 1))),
+        _ => TypeExpr::Chan(
+            (0..=rng.pick(2))
+                .map(|_| type_expr(rng, depth - 1))
+                .collect(),
+        ),
+    }
+}
+
+fn binop(rng: &mut Rng) -> BinOp {
+    match rng.pick(13) {
+        0 => BinOp::Add,
+        1 => BinOp::Sub,
+        2 => BinOp::Mul,
+        3 => BinOp::Div,
+        4 => BinOp::Mod,
+        5 => BinOp::Eq,
+        6 => BinOp::Ne,
+        7 => BinOp::Lt,
+        8 => BinOp::Le,
+        9 => BinOp::Gt,
+        10 => BinOp::Ge,
+        11 => BinOp::And,
+        _ => BinOp::Or,
+    }
+}
+
+fn expr(rng: &mut Rng, depth: u32) -> Expr {
+    let leaf = depth == 0 || rng.pick(3) == 0;
+    if leaf {
+        match rng.pick(5) {
+            // Non-negative literals only: `-3` re-parses as
+            // `Unary(Neg, 3)`, which canonicalizes to `(-3)` — a
+            // different string. Negation is generated as the Unary node.
+            0 => Expr::Int(rng.pick(1000) as i64, p()),
+            // Quarters survive the f64 → decimal → f64 round trip
+            // exactly, so `to_string` is a faithful rendering.
+            1 => Expr::Float(rng.pick(64) as f64 * 0.25, p()),
+            2 => Expr::Str(format!("s{} t{}", rng.pick(10), rng.pick(10)), p()),
+            3 => Expr::Bool(rng.flip(), p()),
+            _ => Expr::Var(var_name(rng), p()),
+        }
+    } else {
+        match rng.pick(4) {
+            0 => Expr::Unary(
+                if rng.flip() { UnOp::Neg } else { UnOp::Not },
+                Box::new(expr(rng, depth - 1)),
+                p(),
+            ),
+            1 | 2 => Expr::Binary(
+                binop(rng),
+                Box::new(expr(rng, depth - 1)),
+                Box::new(expr(rng, depth - 1)),
+                p(),
+            ),
+            _ => Expr::Call(call_target(rng), exprs(rng, depth - 1, 3), p()),
+        }
+    }
+}
+
+fn exprs(rng: &mut Rng, depth: u32, max: u64) -> Vec<Expr> {
+    (0..rng.pick(max + 1)).map(|_| expr(rng, depth)).collect()
+}
+
+fn call_target(rng: &mut Rng) -> CallTarget {
+    if rng.flip() {
+        CallTarget::Entry(obj_name(rng), proc_name(rng))
+    } else {
+        CallTarget::Plain(proc_name(rng))
+    }
+}
+
+fn lvalues(rng: &mut Rng, max: u64) -> Vec<LValue> {
+    (0..=rng.pick(max))
+        .map(|_| LValue::Var(var_name(rng), p()))
+        .collect()
+}
+
+fn slot(rng: &mut Rng) -> SlotRef {
+    SlotRef {
+        entry: proc_name(rng),
+        index: rng.flip().then(|| expr(rng, 1)),
+        pos: p(),
+    }
+}
+
+/// A non-empty statement list (an empty `begin end` does not parse).
+fn stmts(rng: &mut Rng, depth: u32, manager: bool) -> Vec<Stmt> {
+    (0..=rng.pick(3))
+        .map(|_| stmt(rng, depth, manager))
+        .collect()
+}
+
+fn stmt(rng: &mut Rng, depth: u32, manager: bool) -> Stmt {
+    // Choices 0-4 are flat, 5-10 recurse into nested statement lists,
+    // 11-15 are manager primitives; at depth 0 the recursive band is
+    // skipped (the pick is remapped over it) so nesting bottoms out.
+    let extra = if manager { 5 } else { 0 };
+    let choice = if depth == 0 {
+        let r = rng.pick(5 + extra);
+        if r < 5 {
+            r
+        } else {
+            r + 6
+        }
+    } else {
+        rng.pick(11 + extra)
+    };
+    match choice {
+        0 => Stmt::Skip(p()),
+        1 => Stmt::Assign(vec![LValue::Var(var_name(rng), p())], expr(rng, 2), p()),
+        2 => Stmt::Call(call_target(rng), exprs(rng, 2, 3), p()),
+        3 => Stmt::Return(exprs(rng, 1, 2), p()),
+        4 => Stmt::Send(Expr::Var(var_name(rng), p()), exprs(rng, 1, 2), p()),
+        5 => Stmt::If(
+            (0..=rng.pick(2))
+                .map(|_| (expr(rng, 2), stmts(rng, depth - 1, manager)))
+                .collect(),
+            if rng.flip() {
+                stmts(rng, depth - 1, manager)
+            } else {
+                vec![]
+            },
+            p(),
+        ),
+        6 => Stmt::While(expr(rng, 2), stmts(rng, depth - 1, manager), p()),
+        7 => Stmt::For(
+            var_name(rng),
+            expr(rng, 1),
+            expr(rng, 1),
+            stmts(rng, depth - 1, manager),
+            p(),
+        ),
+        8 => Stmt::Receive(Expr::Var(var_name(rng), p()), lvalues(rng, 3), p()),
+        9 => Stmt::Par(
+            (0..=rng.pick(2))
+                .map(|_| (call_target(rng), exprs(rng, 1, 2)))
+                .collect(),
+            p(),
+        ),
+        10 => Stmt::ParFor(
+            var_name(rng),
+            expr(rng, 1),
+            expr(rng, 1),
+            call_target(rng),
+            exprs(rng, 1, 2),
+            p(),
+        ),
+        // Manager-only statements: the parser accepts them anywhere a
+        // statement goes (scoping is the checker's job), but the
+        // generator keeps them inside managers so the programs stay
+        // plausible.
+        11 => Stmt::Accept(slot(rng), lvalues(rng, 3), p()),
+        12 => Stmt::Start(slot(rng), exprs(rng, 1, 2), p()),
+        13 => Stmt::AwaitStmt(slot(rng), lvalues(rng, 2), p()),
+        14 => Stmt::Finish(slot(rng), exprs(rng, 1, 2), p()),
+        _ => {
+            let arms = (0..=rng.pick(2)).map(|_| guarded(rng, depth)).collect();
+            if rng.flip() {
+                Stmt::Select(arms, p())
+            } else {
+                Stmt::Loop(arms, p())
+            }
+        }
+    }
+}
+
+fn guarded(rng: &mut Rng, depth: u32) -> Guarded {
+    let kind = match rng.pick(4) {
+        0 => GuardKind::Accept {
+            slot: slot(rng),
+            binds: if rng.flip() { lvalues(rng, 2) } else { vec![] },
+        },
+        1 => GuardKind::Await {
+            slot: slot(rng),
+            binds: if rng.flip() { lvalues(rng, 2) } else { vec![] },
+        },
+        2 => GuardKind::Receive {
+            chan: Expr::Var(var_name(rng), p()),
+            binds: lvalues(rng, 2),
+        },
+        _ => GuardKind::Plain,
+    };
+    // A plain guard with no `when` renders as a bare `=>`, which is not
+    // grammar; every plain guard gets a condition.
+    let when = if matches!(kind, GuardKind::Plain) || rng.flip() {
+        Some(expr(rng, 2))
+    } else {
+        None
+    };
+    Guarded {
+        quantifier: rng
+            .flip()
+            .then(|| ("qi".to_string(), expr(rng, 0), expr(rng, 0))),
+        kind,
+        when,
+        pri: rng.flip().then(|| expr(rng, 1)),
+        body: stmts(rng, depth.saturating_sub(1), true),
+        pos: p(),
+    }
+}
+
+fn params(rng: &mut Rng, max: u64) -> Vec<Param> {
+    (0..rng.pick(max + 1))
+        .map(|i| Param {
+            name: format!("a{i}"),
+            ty: type_expr(rng, 2),
+            pos: p(),
+        })
+        .collect()
+}
+
+fn header(rng: &mut Rng, local: bool) -> ProcHeader {
+    ProcHeader {
+        name: proc_name(rng),
+        array: rng.flip().then(|| 1 + rng.pick(8) as i64),
+        params: params(rng, 3),
+        results: (0..rng.pick(3)).map(|_| type_expr(rng, 2)).collect(),
+        local: local && rng.flip(),
+        pos: p(),
+    }
+}
+
+fn program(rng: &mut Rng) -> Program {
+    let defs = (0..rng.pick(3))
+        .map(|i| ObjectDef {
+            name: format!("Obj{i}"),
+            procs: (0..=rng.pick(2)).map(|_| header(rng, false)).collect(),
+            pos: p(),
+        })
+        .collect();
+    let impls = (0..rng.pick(3))
+        .map(|i| ObjectImpl {
+            name: format!("Obj{i}"),
+            vars: params(rng, 2),
+            procs: (0..=rng.pick(2))
+                .map(|_| ProcImpl {
+                    header: header(rng, true),
+                    vars: params(rng, 2),
+                    body: stmts(rng, 2, false),
+                })
+                .collect(),
+            manager: rng.flip().then(|| Manager {
+                intercepts: (0..=rng.pick(2))
+                    .map(|_| {
+                        let explicit = rng.flip();
+                        InterceptItem {
+                            name: proc_name(rng),
+                            params: if explicit {
+                                (0..rng.pick(3)).map(|_| type_expr(rng, 1)).collect()
+                            } else {
+                                vec![]
+                            },
+                            results: if explicit && rng.flip() {
+                                (1..=rng.pick(2) + 1).map(|_| type_expr(rng, 1)).collect()
+                            } else {
+                                vec![]
+                            },
+                            explicit,
+                            pos: p(),
+                        }
+                    })
+                    .collect(),
+                vars: params(rng, 2),
+                body: stmts(rng, 2, true),
+                pos: p(),
+            }),
+            init: if rng.flip() {
+                stmts(rng, 1, false)
+            } else {
+                vec![]
+            },
+            pos: p(),
+        })
+        .collect();
+    Program {
+        defs,
+        impls,
+        main: rng.flip().then(|| MainBlock {
+            vars: params(rng, 3),
+            body: stmts(rng, 3, false),
+            pos: p(),
+        }),
+    }
+}
+
+/// The property: for every seed, rendering is a parse fixed point.
+#[test]
+fn pretty_parse_fixed_point_on_random_programs() {
+    let mut nonempty = 0;
+    for seed in 0..CASES {
+        let mut rng = Rng::new(0xa1b2 + seed);
+        let g = program(&mut rng);
+        let s1 = pretty(&g);
+        if s1.trim().is_empty() {
+            continue; // a program with no defs, impls, or main
+        }
+        nonempty += 1;
+        let reparsed = parse(&s1).unwrap_or_else(|e| {
+            panic!("seed {seed}: pretty output failed to parse: {e}\n---\n{s1}")
+        });
+        let s2 = pretty(&reparsed);
+        assert_eq!(
+            s1, s2,
+            "seed {seed}: canonical rendering is not a parse fixed point"
+        );
+    }
+    assert!(
+        nonempty >= CASES / 2,
+        "generator produced mostly empty programs — property is vacuous"
+    );
+}
+
+/// Double application adds nothing: parse∘pretty is idempotent on ASTs
+/// that came from source, including every shipped example.
+#[test]
+fn pretty_is_idempotent_on_examples() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/alps");
+    let mut count = 0;
+    for e in std::fs::read_dir(dir).expect("examples/alps") {
+        let path = e.expect("entry").path();
+        if path.extension().is_none_or(|x| x != "alps") {
+            continue;
+        }
+        let src = std::fs::read_to_string(&path).expect("read example");
+        let s1 = pretty(&parse(&src).expect("example parses"));
+        let s2 = pretty(&parse(&s1).expect("canonical form parses"));
+        assert_eq!(s1, s2, "{}: not idempotent", path.display());
+        count += 1;
+    }
+    assert!(count >= 7, "expected the 7 example programs");
+}

@@ -1,5 +1,9 @@
-//! Run the paper's programs from actual ALPS source through the
-//! interpreter (the `alps-lang` crate). Equivalent to:
+//! Run the paper's programs from actual ALPS source on the fast runtime:
+//! first through the tree-walking interpreter, then through the lowering
+//! compiler (`lower` → `compile`), which emits each object as a direct
+//! `ObjectBuilder` product with pre-resolved entry ids and flat frames.
+//!
+//! Equivalent to:
 //!
 //! ```text
 //! cargo run -p alps-lang --bin alps-run -- examples/alps/<name>.alps
@@ -9,7 +13,7 @@
 
 use std::sync::Arc;
 
-use alps::lang::{check, parse, run_checked, Output};
+use alps::lang::{check, parse, run_checked, run_compiled, Output};
 use alps::runtime::SimRuntime;
 
 fn main() {
@@ -23,7 +27,6 @@ fn main() {
         let path = format!("examples/alps/{name}.alps");
         let src = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("{path}: {e} (run from the repo root)"));
-        println!("--- {path} ---");
         let checked = match parse(&src)
             .map_err(|e| e.to_string())
             .and_then(|p| check(p).map_err(|e| e.to_string()))
@@ -34,13 +37,25 @@ fn main() {
                 continue;
             }
         };
-        let sim = SimRuntime::new();
-        match sim.run(move |rt| run_checked(rt, &checked, Output::Stdout)) {
-            Ok(Ok(())) => {}
-            Ok(Err(e)) => eprintln!("{path}: runtime error: {e}"),
-            Err(e) => eprintln!("{path}: {e}"),
+        for (mode, compiled) in [("interpreted", false), ("compiled", true)] {
+            println!("--- {path} [{mode}] ---");
+            let c = Arc::clone(&checked);
+            let sim = SimRuntime::new();
+            let result = sim.run(move |rt| {
+                if compiled {
+                    run_compiled(rt, &c, Output::Stdout)
+                } else {
+                    run_checked(rt, &c, Output::Stdout)
+                }
+            });
+            match result {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => eprintln!("{path}: runtime error: {e}"),
+                Err(e) => eprintln!("{path}: {e}"),
+            }
+            println!();
         }
-        println!();
     }
-    println!("All five paper programs executed on the deterministic simulator.");
+    println!("All five paper programs executed on the deterministic simulator,");
+    println!("interpreted and compiled, with identical observations.");
 }

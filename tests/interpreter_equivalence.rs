@@ -4,7 +4,7 @@
 
 use std::sync::Arc;
 
-use alps::lang::{check, parse, run_checked, Output};
+use alps::lang::{check, parse, run_checked, run_compiled, Output};
 use alps::paper::dictionary::{synthetic_store, DictConfig, Dictionary};
 use alps::runtime::{SimRuntime, Spawn};
 
@@ -16,6 +16,45 @@ fn run_alps(src: &str) -> Vec<String> {
         .expect("sim");
     let text = buf.lock().clone();
     text.lines().map(str::to_string).collect()
+}
+
+fn run_alps_compiled(src: &str) -> Vec<String> {
+    let checked = Arc::new(check(parse(src).expect("parse")).expect("check"));
+    let (out, buf) = Output::buffer();
+    let sim = SimRuntime::new();
+    sim.run(move |rt| run_compiled(rt, &checked, out).expect("run"))
+        .expect("sim");
+    let text = buf.lock().clone();
+    text.lines().map(str::to_string).collect()
+}
+
+/// Every shipped example program must behave identically interpreted and
+/// compiled: same observations, in the same order, on the deterministic
+/// simulator.
+#[test]
+fn compiled_matches_interpreted_on_every_example() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/examples/alps");
+    let mut paths: Vec<_> = std::fs::read_dir(dir)
+        .expect("examples/alps")
+        .map(|e| e.expect("entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "alps"))
+        .collect();
+    paths.sort();
+    assert!(paths.len() >= 7, "expected the 7 example programs");
+    for path in paths {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let src = std::fs::read_to_string(&path).expect("read example");
+        let interpreted = run_alps(&src);
+        let compiled = run_alps_compiled(&src);
+        assert_eq!(
+            compiled, interpreted,
+            "{name}: compiled output diverges from interpreted"
+        );
+        assert!(
+            !interpreted.is_empty(),
+            "{name}: example produced no observations — test is vacuous"
+        );
+    }
 }
 
 #[test]
