@@ -27,7 +27,7 @@ use std::fmt;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
-use alps_runtime::Runtime;
+use alps_runtime::{CommitPoint, Runtime};
 
 use crate::error::{AlpsError, Result};
 use crate::object::{EntryState, ObjectInner, Slot};
@@ -726,6 +726,9 @@ impl ManagerCtx {
         let entry_name = def.name.clone();
         let tok_gen = done.gen;
         let (obj, entry, slot, _, failure) = done.disarm();
+        // Commit point, before the entry lock: the `complete` below runs
+        // the finish-vs-cancel CAS against a deadline-bounded caller.
+        obj.rt.sim_point(CommitPoint::FinishCas);
         let dispatch = {
             let mut es = obj.estates[entry].st.lock();
             if obj.generation.load(Ordering::SeqCst) != tok_gen {
@@ -803,6 +806,9 @@ impl ManagerCtx {
         })?;
         let tok_gen = acc.gen;
         let (obj, entry, slot, _) = acc.disarm();
+        // Commit point: combining's `complete` races caller cancels the
+        // same way `finish` does.
+        obj.rt.sim_point(CommitPoint::FinishCas);
         let dispatch = {
             let mut es = obj.estates[entry].st.lock();
             if obj.generation.load(Ordering::SeqCst) != tok_gen {
@@ -905,6 +911,10 @@ impl ManagerCtx {
         };
         let outcome = obj.exec_checked_body(entry, slot, full);
         let done_at = obj.rt.now();
+        // Commit point, between body completion and the re-lock: the
+        // fused `await; finish` below completes the caller, racing its
+        // deadline cancel and any restart sweeping this slot.
+        obj.rt.sim_point(CommitPoint::FinishCas);
         // `await; finish` fused: take the call back out of the slot and
         // answer the caller directly — no Ready state, no notify.
         let mut es = obj.estates[entry].st.lock();

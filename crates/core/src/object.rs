@@ -47,7 +47,9 @@ use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use alps_runtime::{tuning, IntakeRing, Notifier, Priority, ProcId, Runtime, Spawn, SpinWait};
+use alps_runtime::{
+    tuning, CommitPoint, IntakeRing, Notifier, Priority, ProcId, Runtime, Spawn, SpinWait,
+};
 use parking_lot::Mutex;
 
 use crate::entry::EntryDef;
@@ -961,6 +963,9 @@ impl ObjectInner {
                     self.lane_owner.end_push(me);
                     if matches!(self.lane_owner.try_release(), Release::Released(_)) {
                         self.stats.on_lane_demote();
+                        // Commit point (no locks held): the self-demote
+                        // races the manager's drain-side lane control.
+                        self.rt.sim_point(CommitPoint::LaneSwitch);
                     }
                 }
             }
@@ -1036,6 +1041,9 @@ impl ObjectInner {
                 self.release_cell(call);
                 return r;
             }
+            // Commit point: the next step publishes this call into the
+            // lane/ring, racing the manager's drain. No locks held.
+            self.rt.sim_point(CommitPoint::IntakePush);
             if let Err(e) = self.submit_call(entry, &call) {
                 self.release_cell(call);
                 return Err(e);
@@ -1202,6 +1210,8 @@ impl ObjectInner {
             self.release_cell(call);
             return r;
         }
+        // Commit point: publish into the lane/ring (see call_protocol).
+        self.rt.sim_point(CommitPoint::IntakePush);
         if let Err(e) = self.submit_call(entry, &call) {
             self.release_cell(call);
             return Err(e);
@@ -1234,6 +1244,10 @@ impl ObjectInner {
             }
             let now = self.rt.now();
             if now >= deadline {
+                // Commit point: the cancel CAS below races the
+                // completer's `finish` CAS. A strategy preempting here
+                // widens the window in which the manager can win.
+                self.rt.sim_point(CommitPoint::FinishCas);
                 if call.cancel() {
                     self.stats.on_timeout();
                     self.reap_cancelled(entry, call);
@@ -1365,6 +1379,12 @@ impl ObjectInner {
         if !self.has_intake_work() {
             return;
         }
+        // Commit point: work was observed but the drain lock is not yet
+        // held — preempting here lets producers pile on (or cancel) and
+        // lets a restart sweep win the lock first. Must stay *before*
+        // the lock: a preemption while holding `intake_drain` could
+        // OS-block a rival that holds the simulated CPU.
+        self.rt.sim_point(CommitPoint::RingDrain);
         let _g = self.intake_drain.lock();
         let now = self.rt.now();
         let mut drained = 0u64;
@@ -1402,12 +1422,14 @@ impl ObjectInner {
         }
         // Lane control, still under the drain lock so promote/demote
         // have a single serialized site.
+        let mut lane_switched = false;
         if foreign_ring_pop {
             // Competition detected: fall back to the one shared queue.
             // `Busy` (owner mid-push) just retries on the next pass —
             // the competitor keeps pushing, so another pass is coming.
             if matches!(self.lane_owner.try_release(), Release::Released(_)) {
                 self.stats.on_lane_demote();
+                lane_switched = true;
             }
             self.lane_last_producer.store(0, Ordering::Relaxed);
             self.lane_streak.store(0, Ordering::Relaxed);
@@ -1420,6 +1442,7 @@ impl ObjectInner {
                 self.stats.on_lane_promote();
                 self.lane_streak.store(0, Ordering::Relaxed);
                 self.lane_dry.store(0, Ordering::SeqCst);
+                lane_switched = true;
             }
         }
         if drained > 0 {
@@ -1440,6 +1463,13 @@ impl ObjectInner {
         // has two calls in flight and thus never triggers this.
         if drained >= 2 {
             self.mgr_poll.store(true, Ordering::SeqCst);
+        }
+        drop(_g);
+        // Commit point, *after* releasing the drain lock: the lane just
+        // changed hands and the old/new owner's next push races the
+        // manager observing the switch.
+        if lane_switched {
+            self.rt.sim_point(CommitPoint::LaneSwitch);
         }
     }
 
@@ -1495,6 +1525,10 @@ impl ObjectInner {
     /// place.
     fn handle_body_panic(self: &Arc<Self>) {
         let Some(cfg) = &self.supervise else { return };
+        // Commit point, before the restart lock: a restart is about to
+        // sweep in-flight calls, racing callers publishing, cancelling,
+        // and the manager finishing. No locks held yet.
+        self.rt.sim_point(CommitPoint::RestartSweep);
         // Serialize concurrent panics: each performs (or is refused) one
         // restart, in panic order. The supervisor loop also takes this
         // lock as its re-entry barrier.
@@ -2359,6 +2393,11 @@ impl ObjectHandle {
             // Split the remaining budget evenly over the remaining
             // attempts so one slow attempt cannot starve the rest.
             let per = (remaining / u64::from(attempts - k)).max(1);
+            // Epoch read BEFORE the attempt: if the attempt fails with
+            // ObjectRestarting and the restart completes before we
+            // register as a waiter below, the epoch has already moved and
+            // the wait returns immediately — no lost wakeup.
+            let seen = inner.notifier.epoch();
             match inner.call_protocol_deadline(id.idx as usize, args.clone(), true, per) {
                 Ok(r) => return Ok(r),
                 Err(
@@ -2366,6 +2405,7 @@ impl ObjectHandle {
                     | AlpsError::ObjectRestarting { .. }
                     | AlpsError::Timeout { .. }),
                 ) => {
+                    let restarting = matches!(e, AlpsError::ObjectRestarting { .. });
                     last = Some(e);
                     if k + 1 == attempts {
                         break;
@@ -2388,6 +2428,21 @@ impl ObjectHandle {
                     let sleep = delay.min(deadline.saturating_sub(inner.rt.now()));
                     if sleep > 0 {
                         inner.rt.sleep(sleep);
+                    } else if restarting {
+                        // A refused call returns without a scheduling
+                        // point, so a zero-backoff loop would burn every
+                        // attempt while the restart sweep is parked
+                        // mid-window (the schedule explorer's
+                        // PreemptionBounded strategy found exactly this).
+                        // Wait for the restart's completion notify
+                        // instead, bounded by this attempt's budget
+                        // slice. Refused callers never bump the notifier,
+                        // so the wait is not woken spuriously by rivals.
+                        inner.notifier.wait_past_deadline(
+                            &inner.rt,
+                            seen,
+                            inner.rt.now().saturating_add(per),
+                        );
                     }
                 }
                 Err(e) => return Err(e),

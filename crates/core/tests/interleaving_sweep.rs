@@ -1,62 +1,39 @@
 //! Seeded-interleaving sweep: the call protocol, deadline/cancellation
-//! machinery, and select semantics under `SchedPolicy::PriorityRandom`
-//! across many seeds.
+//! machinery, select semantics, restart sweeps, and lane handoffs under
+//! the strategy-driven schedule explorer (`alps_runtime::explore`).
 //!
-//! Every scenario runs once per seed; a failing seed is reported as
-//! `seed {seed} (replay with SIM_SEED={seed})` so the exact schedule can
-//! be replayed:
+//! Every scenario runs once per (seed, strategy) cell; seeds are split
+//! round-robin across the strategy matrix (`random`, `rr`, `pct`,
+//! `targeted`). A failing cell is replayed, its commit-point preemption
+//! schedule is delta-minimized, and the failure is reported as a
+//! `SIM_TRACE=` string that reproduces the exact schedule:
 //!
 //! ```text
-//! SIM_SEED=1234 cargo test -p alps-core --test interleaving_sweep
+//! SIM_TRACE='targeted:9/3@16' cargo test -p alps-core --test interleaving_sweep
 //! ```
 //!
 //! * `SIM_SEED=<n>` — run only seed `n` (replay mode).
 //! * `SIM_SWEEP_SEEDS=<n>` — sweep seeds `0..n` (default 16 as a smoke
-//!   test; CI's `sim-sweep` job sets 256).
+//!   test; CI's `sim-sweep` matrix sets 64 per strategy).
+//! * `SIM_STRATEGY=<list>` — strategies to sweep: `all` (default) or a
+//!   comma list of `fifo`, `random`, `rr`, `pct`, `targeted`.
+//! * `SIM_TRACE=<trace>` — skip the sweep and replay one minimized
+//!   schedule exactly.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use alps_core::{
     vals, AdmissionPolicy, AlpsError, EntryDef, Guard, ObjectBuilder, RestartPolicy, RetryPolicy,
-    Selected, Ty, Value,
+    Selected, ShardedBuilder, Ty, Value,
 };
-use alps_runtime::{FaultPlan, SchedPolicy, SimRuntime, Spawn};
-
-/// Seeds to sweep, honouring the two environment overrides.
-fn seeds() -> Vec<u64> {
-    if let Ok(s) = std::env::var("SIM_SEED") {
-        let seed: u64 = s.parse().expect("SIM_SEED must be an integer");
-        return vec![seed];
-    }
-    let n: u64 = std::env::var("SIM_SWEEP_SEEDS")
-        .ok()
-        .map(|s| s.parse().expect("SIM_SWEEP_SEEDS must be an integer"))
-        .unwrap_or(16);
-    (0..n).collect()
-}
-
-/// Run `scenario` once per swept seed, decorating any panic with the
-/// reproducing seed.
-fn sweep(name: &str, scenario: impl Fn(u64) + std::panic::RefUnwindSafe) {
-    for seed in seeds() {
-        let r = std::panic::catch_unwind(|| scenario(seed));
-        if let Err(payload) = r {
-            let msg = payload
-                .downcast_ref::<String>()
-                .cloned()
-                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
-                .unwrap_or_else(|| "<non-string panic>".into());
-            panic!("scenario `{name}` failed at seed {seed} (replay with SIM_SEED={seed}): {msg}");
-        }
-    }
-}
+use alps_runtime::explore::{for_each_policy, sweep_explore};
+use alps_runtime::{FaultPlan, SimRuntime, Spawn};
 
 /// The canonical protocol scenario: several callers race deadline-bounded
 /// and plain calls against a combining-capable manager. Returns a trace
 /// of observable outcomes for the determinism check.
-fn protocol_scenario(seed: u64) -> Vec<String> {
-    let sim = SimRuntime::with_policy(SchedPolicy::PriorityRandom(seed));
+fn protocol_scenario(sim: SimRuntime) -> Vec<String> {
     sim.run(|rt| {
         let obj = ObjectBuilder::new("Swept")
             .entry(
@@ -132,16 +109,16 @@ fn protocol_scenario(seed: u64) -> Vec<String> {
 
 #[test]
 fn protocol_invariants_hold_across_seeds() {
-    sweep("protocol", |seed| {
-        protocol_scenario(seed);
+    sweep_explore("protocol", |sim| {
+        protocol_scenario(sim);
     });
 }
 
 #[test]
 fn same_seed_reproduces_the_same_schedule() {
-    sweep("determinism", |seed| {
-        let a = protocol_scenario(seed);
-        let b = protocol_scenario(seed);
+    for_each_policy("determinism", |_strategy, policy, seed| {
+        let a = protocol_scenario(SimRuntime::with_policy(policy));
+        let b = protocol_scenario(SimRuntime::with_policy(policy));
         assert_eq!(
             a, b,
             "seed {seed}: two runs of the same seed diverged — the simulator \
@@ -154,8 +131,7 @@ fn same_seed_reproduces_the_same_schedule() {
 fn select_semantics_hold_across_seeds() {
     // The paper's bounded-buffer guards (§2.4.1) under random scheduling:
     // FIFO per entry, never an admitted Remove on an empty buffer.
-    sweep("select", |seed| {
-        let sim = SimRuntime::with_policy(SchedPolicy::PriorityRandom(seed));
+    sweep_explore("select", |sim| {
         let got = sim
             .run(|rt| {
                 let depth = Arc::new(AtomicU64::new(0));
@@ -230,11 +206,10 @@ fn select_semantics_hold_across_seeds() {
 #[test]
 fn injected_body_panic_is_caught_and_replayable() {
     // Acceptance scenario: a FaultPlan forces a panic inside the 3rd body
-    // execution. Under every seed the victim caller must observe
+    // execution. Under every schedule the victim caller must observe
     // BodyFailed (never a hang, never a lost cell), the other callers
     // must succeed, and the object must stay usable.
-    sweep("fault-injection", |seed| {
-        let sim = SimRuntime::with_policy(SchedPolicy::PriorityRandom(seed));
+    sweep_explore("fault-injection", |sim| {
         sim.set_fault_plan(FaultPlan::new().panic_at("body", 3));
         sim.run(|rt| {
             let obj = ObjectBuilder::new("Faulty")
@@ -285,8 +260,7 @@ fn restart_during_drain_sweeps_cleanly_across_seeds() {
     // transient restart error), every delivered result is tagged with the
     // epoch of the generation that computed it — never a pre-restart
     // value after the sweep — and the object restarts exactly once.
-    sweep("restart-during-drain", |seed| {
-        let sim = SimRuntime::with_policy(SchedPolicy::PriorityRandom(seed));
+    sweep_explore("restart-during-drain", |sim| {
         sim.set_fault_plan(FaultPlan::new().panic_at("body", 3));
         sim.run(move |rt| {
             // `state_init` bumps the epoch: generation g computes results
@@ -357,8 +331,7 @@ fn restart_with_pooled_bodies_queued_across_seeds() {
     // sweeps the started generation cleanly (no hung caller, no torn
     // result), retrying callers ride out the transient errors, the object
     // restarts exactly once, and the new generation's pool serves again.
-    sweep("restart-pooled-drain", |seed| {
-        let sim = SimRuntime::with_policy(SchedPolicy::PriorityRandom(seed));
+    sweep_explore("restart-pooled-drain", |sim| {
         sim.set_fault_plan(FaultPlan::new().panic_at("body", 3));
         sim.run(move |rt| {
             let epoch = Arc::new(AtomicU64::new(0));
@@ -426,14 +399,115 @@ fn restart_with_pooled_bodies_queued_across_seeds() {
 }
 
 #[test]
+fn combined_retirement_races_restart_sweep_across_seeds() {
+    // Shard-combining leader/follower retirement racing the restart
+    // sweep: six callers issue waves of same-key combined reads against
+    // a 2-shard supervised group while an injected panic kills the 3rd
+    // body execution. The interesting window — the one TargetedRace
+    // preempts into — is a leader holding a combining cell when the
+    // sweep fails its in-flight call: the leader must publish the error
+    // to its followers (never park them forever), the combining map must
+    // drop the cell so a retry can re-lead, and the owner shard must
+    // come back. Under EVERY schedule: all callers eventually succeed,
+    // the group restarts exactly once, and combining still works after
+    // the sweep.
+    sweep_explore("combined-vs-restart", |sim| {
+        sim.set_fault_plan(FaultPlan::new().panic_at("body", 3));
+        sim.run(move |rt| {
+            let group = ShardedBuilder::new("ComboSup", 2)
+                .spawn(rt, |i| {
+                    ObjectBuilder::new(format!("ComboSup{i}"))
+                        .entry(
+                            EntryDef::new("Get")
+                                .params([Ty::Int])
+                                .results([Ty::Int])
+                                .intercepted()
+                                .body(|ctx, args| {
+                                    let v = args[0].as_int()?;
+                                    // Bodies outlast the largest commit-point
+                                    // preemption delay (64 ticks) so same-key
+                                    // rivals reliably arrive while the leader
+                                    // is still executing.
+                                    ctx.sleep(40 + (v as u64 % 3) * 20);
+                                    Ok(vec![Value::Int(v * 2)])
+                                }),
+                        )
+                        .manager(|mgr| loop {
+                            let acc = mgr.accept("Get")?;
+                            mgr.execute(acc)?;
+                        })
+                        .supervise(RestartPolicy::AlwaysFresh)
+                })
+                .unwrap();
+            let gid = group.entry_id("Get").unwrap();
+            let mut joins = Vec::new();
+            for c in 0..6i64 {
+                let (g2, rt2) = (group.clone(), rt.clone());
+                joins.push(rt.spawn_with(Spawn::new(format!("combo{c}")), move || {
+                    for w in 0..3i64 {
+                        // Same key per wave across all callers, so each
+                        // wave is one combinable burst.
+                        let key = (w + 1) * 10;
+                        let mut attempts = 0u32;
+                        let r = loop {
+                            match g2.call_id_combined(gid, vals![key]) {
+                                Ok(r) => break r,
+                                // Transients of the restart window: the
+                                // leader's own failed call (BodyFailed),
+                                // a follower's cloned copy of it, calls
+                                // refused mid-sweep (ObjectRestarting),
+                                // and a follower whose leader unwound
+                                // (reported as ObjectClosed).
+                                Err(AlpsError::BodyFailed { .. })
+                                | Err(AlpsError::ObjectRestarting { .. })
+                                | Err(AlpsError::ObjectClosed { .. }) => {
+                                    attempts += 1;
+                                    assert!(
+                                        attempts <= 32,
+                                        "caller {c} wave {w}: retries exhausted"
+                                    );
+                                    rt2.sleep(25);
+                                }
+                                Err(e) => panic!("caller {c} wave {w}: {e:?}"),
+                            }
+                        };
+                        assert_eq!(r[0].as_int().unwrap(), key * 2, "caller {c} wave {w}");
+                    }
+                }));
+            }
+            for j in joins {
+                j.join().unwrap();
+            }
+            let stats = group.stats();
+            assert_eq!(
+                stats.restarts, 1,
+                "exactly the injected panic restarted (summed across shards)"
+            );
+            assert!(
+                stats.combined_follows >= 1,
+                "same-key waves against slow bodies must combine at least once"
+            );
+            assert!(
+                stats.combined_leads + stats.combined_follows >= 18,
+                "every wave call either led or followed"
+            );
+            // The combining map is clean after the storm: a fresh
+            // combined read leads, executes post-restart, and succeeds.
+            let r = group.call_combined("Get", vals![777i64]).unwrap();
+            assert_eq!(r[0].as_int().unwrap(), 777 * 2);
+        })
+        .unwrap();
+    });
+}
+
+#[test]
 fn shed_under_storm_bounds_intake_across_seeds() {
     // Acceptance scenario: 16 callers storm a ShedNewest object whose
     // intake holds 4. Under EVERY schedule: no caller ever hangs, every
     // refusal is an immediate `Overloaded` counted by the stats, every
     // admitted call completes with the right result, and the object ends
     // the storm alive.
-    sweep("shed-under-storm", |seed| {
-        let sim = SimRuntime::with_policy(SchedPolicy::PriorityRandom(seed));
+    sweep_explore("shed-under-storm", |sim| {
         sim.run(move |rt| {
             let obj = ObjectBuilder::new("StormShed")
                 .entry(
@@ -499,8 +573,7 @@ fn lane_promotion_races_a_second_producer_across_seeds() {
     // it popped last), and the owner word never leaks — promotions and
     // demotions stay balanced to within the one lane that may still be
     // held at the end.
-    sweep("lane-promotion-race", |seed| {
-        let sim = SimRuntime::with_policy(SchedPolicy::PriorityRandom(seed));
+    sweep_explore("lane-promotion-race", |sim| {
         sim.run(move |rt| {
             let obj = ObjectBuilder::new("LaneRace")
                 .entry(
@@ -570,8 +643,7 @@ fn lane_demotion_during_drain_keeps_every_call_across_seeds() {
     // reordering anyone's calls. Under EVERY schedule: phase 1 promotes,
     // phase 2 demotes at least once, every call completes correctly, and
     // the object still serves after the storm.
-    sweep("lane-demotion-during-drain", |seed| {
-        let sim = SimRuntime::with_policy(SchedPolicy::PriorityRandom(seed));
+    sweep_explore("lane-demotion-during-drain", |sim| {
         sim.run(move |rt| {
             let obj = ObjectBuilder::new("LaneDemote")
                 .entry(
@@ -671,8 +743,7 @@ fn restart_sweep_fails_lane_held_cells_across_seeds() {
     // from scratch. Under EVERY schedule: every caller eventually
     // succeeds through its retry policy, the object restarts exactly
     // once, and a sequential caller can re-earn the lane afterwards.
-    sweep("restart-sweeps-lane", |seed| {
-        let sim = SimRuntime::with_policy(SchedPolicy::PriorityRandom(seed));
+    sweep_explore("restart-sweeps-lane", |sim| {
         // Bodies 1-4 are the warmup; the 6th body execution lands inside
         // the concurrent phase, with the rival's or the owner's next
         // call possibly sitting in the lane or ring.
@@ -754,8 +825,7 @@ fn injected_intake_drop_is_rescued_by_the_deadline() {
     // Drop the very first intake publish: the call never reaches the
     // manager, so only the caller's deadline can answer it. The second
     // call must go through untouched.
-    sweep("drop-rescue", |seed| {
-        let sim = SimRuntime::with_policy(SchedPolicy::PriorityRandom(seed));
+    sweep_explore("drop-rescue", |sim| {
         sim.set_fault_plan(FaultPlan::new().drop_at("intake_push", 1));
         sim.run(|rt| {
             let obj = ObjectBuilder::new("Lossy")

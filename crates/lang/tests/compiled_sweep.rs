@@ -1,53 +1,27 @@
 //! Seeded-interleaving sweep for the compiled backend: a select-heavy
 //! compiled program (guarded accepts, an overlay-reading `when`, a
-//! counting manager) under `SchedPolicy::PriorityRandom` across many
-//! seeds.
+//! counting manager) under the strategy-driven schedule explorer
+//! (`alps_runtime::explore`).
 //!
-//! Every scenario runs once per seed; a failing seed is reported as
-//! `seed {seed} (replay with SIM_SEED={seed})` so the exact schedule can
-//! be replayed:
-//!
-//! ```text
-//! SIM_SEED=1234 cargo test -p alps-lang --test compiled_sweep
-//! ```
+//! Every scenario runs once per (seed, strategy) cell; seeds are split
+//! round-robin across the strategy matrix. A failing cell is replayed,
+//! its commit-point preemption schedule is delta-minimized, and the
+//! failure is reported as a `SIM_TRACE=` string that reproduces the
+//! exact schedule.
 //!
 //! * `SIM_SEED=<n>` — run only seed `n` (replay mode).
 //! * `SIM_SWEEP_SEEDS=<n>` — sweep seeds `0..n` (default 16 as a smoke
-//!   test; CI's `sim-sweep` job sets 256).
+//!   test; CI's `sim-sweep` matrix sets 64 per strategy).
+//! * `SIM_STRATEGY=<list>` — strategies to sweep: `all` (default) or a
+//!   comma list of `fifo`, `random`, `rr`, `pct`, `targeted`.
+//! * `SIM_TRACE=<trace>` — skip the sweep and replay one minimized
+//!   schedule exactly.
 
 use std::sync::Arc;
 
 use alps_lang::{check, parse, run_checked, run_compiled, Output};
+use alps_runtime::explore::{for_each_policy, sweep_explore};
 use alps_runtime::{SchedPolicy, SimRuntime};
-
-/// Seeds to sweep, honouring the two environment overrides.
-fn seeds() -> Vec<u64> {
-    if let Ok(s) = std::env::var("SIM_SEED") {
-        let seed: u64 = s.parse().expect("SIM_SEED must be an integer");
-        return vec![seed];
-    }
-    let n: u64 = std::env::var("SIM_SWEEP_SEEDS")
-        .ok()
-        .map(|s| s.parse().expect("SIM_SWEEP_SEEDS must be an integer"))
-        .unwrap_or(16);
-    (0..n).collect()
-}
-
-/// Run `scenario` once per swept seed, decorating any panic with the
-/// reproducing seed.
-fn sweep(name: &str, scenario: impl Fn(u64) + std::panic::RefUnwindSafe) {
-    for seed in seeds() {
-        let r = std::panic::catch_unwind(|| scenario(seed));
-        if let Err(payload) = r {
-            let msg = payload
-                .downcast_ref::<String>()
-                .cloned()
-                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
-                .unwrap_or_else(|| "<non-string panic>".into());
-            panic!("scenario `{name}` failed at seed {seed} (replay with SIM_SEED={seed}): {msg}");
-        }
-    }
-}
 
 /// A select-heavy program: a 3-slot guarded buffer whose Deposit guard
 /// reads the overlaid argument (`M >= 0` forces the compiled `when`
@@ -119,12 +93,11 @@ main var t: int; begin
 end
 "#;
 
-/// Run the select-heavy program under one seeded schedule, returning
+/// Run the select-heavy program on an already-configured sim, returning
 /// the captured observations.
-fn run_seeded(seed: u64, compiled: bool) -> Vec<String> {
+fn run_on(sim: SimRuntime, compiled: bool) -> Vec<String> {
     let checked = Arc::new(check(parse(SELECT_HEAVY).expect("parse")).expect("check"));
     let (out, buf) = Output::buffer();
-    let sim = SimRuntime::with_policy(SchedPolicy::PriorityRandom(seed));
     sim.run(move |rt| {
         if compiled {
             run_compiled(rt, &checked, out).expect("compiled run")
@@ -135,6 +108,12 @@ fn run_seeded(seed: u64, compiled: bool) -> Vec<String> {
     .expect("sim");
     let text = buf.lock().clone();
     text.lines().map(str::to_string).collect()
+}
+
+/// [`run_on`] under a bare policy (for the multi-sim scenarios that
+/// compare several runs per cell).
+fn run_with_policy(policy: SchedPolicy, compiled: bool) -> Vec<String> {
+    run_on(SimRuntime::with_policy(policy), compiled)
 }
 
 /// The multiset of items every schedule must deliver: each producer `b`
@@ -164,17 +143,17 @@ fn assert_invariants(out: &[String], what: &str) {
 
 #[test]
 fn compiled_select_invariants_hold_across_seeds() {
-    sweep("compiled-select", |seed| {
-        let out = run_seeded(seed, true);
+    sweep_explore("compiled-select", |sim| {
+        let out = run_on(sim, true);
         assert_invariants(&out, "compiled");
     });
 }
 
 #[test]
 fn compiled_run_is_deterministic_per_seed() {
-    sweep("compiled-determinism", |seed| {
-        let a = run_seeded(seed, true);
-        let b = run_seeded(seed, true);
+    for_each_policy("compiled-determinism", |_strategy, policy, seed| {
+        let a = run_with_policy(policy, true);
+        let b = run_with_policy(policy, true);
         assert_eq!(
             a, b,
             "seed {seed}: two compiled runs of the same seed diverged"
@@ -188,10 +167,10 @@ fn interpreted_and_compiled_agree_on_observables_across_seeds() {
     // same seed produces different interleavings — print order may
     // differ. What must agree under every schedule is the observable
     // outcome: the same item multiset and the same final tally.
-    sweep("compiled-vs-interpreted", |seed| {
-        let interpreted = run_seeded(seed, false);
+    for_each_policy("compiled-vs-interpreted", |_strategy, policy, _seed| {
+        let interpreted = run_with_policy(policy, false);
         assert_invariants(&interpreted, "interpreted");
-        let compiled = run_seeded(seed, true);
+        let compiled = run_with_policy(policy, true);
         assert_invariants(&compiled, "compiled");
     });
 }

@@ -18,7 +18,7 @@ mod sim;
 mod steal;
 mod thread;
 
-pub use sim::{SchedPolicy, SimRuntime};
+pub use sim::{SchedPolicy, SimProbe, SimRuntime};
 
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -56,6 +56,13 @@ pub(crate) trait ExecutorCore: Send + Sync {
     fn fault(&self, step: &str) -> Option<FaultAction> {
         let _ = step;
         None
+    }
+    /// Commit-point annotation (see [`crate::explore::CommitPoint`]):
+    /// a no-op everywhere except the simulation executor, where the
+    /// scheduling strategy may preempt the caller with a bounded virtual
+    /// delay and the hit is folded into the coverage counters.
+    fn sim_point(&self, self_arc: &Arc<dyn ExecutorCore>, cp: crate::explore::CommitPoint) {
+        let _ = (self_arc, cp);
     }
     /// OS threads this executor occupies, when that number is *bounded*
     /// regardless of how many processes are spawned (the work-stealing
@@ -305,6 +312,20 @@ impl Runtime {
             Some(FaultAction::Panic) => panic!("injected fault: {step}"),
             Some(FaultAction::Drop) => true,
         }
+    }
+
+    /// Annotate a protocol **commit point** (see
+    /// [`CommitPoint`](crate::explore::CommitPoint)) — one of the places
+    /// the call protocol commits a racy decision. A no-op on the real
+    /// executors; on a [`SimRuntime`] the scheduling strategy may
+    /// preempt the calling process here with a bounded virtual delay,
+    /// and the hit is recorded in the schedule-coverage counters.
+    ///
+    /// Call sites must hold **no locks**: on the sim executor this can
+    /// suspend the calling process for virtual time.
+    #[inline]
+    pub fn sim_point(&self, cp: crate::explore::CommitPoint) {
+        self.core.sim_point(&self.core, cp);
     }
 
     /// Draw a pseudo-random 64-bit value from the runtime's RNG. On a

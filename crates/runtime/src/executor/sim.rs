@@ -7,10 +7,12 @@
 //! * **strictly by priority** (smallest [`Priority`](crate::Priority) value
 //!   first) — this is what makes the paper's "manager at a higher
 //!   priority" semantics exact and observable (experiment E8);
-//! * among equal priorities, FIFO by readiness order
-//!   ([`SchedPolicy::PriorityFifo`], fully deterministic) or seeded
-//!   pseudo-random ([`SchedPolicy::PriorityRandom`], deterministic per
-//!   seed — used by property tests to explore schedules).
+//! * among equal priorities, by a pluggable **scheduling strategy**
+//!   ([`SchedPolicy`]): FIFO by readiness order (fully deterministic),
+//!   seeded pseudo-random, round-robin, PCT-style preemption-bounded, or
+//!   commit-point-targeted racing — all deterministic per seed (see
+//!   [`crate::explore`] for the strategy semantics and the
+//!   `SIM_TRACE` replay contract).
 //!
 //! Time is virtual: `sleep(t)` suspends the process until the clock
 //! reaches `now + t`, and the clock only advances when no process is
@@ -31,19 +33,65 @@ use parking_lot::{Condvar, Mutex};
 
 use super::{clear_current, current_for, set_current, ExecutorCore, Runtime};
 use crate::error::{Aborted, RuntimeError};
+use crate::explore::{
+    build_strategy, fnv1a_u64, CommitPoint, SchedStrategy, TraceSpec, FNV_OFFSET,
+};
 use crate::fault::{FaultAction, FaultPlan, FaultState};
 use crate::process::{ProcId, Spawn};
 
-/// Tie-breaking policy among equal-priority runnable processes.
+/// Scheduling policy among equal-priority runnable processes, plus the
+/// commit-point preemption behaviour. Every policy is deterministic for
+/// a given seed; see [`crate::explore`] for the strategy semantics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SchedPolicy {
-    /// First-come-first-served among equal priorities (default).
+    /// First-come-first-served among equal priorities (default). Never
+    /// preempts: explores exactly one schedule.
     #[default]
     PriorityFifo,
     /// Seeded pseudo-random choice among the equal-priority front;
-    /// deterministic for a given seed. Lets property tests explore many
-    /// interleavings reproducibly.
+    /// deterministic for a given seed. Never preempts at commit points.
     PriorityRandom(u64),
+    /// Rotate through the equal-priority front (rotation offset seeded):
+    /// a cheap liveness baseline that guarantees every member of a
+    /// persistent front group eventually runs.
+    RoundRobin(u64),
+    /// PCT-style preemption-bounded exploration: FIFO picks plus at most
+    /// `bound` seeded preemptions placed at commit points, so the
+    /// preemptions are the *only* perturbation of the default schedule.
+    PreemptionBounded {
+        /// RNG seed for preemption placement.
+        seed: u64,
+        /// Maximum forced preemptions per run.
+        bound: u32,
+    },
+    /// Commit-point-targeted racing: seeded random picks plus aggressive
+    /// preemption at roughly every other commit point. Maximizes
+    /// distinct commit-point orderings per schedule.
+    TargetedRace(u64),
+}
+
+impl SchedPolicy {
+    /// The seed this policy derives all its streams from (0 for FIFO).
+    pub fn seed(self) -> u64 {
+        match self {
+            SchedPolicy::PriorityFifo => 0,
+            SchedPolicy::PriorityRandom(s)
+            | SchedPolicy::RoundRobin(s)
+            | SchedPolicy::TargetedRace(s) => s,
+            SchedPolicy::PreemptionBounded { seed, .. } => seed,
+        }
+    }
+
+    /// Canonical strategy token (`SIM_STRATEGY` vocabulary).
+    pub fn strategy_name(self) -> &'static str {
+        match self {
+            SchedPolicy::PriorityFifo => "fifo",
+            SchedPolicy::PriorityRandom(_) => "random",
+            SchedPolicy::RoundRobin(_) => "rr",
+            SchedPolicy::PreemptionBounded { .. } => "pct",
+            SchedPolicy::TargetedRace(_) => "targeted",
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,8 +129,29 @@ struct SimSt {
     live: usize,
     main_done: bool,
     shutting_down: bool,
-    policy: SchedPolicy,
+    /// Pluggable scheduling strategy (picks + commit-point preemptions),
+    /// built from the policy at construction. Owns its own seeded
+    /// streams, independent of `rng`.
+    strategy: Box<dyn SchedStrategy>,
+    /// Stream backing [`ExecutorCore::rand_u64`] only — scheduling
+    /// decisions never draw from it, so user-code randomness (retry
+    /// jitter etc.) is a pure function of the seed regardless of how
+    /// many scheduling decisions happen in between.
     rng: u64,
+    /// FNV-1a over every scheduling decision: each grant's (priority,
+    /// winner, group size), plus each commit-point event and preemption
+    /// delay. Byte-identical across two runs iff the schedule was.
+    decision_hash: u64,
+    /// FNV-1a over the *sequence of commit-point codes only* — a
+    /// deliberately coarse fingerprint of the protocol-event ordering
+    /// (two schedules that merely permute same-kind events collide).
+    /// Distinct values across a sweep = the coverage counter.
+    coverage_hash: u64,
+    /// Global commit-point hit counter; keys recorded preemptions.
+    commit_hits: u64,
+    /// Every preemption taken, as `(commit-hit index, delay ticks)` —
+    /// the raw material of a [`TraceSpec`].
+    preempt_log: Vec<(u64, u64)>,
 }
 
 impl SimSt {
@@ -112,37 +181,41 @@ impl SimSt {
     /// Pick and grant the next runnable process, if any. Returns whether a
     /// grant happened. Sets `running` under the lock so no second grant
     /// can race in before the granted thread wakes up.
+    ///
+    /// The strategy is only consulted when there is a real choice (two or
+    /// more processes at the front priority), so its pick stream advances
+    /// once per actual decision — the invariant the `SIM_TRACE` replay
+    /// contract rests on.
     fn schedule_next(&mut self) -> bool {
         debug_assert!(self.running.is_none());
-        let chosen = match self.policy {
-            SchedPolicy::PriorityFifo => self.ready.iter().next().copied(),
-            SchedPolicy::PriorityRandom(_) => {
-                if let Some(&(front_prio, _, _)) = self.ready.iter().next() {
-                    let group: Vec<(i32, u64, ProcId)> = self
-                        .ready
-                        .iter()
-                        .take_while(|(p, _, _)| *p == front_prio)
-                        .copied()
-                        .collect();
-                    let idx = (self.next_rand() % group.len() as u64) as usize;
-                    Some(group[idx])
-                } else {
-                    None
-                }
-            }
+        let mut it = self.ready.iter();
+        let Some(&first) = it.next() else {
+            return false;
         };
-        if let Some(key) = chosen {
-            self.ready.remove(&key);
-            let id = key.2;
-            self.running = Some(id);
-            let p = self.procs.get_mut(&id).expect("schedule: unknown proc");
-            p.granted = true;
-            p.state = PState::Running;
-            p.cv.notify_all();
-            true
+        let singleton = it.next().is_none_or(|&(p, _, _)| p != first.0);
+        let (key, group_len) = if singleton {
+            (first, 1)
         } else {
-            false
-        }
+            let group: Vec<(i32, u64, ProcId)> = self
+                .ready
+                .iter()
+                .take_while(|(p, _, _)| *p == first.0)
+                .copied()
+                .collect();
+            let idx = self.strategy.pick(group.len()) % group.len();
+            (group[idx], group.len())
+        };
+        self.ready.remove(&key);
+        let id = key.2;
+        self.running = Some(id);
+        self.decision_hash = fnv1a_u64(self.decision_hash, key.0 as u64);
+        self.decision_hash = fnv1a_u64(self.decision_hash, id.as_u64());
+        self.decision_hash = fnv1a_u64(self.decision_hash, group_len as u64);
+        let p = self.procs.get_mut(&id).expect("schedule: unknown proc");
+        p.granted = true;
+        p.state = PState::Running;
+        p.cv.notify_all();
+        true
     }
 
     fn idle(&self) -> bool {
@@ -183,11 +256,11 @@ pub(crate) struct SimCore {
 }
 
 impl SimCore {
-    fn new(policy: SchedPolicy) -> SimCore {
+    fn new(policy: SchedPolicy, replay: Option<&[(u64, u64)]>) -> SimCore {
         crate::error::silence_abort_panics();
         let seed = match policy {
             SchedPolicy::PriorityFifo => 0x9E37_79B9_7F4A_7C15,
-            SchedPolicy::PriorityRandom(s) => s | 1,
+            other => other.seed() | 1,
         };
         SimCore {
             token: super::alloc_core_token(),
@@ -205,8 +278,12 @@ impl SimCore {
                 live: 0,
                 main_done: false,
                 shutting_down: false,
-                policy,
+                strategy: build_strategy(policy, replay),
                 rng: seed,
+                decision_hash: FNV_OFFSET,
+                coverage_hash: FNV_OFFSET,
+                commit_hits: 0,
+                preempt_log: Vec::new(),
             }),
             driver_cv: Condvar::new(),
         }
@@ -512,10 +589,41 @@ impl ExecutorCore for SimCore {
     }
 
     fn rand_u64(&self) -> u64 {
-        // Shares the scheduler's seeded stream: draws interleave with
-        // PriorityRandom scheduling decisions, but the combined sequence
-        // is still a pure function of the seed, so replays reproduce.
+        // A dedicated seeded stream: the scheduler's pick/preempt draws
+        // come from the strategy's own salted streams, so user-visible
+        // randomness (retry jitter etc.) is a pure function of the seed
+        // and the caller's draw sequence — unchanged under trace replay.
         self.st.lock().next_rand()
+    }
+
+    fn sim_point(&self, self_arc: &Arc<dyn ExecutorCore>, cp: CommitPoint) {
+        // One commit-point hit: fold it into the coverage/decision
+        // fingerprints and let the strategy decide whether to preempt
+        // the running process with a bounded virtual delay. Callers hold
+        // no locks at annotation sites (see `CommitPoint`), so sleeping
+        // here cannot wedge a rival on a real mutex.
+        let delay = {
+            let mut st = self.st.lock();
+            if st.shutting_down {
+                return;
+            }
+            let hit = st.commit_hits;
+            st.commit_hits += 1;
+            st.coverage_hash = fnv1a_u64(st.coverage_hash, cp.code() as u64);
+            st.decision_hash = fnv1a_u64(st.decision_hash, 0xC0 | cp.code() as u64);
+            match st.strategy.preempt(cp, hit) {
+                None => None,
+                Some(t) => {
+                    let t = t.max(1);
+                    st.preempt_log.push((hit, t));
+                    st.decision_hash = fnv1a_u64(st.decision_hash, t);
+                    Some(t)
+                }
+            }
+        };
+        if let Some(t) = delay {
+            self.sleep(self_arc, t);
+        }
     }
 }
 
@@ -574,12 +682,35 @@ impl SimRuntime {
 
     /// New simulation with an explicit scheduling policy.
     pub fn with_policy(policy: SchedPolicy) -> SimRuntime {
-        let core = Arc::new(SimCore::new(policy));
+        Self::build(policy, None)
+    }
+
+    /// New simulation replaying a recorded schedule: picks are
+    /// regenerated from the trace's policy (seeded, deterministic) and
+    /// commit-point preemptions are applied verbatim from the trace's
+    /// list instead of fresh strategy draws. This is the `SIM_TRACE`
+    /// replay contract — a minimized trace reproduces its failure on
+    /// first replay.
+    pub fn with_trace(spec: &TraceSpec) -> SimRuntime {
+        Self::build(spec.policy, Some(&spec.preemptions))
+    }
+
+    fn build(policy: SchedPolicy, replay: Option<&[(u64, u64)]>) -> SimRuntime {
+        let core = Arc::new(SimCore::new(policy, replay));
         *core.self_weak.lock() = Arc::downgrade(&core);
         let dyn_core: Arc<dyn ExecutorCore> = Arc::clone(&core) as Arc<dyn ExecutorCore>;
         SimRuntime {
             rt: Runtime { core: dyn_core },
             core,
+        }
+    }
+
+    /// A probe onto this simulation's schedule fingerprints, valid even
+    /// after [`run`](Self::run) consumes the runtime (grab it first).
+    /// The sweep harness reads coverage and the preemption log from it.
+    pub fn probe(&self) -> SimProbe {
+        SimProbe {
+            core: Arc::clone(&self.core),
         }
     }
 
@@ -694,6 +825,50 @@ impl SimRuntime {
         while st.live > 0 {
             self.core.driver_cv.wait(&mut st);
         }
+    }
+}
+
+/// Read-only view of a simulation's schedule fingerprints, obtained via
+/// [`SimRuntime::probe`] *before* the runtime is consumed by
+/// [`SimRuntime::run`] and read *after* the run finishes (or panics).
+pub struct SimProbe {
+    core: Arc<SimCore>,
+}
+
+impl std::fmt::Debug for SimProbe {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimProbe")
+            .field("decision_hash", &self.decision_hash())
+            .field("coverage_hash", &self.coverage_hash())
+            .field("commit_points_hit", &self.commit_points_hit())
+            .finish()
+    }
+}
+
+impl SimProbe {
+    /// FNV-1a over the full decision trace: every grant (priority,
+    /// winner, group size), commit-point event, and preemption delay.
+    /// Two runs are byte-identical schedules iff these match.
+    pub fn decision_hash(&self) -> u64 {
+        self.core.st.lock().decision_hash
+    }
+
+    /// FNV-1a over the sequence of commit-point codes only — the
+    /// commit-point-*ordering* fingerprint. The number of distinct
+    /// values across a sweep is the coverage counter.
+    pub fn coverage_hash(&self) -> u64 {
+        self.core.st.lock().coverage_hash
+    }
+
+    /// Total commit-point hits observed.
+    pub fn commit_points_hit(&self) -> u64 {
+        self.core.st.lock().commit_hits
+    }
+
+    /// Every preemption the strategy took, as `(commit-hit, ticks)` —
+    /// the preemption list of a [`TraceSpec`] replaying this run.
+    pub fn preemptions(&self) -> Vec<(u64, u64)> {
+        self.core.st.lock().preempt_log.clone()
     }
 }
 

@@ -43,6 +43,7 @@
 mod chan;
 mod error;
 mod executor;
+pub mod explore;
 mod fault;
 pub mod metrics;
 mod notifier;
@@ -52,7 +53,8 @@ pub mod tuning;
 
 pub use chan::{Chan, IntakeRing, RecvHalf, SendHalf};
 pub use error::{Aborted, RuntimeError};
-pub use executor::{ProcHandle, Runtime, SchedPolicy, SimRuntime, TICKS_PER_MS};
+pub use executor::{ProcHandle, Runtime, SchedPolicy, SimProbe, SimRuntime, TICKS_PER_MS};
+pub use explore::{CommitPoint, TraceSpec};
 pub use fault::{FaultAction, FaultPlan};
 pub use notifier::{Notifier, NotifyBatch, WaitOutcome};
 pub use par::{par, par_for};

@@ -85,6 +85,32 @@ pub const LANE_IDLE_DEMOTE_PASSES: u32 = 2;
 /// fallback that signals real concurrency.
 pub const LANE_CAP: usize = 8;
 
+/// Default preemption budget for
+/// [`SchedPolicy::PreemptionBounded`](crate::SchedPolicy) when selected
+/// via `SIM_STRATEGY=pct`. The PCT argument: a bug of preemption depth
+/// *d* is found with probability ≥ 1/(n·k^(d−1)) per schedule, and the
+/// protocol races shipped so far (finish-vs-cancel, restart-vs-drain,
+/// lane handoff) all have depth ≤ 3 — a small budget keeps each run
+/// close to the default schedule while still crossing those windows.
+pub const PCT_DEFAULT_BOUND: u32 = 8;
+
+/// PCT preemption placement gate: at each commit point a preemption
+/// fires with probability 1/N (budget permitting). Sized so a typical
+/// sweep scenario (a few hundred commit hits) spreads its budget across
+/// the whole run instead of exhausting it in the first few hits.
+pub const PCT_GATE_ONE_IN: u64 = 16;
+
+/// TargetedRace preemption gate: one-in-N commit points preempt. Kept
+/// aggressive (2) — the strategy exists to maximize distinct
+/// commit-point orderings per schedule.
+pub const TARGETED_GATE_ONE_IN: u64 = 2;
+
+/// Spread of commit-point preemption delays: a preempting strategy
+/// sleeps `1 << (r % SPREAD)` virtual ticks, i.e. 1–64 µs. Long enough
+/// to push a rival's whole protocol step inside the window, short
+/// enough not to trip deadline/timeout scenarios spuriously.
+pub const PREEMPT_DELAY_LOG2_SPREAD: u64 = 7;
+
 #[cfg(test)]
 mod tests {
     use super::*;
