@@ -32,6 +32,23 @@ fn main() {
         traffic::run(args.iter().any(|a| a == "--smoke"));
         return;
     }
+    if args.first().map(String::as_str) == Some("remote") {
+        // `experiments remote [--smoke]` — distributed objects over real
+        // loopback TCP against a self-spawned second process: warm-call
+        // overhead vs the in-process managed baseline (measured in the
+        // same run), then a seeded transport-fault sweep (drops, delays,
+        // duplicates, disconnects) verifying exactly-once execution.
+        // Results written to BENCH_remote.json.
+        remote::run(args.iter().any(|a| a == "--smoke"));
+        return;
+    }
+    if args.first().map(String::as_str) == Some("remote-server") {
+        // Child role for `remote`: bind an ephemeral loopback port,
+        // serve the Counter object, report `PORT=<n>` on stdout, exit
+        // when the parent closes our stdin.
+        remote::serve_child();
+        return;
+    }
     if args.first().map(String::as_str) == Some("probe") {
         // `experiments probe [managed_execute|combining|both]` — run the
         // contended-intake scenarios once each and dump the objects'
@@ -51,7 +68,7 @@ fn main() {
             Some(r) => r.print(),
             None => {
                 eprintln!(
-                    "unknown experiment `{a}` (use e1..e10, all, bench-json, lang-bench, probe, or traffic)"
+                    "unknown experiment `{a}` (use e1..e10, all, bench-json, lang-bench, probe, traffic, or remote)"
                 );
                 std::process::exit(1);
             }
@@ -1653,5 +1670,275 @@ mod traffic {
             ratio(hi_p99_a, hi_p99_b),
         );
         println!("wrote BENCH_traffic.json");
+    }
+}
+
+/// `experiments remote [--smoke]` — the partial-failure acceptance run:
+/// a second OS process (this same binary in the `remote-server` role)
+/// serves a Counter object over loopback TCP; the parent measures the
+/// remote warm-call tax against an in-process managed baseline taken in
+/// the *same run*, then drives a seeded transport-fault sweep and
+/// verifies every faulted call resolved exactly once or errored cleanly.
+/// Writes `BENCH_remote.json`.
+mod remote {
+    use std::collections::HashMap;
+    use std::io::{BufRead, BufReader, Read, Write};
+    use std::process::{Child, Command, Stdio};
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    use alps_core::{
+        vals, Backoff, EntryDef, Guard, ObjectBuilder, ObjectHandle, RestartPolicy, RetryPolicy,
+        Selected, Ty, Value,
+    };
+    use alps_net::{NetFaultPlan, NetServer, ReconnectPolicy, RemoteHandle, TcpConnector};
+    use alps_runtime::Runtime;
+    use parking_lot::Mutex;
+
+    /// The served object: `Bump(k)` increments key `k`'s tally and
+    /// returns it, `Count(k)` reads it back — the read path is what lets
+    /// the parent audit exactly-once execution across process and fault
+    /// boundaries. Supervised (`RestartTransient`), managed, and booby-
+    /// trapped: the first `Bump` of any key with `k % 29 == 7` panics
+    /// BEFORE recording, so across the sweep the server restarts dozens
+    /// of times mid-call and the remote retries must ride through
+    /// `ObjectRestarting` over the wire (key 0, the latency key, never
+    /// trips it). Intercepted + managed so the panic kills the manager —
+    /// the restart sweep answers in-flight callers with the retryable
+    /// `ObjectRestarting`, not the delivered `BodyFailed`.
+    fn counter(rt: &Runtime) -> ObjectHandle {
+        let counts: Arc<Mutex<HashMap<i64, i64>>> = Arc::new(Mutex::new(HashMap::new()));
+        let seen: Arc<Mutex<std::collections::HashSet<i64>>> =
+            Arc::new(Mutex::new(std::collections::HashSet::new()));
+        let (c_bump, c_read) = (Arc::clone(&counts), counts);
+        ObjectBuilder::new("Counter")
+            .entry(
+                EntryDef::new("Bump")
+                    .params([Ty::Int])
+                    .results([Ty::Int])
+                    .intercepted()
+                    .body(move |_ctx, args| {
+                        let k = args[0].as_int()?;
+                        if k % 29 == 7 && seen.lock().insert(k) {
+                            panic!("injected first-sight crash for key {k}");
+                        }
+                        let mut m = c_bump.lock();
+                        let n = m.entry(k).or_insert(0);
+                        *n += 1;
+                        Ok(vec![Value::Int(*n)])
+                    }),
+            )
+            .entry(
+                EntryDef::new("Count")
+                    .params([Ty::Int])
+                    .results([Ty::Int])
+                    .intercepted()
+                    .body(move |_ctx, args| {
+                        let k = args[0].as_int()?;
+                        Ok(vec![Value::Int(
+                            c_read.lock().get(&k).copied().unwrap_or(0),
+                        )])
+                    }),
+            )
+            .manager(|mgr| loop {
+                match mgr.select(vec![Guard::accept("Bump"), Guard::accept("Count")])? {
+                    Selected::Accepted { call, .. } => {
+                        mgr.execute(call)?;
+                    }
+                    _ => unreachable!(),
+                }
+            })
+            .supervise(RestartPolicy::RestartTransient {
+                max_restarts: 256,
+                window_ticks: 600_000_000,
+            })
+            .spawn(rt)
+            .expect("spawn Counter")
+    }
+
+    /// Child role: serve on an ephemeral loopback port, announce it on
+    /// stdout, park until the parent closes our stdin (so an abandoned
+    /// child dies with its parent instead of leaking).
+    pub fn serve_child() {
+        let rt = Runtime::threaded();
+        let obj = counter(&rt);
+        let server = NetServer::new(&rt);
+        server.register(&obj);
+        let addr = server.listen_tcp("127.0.0.1:0").expect("bind loopback");
+        println!("PORT={}", addr.port());
+        std::io::stdout().flush().ok();
+        let mut sink = Vec::new();
+        let _ = std::io::stdin().read_to_end(&mut sink); // blocks until parent exits
+        server.shutdown();
+        obj.shutdown();
+    }
+
+    fn spawn_server() -> (Child, String) {
+        let exe = std::env::current_exe().expect("current_exe");
+        let mut child = Command::new(exe)
+            .arg("remote-server")
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("spawn remote-server child");
+        let stdout = child.stdout.take().expect("child stdout");
+        let mut lines = BufReader::new(stdout).lines();
+        let port: u16 = loop {
+            match lines.next() {
+                Some(Ok(l)) if l.starts_with("PORT=") => {
+                    break l["PORT=".len()..].trim().parse().expect("child port")
+                }
+                Some(Ok(_)) => continue,
+                _ => panic!("remote-server child exited before reporting its port"),
+            }
+        };
+        (child, format!("127.0.0.1:{port}"))
+    }
+
+    /// Best-of-`reps` wall-clock ns/op for `iters` runs of `f`.
+    fn measure<F: FnMut()>(iters: u64, reps: u32, mut f: F) -> f64 {
+        for _ in 0..iters / 4 {
+            f();
+        }
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            best = best.min(t0.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        best
+    }
+
+    pub fn run(smoke: bool) {
+        println!("== remote objects: warm-call overhead + transport-fault sweep ==");
+
+        // -- Baseline: the same managed call served in-process, measured
+        // in this run (never a stale constant).
+        let rt = Runtime::threaded();
+        let local_obj = counter(&rt);
+        let bump_local = local_obj.entry_id("Bump").expect("local Bump id");
+        let local_iters: u64 = if smoke { 2_000 } else { 40_000 };
+        let local_ns = measure(local_iters, if smoke { 2 } else { 5 }, || {
+            local_obj.call_id(bump_local, vals![0i64]).unwrap();
+        });
+        println!("  in-process managed call: {local_ns:.0} ns/op");
+
+        // -- The second process.
+        let (mut child, addr) = spawn_server();
+
+        // -- Remote warm path: interned entry, live connection, loopback
+        // TCP round trip per call.
+        let client = RemoteHandle::new(&rt, "Counter", TcpConnector::new(addr.clone()));
+        let bump = client.entry_id("Bump");
+        let remote_iters: u64 = if smoke { 400 } else { 8_000 };
+        let remote_ns = measure(remote_iters, if smoke { 2 } else { 5 }, || {
+            client.call_id(&bump, vals![0i64]).unwrap();
+        });
+        let overhead = remote_ns / local_ns;
+        println!("  remote warm call (TCP loopback, 2 processes): {remote_ns:.0} ns/op");
+        println!("  overhead ratio: {overhead:.1}x");
+
+        // -- Fault sweep: per-seed chaos plans (drops, delays, dups,
+        // corruption, forced disconnects) against the SAME live server;
+        // each call retries through transient faults, then a fault-free
+        // connection audits the tally. Acceptance: every call resolved
+        // exactly once or cleanly errored — zero lost replies, zero
+        // double executions.
+        let seeds: u64 = if smoke { 16 } else { 256 };
+        let calls_per_seed: i64 = 6;
+        let verify = RemoteHandle::new(&rt, "Counter", TcpConnector::new(addr.clone()));
+        let count_entry = verify.entry_id("Count");
+        let policy = RetryPolicy::new(8, 2_000_000).backoff(Backoff::ExpJitter {
+            base: 200,
+            cap: 5_000,
+        });
+        let (mut ok, mut clean_errors, mut lost_replies, mut double_execs) =
+            (0u64, 0u64, 0u64, 0u64);
+        let (mut reconnects, mut retries) = (0u64, 0u64);
+        for seed in 0..seeds {
+            let faulty = RemoteHandle::new(&rt, "Counter", TcpConnector::new(addr.clone()))
+                .with_fault(NetFaultPlan::chaos(seed + 1))
+                .with_reconnect(ReconnectPolicy {
+                    max_attempts: 8,
+                    base_ticks: 200,
+                    cap_ticks: 5_000,
+                });
+            let fbump = faulty.entry_id("Bump");
+            for i in 0..calls_per_seed {
+                // Key 0 is the latency key; sweep keys are unique per
+                // (seed, call) so the audit below is exact.
+                let key = (seed as i64) * 1_000 + i + 1;
+                let outcome = faulty.call_id_retry(&fbump, vals![key], policy);
+                let tally = verify
+                    .call_id_retry(&count_entry, vals![key], policy)
+                    .expect("fault-free audit connection")[0]
+                    .as_int()
+                    .unwrap();
+                match outcome {
+                    Ok(_) => {
+                        ok += 1;
+                        if tally == 0 {
+                            lost_replies += 1;
+                            eprintln!("  LOST: seed {seed} key {key}: reply without execution");
+                        }
+                        if tally > 1 {
+                            double_execs += 1;
+                            eprintln!("  DOUBLE: seed {seed} key {key}: {tally} executions");
+                        }
+                    }
+                    Err(_) => {
+                        clean_errors += 1;
+                        if tally > 1 {
+                            double_execs += 1;
+                            eprintln!(
+                                "  DOUBLE: seed {seed} key {key}: errored yet ran {tally} times"
+                            );
+                        }
+                    }
+                }
+            }
+            let s = faulty.stats();
+            reconnects += s.reconnects.get();
+            retries += s.retries.get();
+        }
+        let total = seeds * calls_per_seed as u64;
+        println!(
+            "  sweep: {seeds} seeds x {calls_per_seed} calls = {total} calls -> {ok} ok, \
+             {clean_errors} clean errors ({reconnects} reconnects, {retries} retries)"
+        );
+        println!("  lost replies: {lost_replies}   double executions: {double_execs}");
+
+        // -- Emit BENCH_remote.json.
+        let mut j = String::from("{\n");
+        j.push_str("  \"bench\": \"remote_objects\",\n");
+        j.push_str(&format!("  \"smoke\": {smoke},\n"));
+        j.push_str(&format!("  \"local_ns_per_op\": {local_ns:.1},\n"));
+        j.push_str(&format!("  \"remote_ns_per_op\": {remote_ns:.1},\n"));
+        j.push_str(&format!("  \"overhead_ratio\": {overhead:.2},\n"));
+        j.push_str("  \"sweep\": {\n");
+        j.push_str(&format!("    \"seeds\": {seeds},\n"));
+        j.push_str(&format!("    \"calls\": {total},\n"));
+        j.push_str(&format!("    \"ok\": {ok},\n"));
+        j.push_str(&format!("    \"clean_errors\": {clean_errors},\n"));
+        j.push_str(&format!("    \"reconnects\": {reconnects},\n"));
+        j.push_str(&format!("    \"retries\": {retries}\n"));
+        j.push_str("  },\n");
+        j.push_str(&format!("  \"lost_replies\": {lost_replies},\n"));
+        j.push_str(&format!("  \"double_executions\": {double_execs},\n"));
+        j.push_str("  \"baseline_remeasured\": true\n");
+        j.push_str("}\n");
+        std::fs::write("BENCH_remote.json", &j).expect("write BENCH_remote.json");
+        println!("wrote BENCH_remote.json");
+
+        // -- Tear down the child (dropping its stdin unblocks the park).
+        drop(child.stdin.take());
+        let _ = child.kill();
+        let _ = child.wait();
+        local_obj.shutdown();
+
+        assert_eq!(lost_replies, 0, "acceptance: zero lost replies");
+        assert_eq!(double_execs, 0, "acceptance: zero double executions");
     }
 }

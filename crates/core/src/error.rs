@@ -127,10 +127,51 @@ pub enum AlpsError {
         /// Object name.
         object: String,
     },
+    /// The network link carrying a remote call died (disconnect, frame
+    /// corruption, or reconnect budget exhausted) before a reply was
+    /// delivered. The call executed **at most once** — the remote server
+    /// deduplicates redelivered call ids, so retrying through
+    /// [`ObjectHandle::call_retry`](crate::ObjectHandle::call_retry)
+    /// semantics is safe. Transient by design — retry-worthy.
+    LinkLost {
+        /// Remote endpoint description (address or object name).
+        endpoint: String,
+    },
     /// An underlying runtime error.
     Runtime(RuntimeError),
     /// Application-defined failure raised inside an entry body.
     Custom(String),
+}
+
+impl AlpsError {
+    /// Whether this error is *transient*: the call was refused or timed
+    /// out without a delivered answer, so re-issuing it cannot
+    /// double-apply an entry body's effects. This is the single decision
+    /// point the retry machinery uses
+    /// ([`ObjectHandle::call_retry`](crate::ObjectHandle::call_retry) and
+    /// the remote proxy's retry loop) — a new transient variant slots in
+    /// here, not at every match site.
+    ///
+    /// * [`Overloaded`](AlpsError::Overloaded) — shed before enqueueing.
+    /// * [`ObjectRestarting`](AlpsError::ObjectRestarting) — swept by a
+    ///   supervised restart.
+    /// * [`Timeout`](AlpsError::Timeout) — the wait expired; a started
+    ///   body is cancelled cooperatively and its result tombstoned.
+    /// * [`LinkLost`](AlpsError::LinkLost) — the transport died with the
+    ///   call in flight; the remote side deduplicates redelivery.
+    ///
+    /// Everything *delivered* — results, [`BodyFailed`](AlpsError::BodyFailed),
+    /// [`Cancelled`](AlpsError::Cancelled) — is non-retryable: the body
+    /// may have run.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            AlpsError::Overloaded { .. }
+                | AlpsError::ObjectRestarting { .. }
+                | AlpsError::Timeout { .. }
+                | AlpsError::LinkLost { .. }
+        )
+    }
 }
 
 impl fmt::Display for AlpsError {
@@ -189,6 +230,9 @@ impl fmt::Display for AlpsError {
                     f,
                     "object `{object}` is overloaded (intake full, call shed)"
                 )
+            }
+            AlpsError::LinkLost { endpoint } => {
+                write!(f, "link to `{endpoint}` was lost with the call in flight")
             }
             AlpsError::Runtime(e) => write!(f, "runtime error: {e}"),
             AlpsError::Custom(msg) => write!(f, "{msg}"),
@@ -259,10 +303,48 @@ mod tests {
                 AlpsError::Overloaded { object: "X".into() },
                 "object `X` is overloaded (intake full, call shed)",
             ),
+            (
+                AlpsError::LinkLost {
+                    endpoint: "127.0.0.1:9".into(),
+                },
+                "link to `127.0.0.1:9` was lost with the call in flight",
+            ),
             (AlpsError::Custom("boom".into()), "boom"),
         ];
         for (e, want) in cases {
             assert_eq!(e.to_string(), want);
+        }
+    }
+
+    #[test]
+    fn retryable_is_exactly_the_transient_taxonomy() {
+        let yes = [
+            AlpsError::Overloaded { object: "X".into() },
+            AlpsError::ObjectRestarting { object: "X".into() },
+            AlpsError::Timeout {
+                what: "P".into(),
+                ticks: 1,
+            },
+            AlpsError::LinkLost {
+                endpoint: "srv".into(),
+            },
+        ];
+        for e in yes {
+            assert!(e.is_retryable(), "{e} should be retryable");
+        }
+        let no = [
+            AlpsError::ObjectPoisoned { object: "X".into() },
+            AlpsError::ObjectClosed { object: "X".into() },
+            AlpsError::BodyFailed {
+                entry: "P".into(),
+                message: "m".into(),
+            },
+            AlpsError::Cancelled { entry: "P".into() },
+            AlpsError::SelectFailed,
+            AlpsError::Custom("boom".into()),
+        ];
+        for e in no {
+            assert!(!e.is_retryable(), "{e} should not be retryable");
         }
     }
 

@@ -2237,6 +2237,20 @@ impl ObjectHandle {
         })
     }
 
+    /// Names of the object's externally callable entries (locals are
+    /// omitted — they would fail with [`AlpsError::LocalEntryCalled`]).
+    /// This is the table a network server exports during the wire
+    /// handshake so remote callers can intern [`EntryId`]s by name.
+    pub fn entry_names(&self) -> Vec<String> {
+        self.core
+            .inner
+            .entries
+            .iter()
+            .filter(|e| !e.local)
+            .map(|e| e.name.clone())
+            .collect()
+    }
+
     /// Call an entry procedure and block until it finishes (ALPS
     /// `X.P(params, results)`, paper §2.2). The reply carries the public
     /// results.
@@ -2400,11 +2414,10 @@ impl ObjectHandle {
             let seen = inner.notifier.epoch();
             match inner.call_protocol_deadline(id.idx as usize, args.clone(), true, per) {
                 Ok(r) => return Ok(r),
-                Err(
-                    e @ (AlpsError::Overloaded { .. }
-                    | AlpsError::ObjectRestarting { .. }
-                    | AlpsError::Timeout { .. }),
-                ) => {
+                // The transient taxonomy is owned by `AlpsError::is_retryable`
+                // so the remote proxy's retry loop and this one can never
+                // drift apart.
+                Err(e) if e.is_retryable() => {
                     let restarting = matches!(e, AlpsError::ObjectRestarting { .. });
                     last = Some(e);
                     if k + 1 == attempts {

@@ -156,6 +156,39 @@ impl Histogram {
         self.max.load(Ordering::Relaxed)
     }
 
+    /// Fold another histogram into this one, bucket by bucket. Built for
+    /// the multi-process case — a coordinator summing per-connection or
+    /// per-process histograms that each ran for a long time — so every
+    /// addition **saturates** instead of wrapping: a counter pinned at
+    /// `u64::MAX` reads as "a lot", while a wrapped one reads as "almost
+    /// nothing" and silently inverts every derived percentile. `other` may
+    /// be concurrently recording; this reads a relaxed snapshot (the same
+    /// advisory-telemetry contract as every reader in this module).
+    pub fn merge(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let v = theirs.load(Ordering::Relaxed);
+            if v != 0 {
+                let _ = mine.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |prev| {
+                    Some(prev.saturating_add(v))
+                });
+            }
+        }
+        let s = other.sum.load(Ordering::Relaxed);
+        if s != 0 {
+            let _ = self
+                .sum
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |prev| {
+                    Some(prev.saturating_add(s))
+                });
+        }
+        let m = other.max.load(Ordering::Relaxed);
+        let _ = self
+            .max
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |prev| {
+                (m > prev).then_some(m)
+            });
+    }
+
     /// Upper bound of the bucket containing the `p`-th percentile
     /// (`0 < p <= 100`). Returns 0 when empty.
     pub fn percentile(&self, p: f64) -> u64 {
@@ -289,6 +322,39 @@ mod tests {
         assert_eq!(h.count(), 0);
         assert_eq!(h.mean(), 0.0);
         assert_eq!(h.percentile(99.0), 0);
+    }
+
+    #[test]
+    fn histogram_merge_folds_counts_and_max() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in [2u64, 4] {
+            a.record(v);
+        }
+        for v in [8u64, 1000] {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.max(), 1000);
+        assert!((a.mean() - (2.0 + 4.0 + 8.0 + 1000.0) / 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_merge_saturates_instead_of_wrapping() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        // Drive one bucket and the sum near the top, then fold in more:
+        // a wrapping add would land near zero and invert every percentile.
+        a.buckets[3].store(u64::MAX - 1, Ordering::Relaxed);
+        a.sum.store(u64::MAX - 1, Ordering::Relaxed);
+        b.buckets[3].store(10, Ordering::Relaxed);
+        b.sum.store(10, Ordering::Relaxed);
+        b.max.store(12, Ordering::Relaxed);
+        a.merge(&b);
+        assert_eq!(a.buckets[3].load(Ordering::Relaxed), u64::MAX);
+        assert_eq!(a.sum.load(Ordering::Relaxed), u64::MAX);
+        assert_eq!(a.max(), 12);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 pub use alps_core as core;
 pub use alps_lang as lang;
+pub use alps_net as net;
 pub use alps_paper as paper;
 pub use alps_runtime as runtime;
 pub use alps_sync as sync;
